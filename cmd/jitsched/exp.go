@@ -1,0 +1,158 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// cmdExp runs one (or all) of the paper's experiments and prints its table.
+func cmdExp(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("exp: missing experiment name (fig5|fig6|fig7|fig8|table1|table2|astar|priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt|all)")
+	}
+	which := args[0]
+	fs, scale, bench := expFlags("exp " + which)
+	md := fs.Bool("md", false, "render tables as GitHub-flavoured markdown")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	opts := experiments.Options{Scale: *scale}
+	if *bench != "" {
+		opts.Benchmarks = []string{*bench}
+	}
+	if *md {
+		defer report.SetStyle(report.SetStyle(report.Markdown))
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig5":
+			r, err := experiments.Fig5(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		case "fig6":
+			r, err := experiments.Fig6(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		case "fig7":
+			r, err := experiments.Fig7(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		case "fig8":
+			r, err := experiments.Fig8(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		case "table1":
+			rows, err := experiments.Table1(opts)
+			if err != nil {
+				return err
+			}
+			return experiments.RenderTable1(rows, os.Stdout)
+		case "table2":
+			rows, err := experiments.Table2(opts)
+			if err != nil {
+				return err
+			}
+			return experiments.RenderTable2(rows, os.Stdout)
+		case "astar":
+			rows, err := experiments.AStarStudy(experiments.AStarOptions{})
+			if err != nil {
+				return err
+			}
+			return experiments.RenderAStar(rows, os.Stdout)
+		case "priority":
+			rows, err := experiments.PriorityStudy(opts)
+			if err != nil {
+				return err
+			}
+			if err := experiments.RenderPriority(
+				"Queue-discipline study (§7): default scheme, FIFO vs first-compile-first", rows, os.Stdout); err != nil {
+				return err
+			}
+			sat, err := experiments.SaturationStudy()
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			return experiments.RenderPriority(
+				"Saturation microbenchmark: burst promotions, compile-heavy configuration", sat, os.Stdout)
+		case "variation":
+			rows, err := experiments.VariationStudy(opts)
+			if err != nil {
+				return err
+			}
+			return experiments.RenderVariation(rows, os.Stdout)
+		case "predict":
+			rows, err := experiments.PredictStudy(opts)
+			if err != nil {
+				return err
+			}
+			return experiments.RenderPredict(rows, os.Stdout)
+		case "ksweep":
+			ks := []int64{1, 3, 5, 8, 10, 20}
+			rows, err := experiments.KSweep(opts, ks)
+			if err != nil {
+				return err
+			}
+			return experiments.RenderSweep("IAR K sweep (§5.1: [3,10] behaves alike)", ks,
+				func(v int64) string { return fmt.Sprintf("K=%d", v) }, rows, os.Stdout)
+		case "mt":
+			rows, err := experiments.MTStudy(opts, 4)
+			if err != nil {
+				return err
+			}
+			return experiments.RenderMT(rows, os.Stdout)
+		case "scalesweep":
+			rows, err := experiments.ScaleStudy(opts, nil)
+			if err != nil {
+				return err
+			}
+			return experiments.RenderScale(rows, os.Stdout)
+		case "interp":
+			rows, err := experiments.InterpreterStudy(opts)
+			if err != nil {
+				return err
+			}
+			return experiments.RenderInterp(rows, os.Stdout)
+		case "inline":
+			rows, err := experiments.InlineStudy(0)
+			if err != nil {
+				return err
+			}
+			return experiments.RenderInline(rows, os.Stdout)
+		case "periodsweep":
+			periods := []int64{50000, 200000, 500000, 2000000}
+			rows, err := experiments.PeriodSweep(opts, periods)
+			if err != nil {
+				return err
+			}
+			return experiments.RenderSweep("Default-scheme sampling-period sweep", periods,
+				func(v int64) string { return fmt.Sprintf("S=%dk", v/1000) }, rows, os.Stdout)
+		default:
+			return fmt.Errorf("exp: unknown experiment %q", name)
+		}
+	}
+
+	if which == "all" {
+		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "table2", "astar",
+			"priority", "variation", "predict", "ksweep", "periodsweep", "interp", "inline", "scalesweep", "mt"} {
+			if err := run(name); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return run(which)
+}

@@ -1,0 +1,74 @@
+// Command jitsched reproduces the paper's experiments and exposes the
+// library's building blocks from the command line.
+//
+// Usage:
+//
+//	jitsched exp fig5|fig6|fig7|fig8|table1|table2|astar|all [-scale F] [-bench NAME] [-md]
+//	jitsched exp priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt
+//	jitsched gen -bench NAME [-scale F] [-o FILE] [-format binary|text]
+//	jitsched stats -i FILE
+//	jitsched schedule -bench NAME [-scale F] [-algo iar|base|opt] [-model default|oracle]
+//	jitsched simulate -bench NAME [-scale F] [-algo ...] [-workers N]
+//
+// All experiments are deterministic: same flags, same numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "exp":
+		err = cmdExp(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "schedule":
+		err = cmdSchedule(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "jitsched: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jitsched:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `jitsched - compilation scheduling for JIT runtimes (ASPLOS'14 reproduction)
+
+commands:
+  exp fig5|fig6|fig7|fig8|table1|table2|astar|all   reproduce a paper result
+  exp priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt
+             extension studies (§5.1, §5.3, §7, §8)
+  gen        generate a synthetic DaCapo-like trace to a file
+  stats      summarize a trace file
+  schedule   print a compilation schedule for a workload
+  simulate   simulate a schedule/policy and report the make-span
+
+run 'jitsched <command> -h' for flags.
+`)
+}
+
+// expFlags returns the common experiment flag set.
+func expFlags(name string) (*flag.FlagSet, *float64, *string) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "trace length multiplier (1 = default scaled size)")
+	bench := fs.String("bench", "", "restrict to one benchmark (default: all nine)")
+	return fs, scale, bench
+}

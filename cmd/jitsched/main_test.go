@@ -1,0 +1,251 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+func TestCmdExpSingleBenchmark(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdExp([]string{"fig5", "-bench", "luindex", "-scale", "0.4"})
+	})
+	if !strings.Contains(out, "luindex") || !strings.Contains(out, "IAR algorithm") {
+		t.Errorf("fig5 output missing expected content:\n%s", out)
+	}
+}
+
+func TestCmdExpUnknown(t *testing.T) {
+	if err := cmdExp([]string{"fig99"}); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+	if err := cmdExp(nil); err == nil {
+		t.Error("want error for missing experiment")
+	}
+}
+
+func TestCmdGenStatsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	out := captureStdout(t, func() error {
+		return cmdGen([]string{"-bench", "lusearch", "-scale", "0.2", "-o", path})
+	})
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("gen output: %s", out)
+	}
+	out = captureStdout(t, func() error {
+		return cmdStats([]string{"-i", path})
+	})
+	if !strings.Contains(out, "lusearch") {
+		t.Errorf("stats output missing name:\n%s", out)
+	}
+
+	// Text format too.
+	tpath := filepath.Join(dir, "t.txt")
+	captureStdout(t, func() error {
+		return cmdGen([]string{"-bench", "lusearch", "-scale", "0.1", "-o", tpath, "-format", "text"})
+	})
+	out = captureStdout(t, func() error {
+		return cmdStats([]string{"-i", tpath})
+	})
+	if !strings.Contains(out, "lusearch") {
+		t.Errorf("text stats output missing name:\n%s", out)
+	}
+}
+
+func TestCmdGenErrors(t *testing.T) {
+	if err := cmdGen([]string{"-bench", "nope"}); err == nil {
+		t.Error("want error for unknown benchmark")
+	}
+	if err := cmdGen([]string{"-bench", "antlr", "-format", "xml", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("want error for unknown format")
+	}
+	if err := cmdGen(nil); err == nil {
+		t.Error("want error for missing -bench")
+	}
+	if err := cmdStats(nil); err == nil {
+		t.Error("want error for missing -i")
+	}
+}
+
+func TestCmdScheduleAndAdviceReplay(t *testing.T) {
+	dir := t.TempDir()
+	advice := filepath.Join(dir, "a.advice")
+	out := captureStdout(t, func() error {
+		return cmdSchedule([]string{"-bench", "luindex", "-scale", "0.3", "-advice", advice})
+	})
+	if !strings.Contains(out, "compilation events") {
+		t.Errorf("schedule -advice output: %s", out)
+	}
+	out = captureStdout(t, func() error {
+		return cmdSimulate([]string{"-bench", "luindex", "-scale", "0.3", "-advice", advice})
+	})
+	if !strings.Contains(out, "replayed advice") || !strings.Contains(out, "make-span") {
+		t.Errorf("simulate -advice output: %s", out)
+	}
+}
+
+func TestCmdSchedulePrints(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdSchedule([]string{"-bench", "luindex", "-scale", "0.2", "-n", "5"})
+	})
+	if !strings.Contains(out, "iar schedule for luindex") {
+		t.Errorf("schedule output: %s", out)
+	}
+	if !strings.Contains(out, "more events") {
+		t.Errorf("schedule output should truncate at -n: %s", out)
+	}
+}
+
+func TestCmdSimulateVariants(t *testing.T) {
+	for _, algo := range []string{"iar", "base", "opt", "jikes", "v8"} {
+		out := captureStdout(t, func() error {
+			return cmdSimulate([]string{"-bench", "luindex", "-scale", "0.2", "-algo", algo})
+		})
+		if !strings.Contains(out, "make-span") {
+			t.Errorf("algo %s: output missing make-span:\n%s", algo, out)
+		}
+	}
+	if err := cmdSimulate([]string{"-bench", "luindex", "-algo", "nope"}); err == nil {
+		t.Error("want error for unknown algorithm")
+	}
+	if err := cmdSimulate([]string{"-bench", "luindex", "-model", "nope"}); err == nil {
+		t.Error("want error for unknown model")
+	}
+}
+
+func TestCmdSimulateWorkers(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdSimulate([]string{"-bench", "luindex", "-scale", "0.2", "-workers", "4"})
+	})
+	if !strings.Contains(out, "make-span") {
+		t.Errorf("workers output: %s", out)
+	}
+}
+
+func TestCmdExpExtensions(t *testing.T) {
+	for _, exp := range []string{"mt", "variation", "ksweep"} {
+		out := captureStdout(t, func() error {
+			return cmdExp([]string{exp, "-bench", "luindex"})
+		})
+		if !strings.Contains(out, "luindex") {
+			t.Errorf("%s output missing benchmark:\n%s", exp, out)
+		}
+	}
+}
+
+func TestCmdSimulateCustomInput(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "c.trace")
+	profPath := filepath.Join(dir, "c.profile")
+	captureStdout(t, func() error {
+		return cmdGen([]string{"-bench", "luindex", "-scale", "0.1", "-o", tracePath, "-profile-out", profPath})
+	})
+	out := captureStdout(t, func() error {
+		return cmdSimulate([]string{"-trace", tracePath, "-profile", profPath, "-algo", "iar"})
+	})
+	if !strings.Contains(out, "make-span") {
+		t.Errorf("custom input output:\n%s", out)
+	}
+	if err := cmdSimulate([]string{"-bench", "luindex", "-trace", tracePath, "-profile", profPath}); err == nil {
+		t.Error("want error for mixing -bench with custom input")
+	}
+	if err := cmdSimulate([]string{"-trace", tracePath}); err == nil {
+		t.Error("want error for missing -profile")
+	}
+}
+
+func TestCmdExpPaperFigures(t *testing.T) {
+	// Each remaining figure/table path, restricted to one small benchmark.
+	for _, exp := range []string{"fig6", "fig7", "fig8", "table1", "table2", "periodsweep", "inline"} {
+		args := []string{exp, "-bench", "luindex"}
+		if exp == "inline" { // inline ignores -bench; runs its own program
+			args = []string{exp}
+		}
+		out := captureStdout(t, func() error { return cmdExp(args) })
+		if len(out) == 0 {
+			t.Errorf("%s produced no output", exp)
+		}
+	}
+}
+
+func TestCmdExpMarkdown(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdExp([]string{"fig7", "-bench", "luindex", "-md"})
+	})
+	if !strings.Contains(out, "|---|") {
+		t.Errorf("markdown flag ignored:\n%s", out)
+	}
+}
+
+func TestCmdScheduleAlgos(t *testing.T) {
+	for _, algo := range []string{"base", "opt"} {
+		out := captureStdout(t, func() error {
+			return cmdSchedule([]string{"-bench", "luindex", "-scale", "0.2", "-algo", algo, "-n", "3"})
+		})
+		if !strings.Contains(out, algo+" schedule") {
+			t.Errorf("algo %s output:\n%s", algo, out)
+		}
+	}
+	if err := cmdSchedule([]string{"-bench", "luindex", "-algo", "bogus"}); err == nil {
+		t.Error("want error for unknown algorithm")
+	}
+	if err := cmdSchedule([]string{"-bench", "luindex", "-model", "bogus"}); err == nil {
+		t.Error("want error for unknown model")
+	}
+}
+
+func TestCmdStatsRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a trace at all\x00\x01"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{"-i", path}); err == nil {
+		t.Error("want error for garbage input")
+	}
+	if err := cmdStats([]string{"-i", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestCmdSimulateOracleModel(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdSimulate([]string{"-bench", "luindex", "-scale", "0.2", "-algo", "jikes", "-model", "oracle"})
+	})
+	if !strings.Contains(out, "make-span") {
+		t.Errorf("oracle jikes output:\n%s", out)
+	}
+}

@@ -1,0 +1,23 @@
+// Package repro is a Go reproduction of "Finding the Limit: Examining the
+// Potential and Complexity of Compilation Scheduling for JIT-Based Runtime
+// Systems" (Ding, Zhou, Zhao, Eisenstat, Shen — ASPLOS 2014).
+//
+// The implementation lives in internal/ packages, organized one subsystem
+// per package:
+//
+//   - internal/trace — call sequences: types, codecs, synthetic generators
+//   - internal/profile — per-level timing data and cost-benefit models
+//   - internal/sim — the make-span measurement framework of §6.1
+//   - internal/core — the IAR algorithm, single-level schemes, bounds (§4-5)
+//   - internal/policy — the Jikes RVM and V8 online schedulers (§6.2)
+//   - internal/astar — the A* and exhaustive tree searches (§5.3)
+//   - internal/npc — the PARTITION→OCSP NP-completeness reduction (§4.2)
+//   - internal/dacapo — the nine synthetic Table 1 workloads
+//   - internal/experiments — one harness per paper table/figure
+//   - internal/report — text tables and statistics helpers
+//
+// The cmd/jitsched command reproduces every table and figure; the examples/
+// directory holds five runnable walkthroughs; bench_test.go at this level
+// benchmarks each experiment and the core algorithms. See README.md for a
+// tour and EXPERIMENTS.md for paper-vs-measured results.
+package repro

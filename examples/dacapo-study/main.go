@@ -1,0 +1,159 @@
+// DaCapo study: reproduce the paper's Figure 5 comparison on one synthetic
+// DaCapo workload, with ASCII bars, and inspect where the default scheme
+// loses its time.
+//
+// Run with:
+//
+//	go run ./examples/dacapo-study [benchmark]
+//
+// The benchmark defaults to jython; any Table 1 name works.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dacapo"
+	"repro/internal/policy"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	name := "jython"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	b, err := dacapo.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := b.Load(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := w.DefaultModel()
+	tr, p := w.Trace, w.Profile
+	cfg := sim.DefaultConfig()
+
+	fmt.Printf("%s: %d calls over %d functions (paper trace: %d calls)\n\n",
+		b.Name, tr.Len(), tr.UniqueFuncs(), b.FullLength)
+
+	lb := core.ModelLowerBound(tr, p, model)
+
+	type outcome struct {
+		name string
+		res  *sim.Result
+	}
+	var outcomes []outcome
+
+	iarSched, err := core.IAR(tr, p, core.IAROptions{Model: model})
+	if err != nil {
+		log.Fatal(err)
+	}
+	iarRes, err := sim.Run(tr, p, iarSched, cfg, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	outcomes = append(outcomes, outcome{"IAR algorithm", iarRes})
+
+	jikes, err := policy.NewJikes(model, p.NumFuncs(), b.SamplePeriod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defRes, err := sim.RunPolicy(tr, p, jikes, cfg, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	outcomes = append(outcomes, outcome{"default (Jikes RVM)", defRes})
+
+	baseRes, err := sim.Run(tr, p, core.SingleLevelBase(tr), cfg, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	outcomes = append(outcomes, outcome{"base-level only", baseRes})
+
+	optRes, err := sim.Run(tr, p, core.SingleLevelOptimizing(tr, model), cfg, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	outcomes = append(outcomes, outcome{"optimizing-level only", optRes})
+
+	maxNorm := 0.0
+	for _, o := range outcomes {
+		if n := float64(o.res.MakeSpan) / float64(lb); n > maxNorm {
+			maxNorm = n
+		}
+	}
+	fmt.Println("Normalized make-span (1.00 = lower bound):")
+	fmt.Printf("  %-22s %5.2f |%s\n", "lower-bound", 1.0, report.Bar(1, maxNorm, 40))
+	for _, o := range outcomes {
+		n := float64(o.res.MakeSpan) / float64(lb)
+		fmt.Printf("  %-22s %5.2f |%s\n", o.name, n, report.Bar(n, maxNorm, 40))
+	}
+
+	fmt.Println("\nWhere the time goes (ticks):")
+	fmt.Printf("  %-22s %12s %12s %10s %9s\n", "scheme", "make-span", "execution", "bubbles", "compiles")
+	for _, o := range outcomes {
+		fmt.Printf("  %-22s %12d %12d %10d %9d\n",
+			o.name, o.res.MakeSpan, o.res.TotalExec, o.res.TotalBubble, len(o.res.Compiles))
+	}
+
+	// Which functions did the default scheme leave unoptimized the longest?
+	// Compare each hot function's recompile time under Jikes to its position
+	// in the IAR schedule.
+	counts := tr.Counts()
+	type hot struct {
+		f trace.FuncID
+		n int64
+	}
+	var hots []hot
+	for f, n := range counts {
+		if n > 0 {
+			hots = append(hots, hot{trace.FuncID(f), n})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool { return hots[i].n > hots[j].n })
+
+	// Where do new functions appear, and how concentrated is each stretch
+	// of the run?
+	ws, err := trace.Windows(tr, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nTrace timeline (8 windows):")
+	fmt.Printf("  %-8s %10s %10s %10s\n", "window", "unique", "new funcs", "top share")
+	for i, win := range ws {
+		fmt.Printf("  %-8d %10d %10d %9.0f%%\n", i+1, win.Unique, win.New, win.TopShare*100)
+	}
+
+	fmt.Println("\nHottest functions: when did their optimized code arrive? (ticks)")
+	fmt.Printf("  %-8s %9s %14s %14s\n", "function", "#calls", "Jikes default", "IAR schedule")
+	readyAt := func(res *sim.Result, f trace.FuncID) int64 {
+		best := int64(-1)
+		for _, c := range res.Compiles {
+			if c.Event.Func == f && c.Event.Level > 0 {
+				if best < 0 || c.Done < best {
+					best = c.Done
+				}
+			}
+		}
+		return best
+	}
+	for _, h := range hots[:5] {
+		jt := readyAt(defRes, h.f)
+		it := readyAt(iarRes, h.f)
+		js, is := "never", "never"
+		if jt >= 0 {
+			js = fmt.Sprint(jt)
+		}
+		if it >= 0 {
+			is = fmt.Sprint(it)
+		}
+		fmt.Printf("  %-8s %9d %14s %14s\n", p.Funcs[h.f].Name, h.n, js, is)
+	}
+}

@@ -1,0 +1,114 @@
+// Quickstart: model a tiny program, try several compilation schedules, and
+// see why ordering matters.
+//
+// This walks through the exact example of Figs. 1 and 2 of the paper: three
+// functions, four calls, two compilation levels — and shows how the same
+// schedule can be best for one call sequence and worst for a slightly longer
+// one, then lets the solvers (A* optimal and the IAR heuristic) loose on it.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/astar"
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	// Three functions, two levels each. Level 1 compiles slower but runs
+	// faster — the essential JIT trade-off.
+	p := &profile.Profile{
+		Levels: 2,
+		Funcs: []profile.FuncTimes{
+			{Name: "f0", Compile: []int64{1, 1}, Exec: []int64{1, 1}},
+			{Name: "f1", Compile: []int64{1, 3}, Exec: []int64{3, 2}},
+			{Name: "f2", Compile: []int64{3, 5}, Exec: []int64{3, 1}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The Fig. 1 invocation sequence: f0 f1 f2 f1.
+	seq1 := trace.New("fig1", []trace.FuncID{0, 1, 2, 1})
+
+	schedules := []struct {
+		name string
+		s    sim.Schedule
+	}{
+		{"s1: all at level 0", sim.Schedule{{Func: 0, Level: 0}, {Func: 1, Level: 0}, {Func: 2, Level: 0}}},
+		{"s2: f1 at level 1", sim.Schedule{{Func: 0, Level: 0}, {Func: 1, Level: 1}, {Func: 2, Level: 0}}},
+		{"s3: f1 twice     ", sim.Schedule{{Func: 0, Level: 0}, {Func: 1, Level: 0}, {Func: 2, Level: 0}, {Func: 1, Level: 1}}},
+	}
+
+	fmt.Println("Invocation sequence:", "f0 f1 f2 f1", "(Fig. 1 of the paper)")
+	for _, sc := range schedules {
+		res, err := sim.Run(seq1, p, sc.s, sim.DefaultConfig(), sim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s -> make-span %2d (bubbles %d)\n", sc.name, res.MakeSpan, res.TotalBubble)
+	}
+
+	// Extend the sequence with one more call to f2 (Fig. 2) and append a
+	// level-1 recompilation of f2 where it helps: the ranking flips.
+	seq2 := trace.New("fig2", []trace.FuncID{0, 1, 2, 1, 2})
+	extended := []struct {
+		name string
+		s    sim.Schedule
+	}{
+		{"s1 + C1(f2)", append(schedules[0].s.Clone(), sim.CompileEvent{Func: 2, Level: 1})},
+		{"s2 + C1(f2)", append(schedules[1].s.Clone(), sim.CompileEvent{Func: 2, Level: 1})},
+		{"s3 as is   ", schedules[2].s},
+	}
+	fmt.Println("\nOne more call to f2 (Fig. 2): the previously-best schedule becomes the worst")
+	for _, sc := range extended {
+		res, err := sim.Run(seq2, p, sc.s, sim.DefaultConfig(), sim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s -> make-span %2d\n", sc.name, res.MakeSpan)
+	}
+
+	// For instances this small, A* finds the certified optimum.
+	opt, err := astar.Search(seq2, p, astar.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nA* optimum for the extended sequence: make-span %d, schedule:", opt.MakeSpan)
+	for _, ev := range opt.Schedule {
+		fmt.Printf(" C%d(%s)", ev.Level, p.Funcs[ev.Func].Name)
+	}
+	fmt.Println()
+
+	// And the IAR heuristic gets close without searching.
+	iar, err := core.IAR(seq2, p, core.IAROptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(seq2, p, iar, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lb := core.LowerBound(seq2, p)
+	fmt.Printf("IAR heuristic: make-span %d (optimum %d, lower bound %d)\n", res.MakeSpan, opt.MakeSpan, lb)
+
+	// Draw the optimal schedule's timeline, Figs. 1-2 style.
+	fmt.Println("\nOptimal schedule, tick by tick:")
+	optRes, err := sim.Run(seq2, p, opt.Schedule, sim.DefaultConfig(), sim.Options{RecordCalls: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.RenderTimeline(os.Stdout, seq2, p, optRes, 60); err != nil {
+		log.Fatal(err)
+	}
+}

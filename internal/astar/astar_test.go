@@ -1,0 +1,259 @@
+package astar
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// tinyInstance builds a random OCSP instance with the given number of
+// functions and calls, two compilation levels, deterministic by seed.
+func tinyInstance(nfuncs, ncalls int, seed int64) (*trace.Trace, *profile.Profile) {
+	rng := rand.New(rand.NewSource(seed))
+	p := &profile.Profile{Levels: 2, Funcs: make([]profile.FuncTimes, nfuncs)}
+	for i := range p.Funcs {
+		cl := int64(1 + rng.Intn(4))
+		ch := cl + int64(rng.Intn(8))
+		eh := int64(1 + rng.Intn(4))
+		el := eh + int64(rng.Intn(8))
+		p.Funcs[i] = profile.FuncTimes{
+			Compile: []int64{cl, ch}, Exec: []int64{el, eh}, Size: 1,
+		}
+	}
+	calls := make([]trace.FuncID, ncalls)
+	for i := range calls {
+		calls[i] = trace.FuncID(rng.Intn(nfuncs))
+	}
+	return trace.New("tiny", calls), p
+}
+
+func TestFigure1Optimal(t *testing.T) {
+	// The paper's Fig. 1 example: the optimum is schedule s3 with make-span
+	// 10 (f1 compiled at level 0 and then at level 1).
+	p := &profile.Profile{
+		Levels: 2,
+		Funcs: []profile.FuncTimes{
+			{Compile: []int64{1, 1}, Exec: []int64{1, 1}},
+			{Compile: []int64{1, 3}, Exec: []int64{3, 2}},
+			{Compile: []int64{3, 5}, Exec: []int64{3, 1}},
+		},
+	}
+	tr := trace.New("fig1", []trace.FuncID{0, 1, 2, 1})
+	res, err := Search(tr, p, Options{})
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if !res.Complete {
+		t.Fatal("search did not complete")
+	}
+	if res.MakeSpan != 10 {
+		t.Errorf("optimal make-span = %d, want 10", res.MakeSpan)
+	}
+
+	// Fig. 2's extension: optimum becomes 12.
+	tr2 := trace.New("fig2", []trace.FuncID{0, 1, 2, 1, 2})
+	res2, err := Search(tr2, p, Options{})
+	if err != nil {
+		t.Fatalf("Search fig2: %v", err)
+	}
+	if res2.MakeSpan != 12 {
+		t.Errorf("fig2 optimal make-span = %d, want 12", res2.MakeSpan)
+	}
+}
+
+// TestSearchMatchesExhaustive: A* and branch-and-bound agree on random tiny
+// instances, and both produce schedules whose simulated make-span matches
+// their claim.
+func TestSearchMatchesExhaustive(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		nfuncs := 2 + int(seed%3)
+		tr, p := tinyInstance(nfuncs, 8, seed)
+		a, err := Search(tr, p, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: Search: %v", seed, err)
+		}
+		b, err := Exhaustive(tr, p, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: Exhaustive: %v", seed, err)
+		}
+		if a.MakeSpan != b.MakeSpan {
+			t.Errorf("seed %d: A* make-span %d != exhaustive %d", seed, a.MakeSpan, b.MakeSpan)
+		}
+		for _, r := range []*Result{a, b} {
+			simRes, err := sim.Run(tr, p, r.Schedule, sim.DefaultConfig(), sim.Options{})
+			if err != nil {
+				t.Fatalf("seed %d: replay: %v", seed, err)
+			}
+			if simRes.MakeSpan != r.MakeSpan {
+				t.Errorf("seed %d: claimed make-span %d, simulated %d", seed, r.MakeSpan, simRes.MakeSpan)
+			}
+		}
+		lb := core.LowerBound(tr, p)
+		if a.Cost != a.MakeSpan-lb {
+			t.Errorf("seed %d: cost %d != make-span %d - lower bound %d", seed, a.Cost, a.MakeSpan, lb)
+		}
+	}
+}
+
+// TestOptimalNeverBeatenByHeuristics: IAR and the single-level schemes can
+// never beat the certified optimum.
+func TestOptimalNeverBeatenByHeuristics(t *testing.T) {
+	for seed := int64(20); seed < 28; seed++ {
+		tr, p := tinyInstance(3, 10, seed)
+		opt, err := Search(tr, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iar, err := core.IAR(tr, p, core.IAROptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, s := range map[string]sim.Schedule{
+			"iar":  iar,
+			"base": core.SingleLevelBase(tr),
+			"opt":  core.SingleLevelOptimizing(tr, profile.NewOracle(p)),
+		} {
+			res, err := sim.Run(tr, p, s, sim.DefaultConfig(), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.MakeSpan < opt.MakeSpan {
+				t.Errorf("seed %d: %s (%d) beat the optimum (%d)", seed, name, res.MakeSpan, opt.MakeSpan)
+			}
+		}
+	}
+}
+
+// TestIARAgainstCertifiedOptimum cross-validates the heuristic against the
+// certified optimum on many tiny instances: IAR never beats it (sanity) and
+// stays within a bounded factor of it — the same near-optimality claim the
+// paper makes via the lower bound, here against ground truth.
+func TestIARAgainstCertifiedOptimum(t *testing.T) {
+	worst := 1.0
+	for seed := int64(100); seed < 160; seed++ {
+		tr, p := tinyInstance(2+int(seed%4), 14, seed)
+		opt, err := Search(tr, p, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sched, err := core.IAR(tr, p, core.IAROptions{})
+		if err != nil {
+			t.Fatalf("seed %d: IAR: %v", seed, err)
+		}
+		res, err := sim.Run(tr, p, sched, sim.DefaultConfig(), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MakeSpan < opt.MakeSpan {
+			t.Fatalf("seed %d: IAR (%d) beat the certified optimum (%d)", seed, res.MakeSpan, opt.MakeSpan)
+		}
+		ratio := float64(res.MakeSpan) / float64(opt.MakeSpan)
+		if ratio > worst {
+			worst = ratio
+		}
+		// Tiny adversarial instances are where heuristics look worst; even
+		// there IAR should stay within 2x of optimal.
+		if ratio > 2.0 {
+			t.Errorf("seed %d: IAR %.2fx the optimum (%d vs %d)", seed, ratio, res.MakeSpan, opt.MakeSpan)
+		}
+	}
+	t.Logf("worst IAR/optimal ratio over 60 tiny instances: %.3f", worst)
+}
+
+// TestBudgetExhaustion: a tiny node budget aborts the search the way the
+// paper's A* runs exhausted a 2 GB heap beyond six unique methods.
+func TestBudgetExhaustion(t *testing.T) {
+	tr, p := tinyInstance(7, 40, 3)
+	res, err := Search(tr, p, Options{MaxNodes: 500})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if res.Complete {
+		t.Error("aborted search claims completeness")
+	}
+	if res.NodesAllocated < 500 {
+		t.Errorf("allocated %d nodes, expected to hit the 500 budget", res.NodesAllocated)
+	}
+
+	if _, err := Exhaustive(tr, p, Options{MaxNodes: 100}); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Exhaustive err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestSearchPrunes(t *testing.T) {
+	// The paper reports searching 96 of ~4 billion paths for a 6-function,
+	// 50-call sequence at 2 levels. That figure is instance-specific; here
+	// we build an instance with the same character — one hot function worth
+	// recompiling, several cold ones whose high-level compilation only
+	// wastes time — and require A* to visit a vanishing fraction of the
+	// tree.
+	funcs := []profile.FuncTimes{
+		{Compile: []int64{1, 6}, Exec: []int64{12, 1}}, // hot, recompile pays
+	}
+	for i := 0; i < 5; i++ {
+		funcs = append(funcs, profile.FuncTimes{
+			Compile: []int64{2, 50}, Exec: []int64{3, 3}, // cold, high useless
+		})
+	}
+	p := &profile.Profile{Levels: 2, Funcs: funcs}
+	calls := []trace.FuncID{0, 1, 0, 2, 0, 3, 0, 4, 0, 5}
+	for i := 0; i < 40; i++ {
+		calls = append(calls, 0)
+	}
+	tr := trace.New("prune", calls)
+
+	res, err := Search(tr, p, Options{})
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if !res.Complete {
+		t.Fatal("search did not complete")
+	}
+	if res.PathsTotal < 1e6 {
+		t.Errorf("paths total = %g, expected millions", res.PathsTotal)
+	}
+	if float64(res.NodesExpanded) > res.PathsTotal/1000 {
+		t.Errorf("expanded %d nodes of %g paths; pruning ineffective", res.NodesExpanded, res.PathsTotal)
+	}
+}
+
+func TestEmptyAndInvalid(t *testing.T) {
+	p := &profile.Profile{Levels: 2, Funcs: []profile.FuncTimes{
+		{Compile: []int64{1, 2}, Exec: []int64{2, 1}},
+	}}
+	res, err := Search(trace.New("empty", nil), p, Options{})
+	if err != nil || !res.Complete || len(res.Schedule) != 0 {
+		t.Errorf("empty trace: res=%+v err=%v", res, err)
+	}
+	if _, err := Search(trace.New("bad", []trace.FuncID{5}), p, Options{}); err == nil {
+		t.Error("want error for out-of-range function")
+	}
+	if _, err := Search(trace.New("t", []trace.FuncID{0}), p, Options{MaxNodes: -1}); err == nil {
+		t.Error("want error for negative budget")
+	}
+}
+
+// TestStopLeafUsesLatestVersionRule: the searcher's internal cost evaluation
+// must agree with the simulator on an instance where a recompilation
+// finishes mid-run.
+func TestCostMatchesSimulator(t *testing.T) {
+	for seed := int64(40); seed < 60; seed++ {
+		tr, p := tinyInstance(3, 12, seed)
+		res, err := Search(tr, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		simRes, err := sim.Run(tr, p, res.Schedule, sim.DefaultConfig(), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if simRes.MakeSpan != res.MakeSpan {
+			t.Errorf("seed %d: search says %d, simulator says %d", seed, res.MakeSpan, simRes.MakeSpan)
+		}
+	}
+}

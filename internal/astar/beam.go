@@ -1,0 +1,111 @@
+package astar
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Beam search: a bounded-width variant of the Fig. 4 tree search. Where A*
+// keeps every incompletely-examined path (and dies of memory) and IDA*
+// re-expands (and dies of time), beam search keeps only the Width most
+// promising prefixes per depth level — abandoning optimality guarantees for
+// a memory/time budget that scales with Width × depth. It sits between the
+// paper's two poles: a *search-flavoured* approximation to contrast with
+// the *constructive* IAR heuristic.
+
+// BeamOptions configures a beam search.
+type BeamOptions struct {
+	// Width is the number of prefixes kept per depth (0 means DefaultBeamWidth).
+	Width int
+}
+
+// DefaultBeamWidth keeps a few hundred prefixes per depth.
+const DefaultBeamWidth = 256
+
+// BeamSearch explores the schedule tree breadth-first, keeping the Width
+// lowest-cost prefixes at each depth, and returns the best complete schedule
+// encountered. The result is valid but not necessarily optimal.
+func BeamSearch(tr *trace.Trace, p *profile.Profile, opts BeamOptions) (*Result, error) {
+	s, err := newSearcher(tr, p, Options{MaxNodes: 1})
+	if err != nil {
+		return nil, err
+	}
+	width := opts.Width
+	if width == 0 {
+		width = DefaultBeamWidth
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("astar: beam width must be >= 1, got %d", opts.Width)
+	}
+	res := &Result{PathsTotal: totalPaths(len(s.order), p.Levels)}
+	if len(s.order) == 0 {
+		res.Complete = true
+		res.Schedule = sim.Schedule{}
+		return res, nil
+	}
+
+	type beamNode struct {
+		sched sim.Schedule
+		next  []profile.Level
+		g     int64
+	}
+	start := beamNode{next: make([]profile.Level, p.NumFuncs())}
+	frontier := []beamNode{start}
+	const inf = int64(1)<<62 - 1
+	bestCost := inf
+	var bestSched sim.Schedule
+	var bestSpan int64
+
+	maxDepth := len(s.order) * p.Levels
+	for depth := 0; depth < maxDepth && len(frontier) > 0; depth++ {
+		var next []beamNode
+		for _, n := range frontier {
+			res.NodesExpanded++
+			missing := 0
+			for _, f := range s.order {
+				if n.next[f] == 0 {
+					missing++
+				}
+			}
+			if missing == 0 {
+				if full, span := s.cost(n.sched, true); full < bestCost {
+					bestCost = full
+					bestSched = n.sched.Clone()
+					bestSpan = span
+				}
+			}
+			for _, f := range s.order {
+				for l := n.next[f]; int(l) < p.Levels; l++ {
+					child := beamNode{
+						sched: append(n.sched.Clone(), sim.CompileEvent{Func: f, Level: l}),
+						next:  append([]profile.Level(nil), n.next...),
+					}
+					child.next[f] = l + 1
+					child.g, _ = s.cost(child.sched, false)
+					if child.g >= bestCost {
+						continue // cannot beat the best complete schedule
+					}
+					next = append(next, child)
+					res.NodesAllocated++
+				}
+			}
+		}
+		sort.SliceStable(next, func(i, j int) bool { return next[i].g < next[j].g })
+		if len(next) > width {
+			next = next[:width]
+		}
+		frontier = next
+	}
+	if bestSched == nil {
+		return res, fmt.Errorf("astar: beam search found no complete schedule (internal error)")
+	}
+	res.Schedule = bestSched
+	res.MakeSpan = bestSpan
+	res.Cost = bestCost
+	// Beam search never proves optimality; Complete stays false by design.
+	return res, nil
+}

@@ -1,0 +1,118 @@
+package astar
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestBeamFigure1(t *testing.T) {
+	p := &profile.Profile{
+		Levels: 2,
+		Funcs: []profile.FuncTimes{
+			{Compile: []int64{1, 1}, Exec: []int64{1, 1}},
+			{Compile: []int64{1, 3}, Exec: []int64{3, 2}},
+			{Compile: []int64{3, 5}, Exec: []int64{3, 1}},
+		},
+	}
+	tr := trace.New("fig1", []trace.FuncID{0, 1, 2, 1})
+	res, err := BeamSearch(tr, p, BeamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous beam finds the true optimum (10) on this tiny instance.
+	if res.MakeSpan != 10 {
+		t.Errorf("beam make-span = %d, want 10", res.MakeSpan)
+	}
+	if res.Complete {
+		t.Error("beam search must not claim proved optimality")
+	}
+}
+
+// TestBeamNeverBeatsOptimal and stays close on tiny instances.
+func TestBeamAgainstOptimal(t *testing.T) {
+	for seed := int64(200); seed < 212; seed++ {
+		tr, p := tinyInstance(3+int(seed%3), 12, seed)
+		opt, err := Search(tr, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		beam, err := BeamSearch(tr, p, BeamOptions{Width: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if beam.MakeSpan < opt.MakeSpan {
+			t.Fatalf("seed %d: beam (%d) beat the certified optimum (%d)", seed, beam.MakeSpan, opt.MakeSpan)
+		}
+		if float64(beam.MakeSpan) > 1.2*float64(opt.MakeSpan) {
+			t.Errorf("seed %d: beam %.2fx optimal", seed, float64(beam.MakeSpan)/float64(opt.MakeSpan))
+		}
+		// The claimed span must replay exactly.
+		simRes, err := sim.Run(tr, p, beam.Schedule, sim.DefaultConfig(), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if simRes.MakeSpan != beam.MakeSpan {
+			t.Errorf("seed %d: claimed %d, replay %d", seed, beam.MakeSpan, simRes.MakeSpan)
+		}
+	}
+}
+
+// TestBeamWidthMonotone: wider beams never do worse.
+func TestBeamWidthMonotone(t *testing.T) {
+	tr, p := tinyInstance(6, 30, 7)
+	var prev int64 = 1 << 62
+	for _, w := range []int{1, 8, 64, 512} {
+		res, err := BeamSearch(tr, p, BeamOptions{Width: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MakeSpan > prev {
+			t.Errorf("width %d worse than narrower beam: %d > %d", w, res.MakeSpan, prev)
+		}
+		prev = res.MakeSpan
+	}
+}
+
+// TestBeamScalesBeyondExact: on a 12-function instance (hopeless for A* and
+// IDA*), beam search returns a valid schedule that competes with IAR.
+func TestBeamScalesBeyondExact(t *testing.T) {
+	tr, p := tinyInstance(12, 80, 31)
+	beam, err := BeamSearch(tr, p, BeamOptions{Width: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := beam.Schedule.Validate(tr, p); err != nil {
+		t.Fatalf("beam schedule invalid: %v", err)
+	}
+	iarSched, err := core.IAR(tr, p, core.IAROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iarRes, err := sim.Run(tr, p, iarSched, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No winner is guaranteed; both must be sane relative to the lower bound.
+	lb := core.LowerBound(tr, p)
+	if beam.MakeSpan < lb || iarRes.MakeSpan < lb {
+		t.Fatalf("someone beat the lower bound: beam %d, IAR %d, lb %d", beam.MakeSpan, iarRes.MakeSpan, lb)
+	}
+	t.Logf("12 funcs: beam=%d IAR=%d lower=%d", beam.MakeSpan, iarRes.MakeSpan, lb)
+}
+
+func TestBeamValidation(t *testing.T) {
+	p := &profile.Profile{Levels: 2, Funcs: []profile.FuncTimes{
+		{Compile: []int64{1, 2}, Exec: []int64{2, 1}},
+	}}
+	if _, err := BeamSearch(trace.New("t", []trace.FuncID{0}), p, BeamOptions{Width: -1}); err == nil {
+		t.Error("want error for negative width")
+	}
+	res, err := BeamSearch(trace.New("empty", nil), p, BeamOptions{})
+	if err != nil || !res.Complete {
+		t.Errorf("empty trace: %+v, %v", res, err)
+	}
+}

@@ -1,0 +1,88 @@
+package astar
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+func TestIDAFigure1Optimal(t *testing.T) {
+	p := &profile.Profile{
+		Levels: 2,
+		Funcs: []profile.FuncTimes{
+			{Compile: []int64{1, 1}, Exec: []int64{1, 1}},
+			{Compile: []int64{1, 3}, Exec: []int64{3, 2}},
+			{Compile: []int64{3, 5}, Exec: []int64{3, 1}},
+		},
+	}
+	tr := trace.New("fig1", []trace.FuncID{0, 1, 2, 1})
+	res, err := IDASearch(tr, p, IDAOptions{})
+	if err != nil {
+		t.Fatalf("IDASearch: %v", err)
+	}
+	if !res.Complete || res.MakeSpan != 10 {
+		t.Errorf("IDA* make-span = %d (complete=%v), want 10", res.MakeSpan, res.Complete)
+	}
+}
+
+// TestIDAMatchesAStar: both algorithms certify the same optimum.
+func TestIDAMatchesAStar(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr, p := tinyInstance(2+int(seed%3), 8, seed)
+		a, err := Search(tr, p, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: Search: %v", seed, err)
+		}
+		b, err := IDASearch(tr, p, IDAOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: IDASearch: %v", seed, err)
+		}
+		if a.MakeSpan != b.MakeSpan || a.Cost != b.Cost {
+			t.Errorf("seed %d: IDA* (%d/%d) != A* (%d/%d)",
+				seed, b.MakeSpan, b.Cost, a.MakeSpan, a.Cost)
+		}
+	}
+}
+
+// TestIDAMemoryIsPathOnly: the footprint is the path depth, not the frontier.
+func TestIDAMemoryIsPathOnly(t *testing.T) {
+	tr, p := tinyInstance(5, 30, 9)
+	res, err := IDASearch(tr, p, IDAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At most every function at every level: 5 funcs x 2 levels = 10 deep.
+	if res.NodesAllocated > 10 {
+		t.Errorf("IDA* path depth %d exceeds the maximal chain", res.NodesAllocated)
+	}
+	if res.NodesExpanded <= res.NodesAllocated {
+		t.Errorf("IDA* should re-expand heavily: %d expansions, depth %d",
+			res.NodesExpanded, res.NodesAllocated)
+	}
+}
+
+func TestIDABudgetExhaustion(t *testing.T) {
+	tr, p := tinyInstance(7, 40, 3)
+	res, err := IDASearch(tr, p, IDAOptions{MaxExpansions: 2000})
+	if !errors.Is(err, ErrTimeExhausted) {
+		t.Fatalf("err = %v, want ErrTimeExhausted", err)
+	}
+	if res.Complete {
+		t.Error("budget-killed search claims completeness")
+	}
+	if _, err := IDASearch(tr, p, IDAOptions{MaxExpansions: -1}); err == nil {
+		t.Error("want error for negative budget")
+	}
+}
+
+func TestIDAEmptyTrace(t *testing.T) {
+	p := &profile.Profile{Levels: 2, Funcs: []profile.FuncTimes{
+		{Compile: []int64{1, 2}, Exec: []int64{2, 1}},
+	}}
+	res, err := IDASearch(trace.New("empty", nil), p, IDAOptions{})
+	if err != nil || !res.Complete || len(res.Schedule) != 0 {
+		t.Errorf("empty trace: res=%+v err=%v", res, err)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Advice files serialize compilation schedules, mirroring Jikes RVM's replay
+// mode (§6.1): "it takes some advice files that indicate how each Java
+// method should be compiled, and runs the program with the JIT following
+// those instructions". Here an advice file is the full ordered compilation
+// sequence, one event per line:
+//
+//	# jitsched advice v1 [label]
+//	C<level> <funcID> [name]
+//
+// Blank lines and other '#' comments are ignored. Names are informational.
+
+const adviceHeader = "# jitsched advice v1"
+
+// WriteAdvice serializes a schedule. p, when non-nil, contributes function
+// names as trailing comments.
+func WriteAdvice(w io.Writer, label string, sched sim.Schedule, p *profile.Profile) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s %s\n", adviceHeader, label); err != nil {
+		return err
+	}
+	for _, ev := range sched {
+		name := ""
+		if p != nil && int(ev.Func) < p.NumFuncs() && p.Funcs[ev.Func].Name != "" {
+			name = " " + p.Funcs[ev.Func].Name
+		}
+		if _, err := fmt.Fprintf(bw, "C%d %d%s\n", ev.Level, ev.Func, name); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAdvice parses an advice file back into a schedule and its label.
+func ReadAdvice(r io.Reader) (sim.Schedule, string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var sched sim.Schedule
+	label := ""
+	sawHeader := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, adviceHeader); ok && !sawHeader {
+				sawHeader = true
+				label = strings.TrimSpace(rest)
+			}
+			continue
+		}
+		if !sawHeader {
+			return nil, "", fmt.Errorf("core: advice line %d: missing %q header", lineNo, adviceHeader)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "C") {
+			return nil, "", fmt.Errorf("core: advice line %d: want \"C<level> <funcID>\", got %q", lineNo, line)
+		}
+		level, err := strconv.Atoi(fields[0][1:])
+		if err != nil || level < 0 {
+			return nil, "", fmt.Errorf("core: advice line %d: bad level %q", lineNo, fields[0])
+		}
+		fn, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil || fn < 0 {
+			return nil, "", fmt.Errorf("core: advice line %d: bad function id %q", lineNo, fields[1])
+		}
+		sched = append(sched, sim.CompileEvent{Func: trace.FuncID(fn), Level: profile.Level(level)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", fmt.Errorf("core: scanning advice: %w", err)
+	}
+	if !sawHeader {
+		return nil, "", fmt.Errorf("core: not an advice file (missing header)")
+	}
+	return sched, label, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/sim"
+)
+
+func TestAdviceRoundTrip(t *testing.T) {
+	tr, p := testWorkload(31)
+	sched, err := IAR(tr, p, IAROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteAdvice(&buf, "wl", sched, p); err != nil {
+		t.Fatal(err)
+	}
+	got, label, err := ReadAdvice(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "wl" {
+		t.Errorf("label = %q, want wl", label)
+	}
+	if len(got) != len(sched) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(sched))
+	}
+	for i := range sched {
+		if got[i] != sched[i] {
+			t.Fatalf("event %d = %v, want %v", i, got[i], sched[i])
+		}
+	}
+	// Replaying the advice gives the identical make-span.
+	a, err := sim.Run(tr, p, sched, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(tr, p, got, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakeSpan != b.MakeSpan {
+		t.Errorf("advice replay make-span %d != original %d", b.MakeSpan, a.MakeSpan)
+	}
+}
+
+func TestAdviceWithoutProfileNames(t *testing.T) {
+	sched := sim.Schedule{{Func: 3, Level: 2}, {Func: 0, Level: 0}}
+	var buf bytes.Buffer
+	if err := WriteAdvice(&buf, "", sched, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadAdvice(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != sched[0] || got[1] != sched[1] {
+		t.Errorf("round trip %v, want %v", got, sched)
+	}
+}
+
+func TestAdviceIncludesNames(t *testing.T) {
+	p := &profile.Profile{Levels: 2, Funcs: []profile.FuncTimes{
+		{Name: "hotLoop", Compile: []int64{1, 2}, Exec: []int64{2, 1}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteAdvice(&buf, "x", sim.Schedule{{Func: 0, Level: 1}}, p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hotLoop") {
+		t.Errorf("advice lacks function name:\n%s", buf.String())
+	}
+}
+
+func TestReadAdviceRejects(t *testing.T) {
+	cases := []string{
+		"",                                  // empty
+		"C0 1\n",                            // no header
+		"# jitsched advice v1 x\nnope\n",    // malformed event
+		"# jitsched advice v1 x\nC-1 0\n",   // negative level
+		"# jitsched advice v1 x\nCx 0\n",    // bad level
+		"# jitsched advice v1 x\nC0 -4\n",   // negative function
+		"# jitsched advice v1 x\nC0 nope\n", // bad function
+	}
+	for i, in := range cases {
+		if _, _, err := ReadAdvice(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d (%q): want error", i, in)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# jitsched advice v1 lbl\n\n# a comment\nC1 2\n"
+	sched, label, err := ReadAdvice(strings.NewReader(ok))
+	if err != nil || label != "lbl" || len(sched) != 1 {
+		t.Errorf("benign input rejected: %v %q %v", sched, label, err)
+	}
+}

@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The Fig. 1 instance of the paper: three functions, two levels.
+func fig1() (*trace.Trace, *profile.Profile) {
+	p := &profile.Profile{
+		Levels: 2,
+		Funcs: []profile.FuncTimes{
+			{Name: "f0", Compile: []int64{1, 1}, Exec: []int64{1, 1}},
+			{Name: "f1", Compile: []int64{1, 3}, Exec: []int64{3, 2}},
+			{Name: "f2", Compile: []int64{3, 5}, Exec: []int64{3, 1}},
+		},
+	}
+	return trace.New("fig1", []trace.FuncID{0, 1, 2, 1}), p
+}
+
+// ExampleIAR schedules the paper's Fig. 1 call sequence and simulates the
+// result.
+func ExampleIAR() {
+	tr, p := fig1()
+	sched, err := core.IAR(tr, p, core.IAROptions{})
+	if err != nil {
+		panic(err)
+	}
+	res, err := sim.Run(tr, p, sched, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("events=%d make-span=%d lower-bound=%d\n",
+		len(sched), res.MakeSpan, core.LowerBound(tr, p))
+	// Output:
+	// events=3 make-span=11 lower-bound=6
+}
+
+// ExampleSingleLevelBase builds the base-level-only schedule of §5.1.
+func ExampleSingleLevelBase() {
+	tr, p := fig1()
+	for _, ev := range core.SingleLevelBase(tr) {
+		fmt.Printf("C%d(%s) ", ev.Level, p.Funcs[ev.Func].Name)
+	}
+	fmt.Println()
+	// Output:
+	// C0(f0) C0(f1) C0(f2)
+}
+
+// ExampleOptimalSingleCoreMakeSpan evaluates Theorem 1's single-core
+// optimum: one compilation per function at its most cost-effective level,
+// plus all execution time.
+func ExampleOptimalSingleCoreMakeSpan() {
+	tr, p := fig1()
+	fmt.Println(core.OptimalSingleCoreMakeSpan(tr, p))
+	// Output:
+	// 15
+}
+
+// ExampleWriteAdvice serializes a schedule the way Jikes RVM's replay mode
+// consumes compilation advice (§6.1).
+func ExampleWriteAdvice() {
+	_, p := fig1()
+	sched := sim.Schedule{{Func: 0, Level: 0}, {Func: 1, Level: 1}}
+	var out strings.Builder
+	if err := core.WriteAdvice(&out, "demo", sched, p); err != nil {
+		panic(err)
+	}
+	fmt.Print(out.String())
+	// Output:
+	// # jitsched advice v1 demo
+	// C0 0 f0
+	// C1 1 f1
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadAdvice checks the advice parser never panics and round-trips
+// whatever it accepts.
+func FuzzReadAdvice(f *testing.F) {
+	f.Add("# jitsched advice v1 label\nC0 1\nC3 2 name\n")
+	f.Add("# jitsched advice v1\n")
+	f.Add("C0 1\n")
+	f.Add("")
+	f.Add("# jitsched advice v1 x\nC1 99999999999\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		sched, label, err := ReadAdvice(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteAdvice(&out, label, sched, nil); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, label2, err := ReadAdvice(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if label2 != label || len(again) != len(sched) {
+			t.Fatalf("advice round trip unstable: %q/%d vs %q/%d", label, len(sched), label2, len(again))
+		}
+		for i := range sched {
+			if sched[i] != again[i] {
+				t.Fatalf("event %d differs after round trip", i)
+			}
+		}
+	})
+}

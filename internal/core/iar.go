@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// IAROptions tunes the IAR algorithm.
+type IAROptions struct {
+	// K is the constant of Formula 2 in Fig. 3, weighing high-level compile
+	// overhead against early-run benefit. The paper found any value in
+	// [3,10] works similarly and reports results with K=5 (the default when
+	// zero).
+	K int64
+	// Model is the cost-benefit model used to choose each function's
+	// high-level candidate (its most cost-effective level). Nil means the
+	// oracle over the true profile.
+	Model profile.CostModel
+	// DisableFillSlack skips step 3 (replace low-level compilations that fit
+	// in schedule slack). For ablation studies.
+	DisableFillSlack bool
+	// DisableFillGap skips step 4 (append recompilations into the gap
+	// between the end of compilation and the end of execution). For ablation
+	// studies.
+	DisableFillGap bool
+	// LowLevel overrides each function's "most responsive" level (default
+	// 0). §8 notes extra care is needed when level 0 is an interpreter: the
+	// cheapest-to-produce tier may execute too slowly to be the right
+	// initial version, and this knob lets the initial schedule start at the
+	// baseline compiler instead.
+	LowLevel profile.Level
+}
+
+// iarFunc is the per-function working state of the algorithm.
+type iarFunc struct {
+	f        trace.FuncID
+	pos      int // index in first-appearance order (= index in init schedule)
+	n        int64
+	low      profile.Level
+	high     profile.Level
+	cl, ch   int64 // true compile times at low/high
+	el, eh   int64 // true per-call execution times at low/high
+	class    byte  // 'O', 'A', or 'R'
+	appended int   // index of this function's appended high event in the schedule, or -1
+}
+
+// IAR computes a compilation schedule with the Init-Append-Replace heuristic
+// of §5.1 (Fig. 3).
+//
+// The algorithm considers two candidate levels per function: the most
+// responsive level (level 0) and the most cost-effective level under the
+// cost-benefit model. It then:
+//
+//  1. (Init) schedules every function's low-level compilation in order of
+//     first appearance, to keep compilation off the execution's critical
+//     path;
+//  2. (Append & Replace) classifies each function — O: a high-level compile
+//     never pays off (Formula 1); A: it pays off but would delay the early
+//     run, so append it after the initial schedule, cheapest compilations
+//     first (Formula 2); R: it pays off quickly, so replace the initial
+//     low-level compilation outright;
+//  3. (Fill slack) upgrades initial low-level compilations to high level
+//     wherever the slack between a function's first compilation and its
+//     first call absorbs the extra compile time without bubbling anyone,
+//     deleting the function's appended recompilation;
+//  4. (Fill ending gap) appends further high-level compilations of
+//     still-low functions — most post-compilation calls first — while they
+//     fit in the gap between the end of all compilations and the end of the
+//     execution.
+//
+// The returned schedule compiles every called function at least once. Cost is
+// O(N + M log M) for N calls and M distinct functions, dominated by three
+// linear simulation passes.
+func IAR(tr *trace.Trace, p *profile.Profile, opts IAROptions) (Schedule, error) {
+	if opts.K == 0 {
+		opts.K = 5
+	}
+	if opts.K < 0 {
+		return nil, fmt.Errorf("core: IAR K must be positive, got %d", opts.K)
+	}
+	if opts.LowLevel < 0 || int(opts.LowLevel) >= p.Levels {
+		return nil, fmt.Errorf("core: IAR LowLevel %d outside [0,%d)", opts.LowLevel, p.Levels)
+	}
+	model := opts.Model
+	if model == nil {
+		model = profile.NewOracle(p)
+	}
+	if err := tr.Validate(p.NumFuncs()); err != nil {
+		return nil, err
+	}
+
+	order := tr.FirstCallOrder()
+	if len(order) == 0 {
+		return Schedule{}, nil
+	}
+	counts := tr.Counts()
+
+	funcs := make([]*iarFunc, len(order))
+	for i, f := range order {
+		high := profile.CostEffectiveLevel(model, f, counts[f])
+		if high < opts.LowLevel {
+			high = opts.LowLevel
+		}
+		ff := &iarFunc{
+			f: f, pos: i, n: counts[f],
+			low:      opts.LowLevel,
+			high:     high,
+			appended: -1,
+		}
+		ff.cl = p.CompileTime(f, ff.low)
+		ff.el = p.ExecTime(f, ff.low)
+		ff.ch = p.CompileTime(f, ff.high)
+		ff.eh = p.ExecTime(f, ff.high)
+		funcs[i] = ff
+	}
+
+	// Step 1 (init): low-level compilations in first-appearance order.
+	initSched := make(Schedule, len(order))
+	for i, ff := range funcs {
+		initSched[i] = sim.CompileEvent{Func: ff.f, Level: ff.low}
+	}
+
+	// n1: calls to each function issued while the init schedule is still
+	// compiling (Formula 2's f.n1). One simulation of the init schedule
+	// yields per-call start times.
+	initRes, err := sim.Run(tr, p, initSched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
+	if err != nil {
+		return nil, err
+	}
+	initCompileEnd := initRes.CompileEnd
+	n1 := make(map[trace.FuncID]int64, len(order))
+	for i, f := range tr.Calls {
+		if initRes.CallStarts[i] < initCompileEnd {
+			n1[f]++
+		}
+	}
+
+	// Step 2 (classify, then append & replace).
+	var appendSet []*iarFunc
+	for _, ff := range funcs {
+		switch {
+		case ff.high == ff.low || ff.ch+ff.n*ff.eh > ff.cl+ff.n*ff.el: // Formula 1
+			ff.class = 'O'
+		case ff.ch-ff.cl > opts.K*n1[ff.f]*(ff.el-ff.eh): // Formula 2
+			ff.class = 'A'
+			appendSet = append(appendSet, ff)
+		default:
+			ff.class = 'R'
+		}
+	}
+	sort.SliceStable(appendSet, func(i, j int) bool { return appendSet[i].ch < appendSet[j].ch })
+
+	sched := make(Schedule, 0, len(order)+len(appendSet))
+	for _, ff := range funcs {
+		level := ff.low
+		if ff.class == 'R' {
+			level = ff.high
+		}
+		sched = append(sched, sim.CompileEvent{Func: ff.f, Level: level})
+	}
+	for _, ff := range appendSet {
+		ff.appended = len(sched)
+		sched = append(sched, sim.CompileEvent{Func: ff.f, Level: ff.high})
+	}
+
+	// Step 3 (fill slack through replacement). Simulate once to find each
+	// function's slack: first-call start minus first-compilation finish.
+	// Upgrading function f's initial compilation from low to high inflates
+	// every later initial compilation's finish by ch-cl; it adds no bubble
+	// iff the accumulated inflation fits within the minimum slack from f's
+	// position onward. Delaying the initial compilations also delays any
+	// recompilations still appended behind them, which can cost more than
+	// the replacements save, so the step is applied transactionally: keep
+	// the replacements only if a re-simulation confirms they did not regress
+	// the make-span.
+	if !opts.DisableFillSlack {
+		res, err := sim.Run(tr, p, sched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
+		if err != nil {
+			return nil, err
+		}
+		slack := make([]int64, len(funcs)) // indexed by init position
+		firstStart := make(map[trace.FuncID]int64, len(funcs))
+		for i, f := range tr.Calls {
+			if _, seen := firstStart[f]; !seen {
+				firstStart[f] = res.CallStarts[i]
+			}
+		}
+		for i, ff := range funcs {
+			slack[i] = firstStart[ff.f] - res.Compiles[i].Done
+		}
+		// suffMin[i] = min slack over positions >= i.
+		suffMin := make([]int64, len(funcs)+1)
+		suffMin[len(funcs)] = int64(1) << 62
+		for i := len(funcs) - 1; i >= 0; i-- {
+			suffMin[i] = slack[i]
+			if suffMin[i+1] < suffMin[i] {
+				suffMin[i] = suffMin[i+1]
+			}
+		}
+		var inflate int64
+		removed := make(map[int]bool)
+		candidate := sched.Clone()
+		var changed []*iarFunc
+		for i, ff := range funcs {
+			if ff.class != 'A' {
+				continue
+			}
+			delta := ff.ch - ff.cl
+			if inflate+delta <= suffMin[i] {
+				candidate[i].Level = ff.high
+				removed[ff.appended] = true
+				changed = append(changed, ff)
+				inflate += delta
+			}
+		}
+		if len(removed) > 0 {
+			compact := candidate[:0:len(candidate)]
+			for i, ev := range candidate {
+				if !removed[i] {
+					compact = append(compact, ev)
+				}
+			}
+			candidate = compact
+			after, err := sim.Run(tr, p, candidate, sim.DefaultConfig(), sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if after.MakeSpan <= res.MakeSpan {
+				sched = candidate
+				for _, ff := range changed {
+					ff.appended = -1
+					ff.class = 'R'
+				}
+			}
+		}
+	}
+
+	// Step 4 (append more to fill the ending gap). While execution outlives
+	// compilation, idle compile capacity can upgrade still-low functions for
+	// free; prioritize the functions with the most calls after compilation
+	// ends.
+	if !opts.DisableFillGap {
+		res, err := sim.Run(tr, p, sched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
+		if err != nil {
+			return nil, err
+		}
+		tgap := res.MakeSpan - res.CompileEnd
+		if tgap > 0 {
+			maxLevel := make(map[trace.FuncID]profile.Level, len(funcs))
+			for _, ev := range sched {
+				if l, ok := maxLevel[ev.Func]; !ok || ev.Level > l {
+					maxLevel[ev.Func] = ev.Level
+				}
+			}
+			lateCalls := make(map[trace.FuncID]int64, len(funcs))
+			for i, f := range tr.Calls {
+				if res.CallStarts[i] >= res.CompileEnd {
+					lateCalls[f]++
+				}
+			}
+			var candidates []*iarFunc
+			for _, ff := range funcs {
+				if maxLevel[ff.f] < ff.high && lateCalls[ff.f] > 0 {
+					candidates = append(candidates, ff)
+				}
+			}
+			sort.SliceStable(candidates, func(i, j int) bool {
+				return lateCalls[candidates[i].f] > lateCalls[candidates[j].f]
+			})
+			var used int64
+			for _, ff := range candidates {
+				if used+ff.ch <= tgap {
+					sched = append(sched, sim.CompileEvent{Func: ff.f, Level: ff.high})
+					used += ff.ch
+				}
+			}
+		}
+	}
+
+	return sched, nil
+}
+
+// IARClassification reports how IAR's step 2 classified the functions —
+// useful for understanding a schedule and for tests.
+type IARClassification struct {
+	Append  []trace.FuncID
+	Replace []trace.FuncID
+	Other   []trace.FuncID
+}
+
+// ClassifyIAR runs only the classification stage of IAR (Formulas 1 and 2 of
+// Fig. 3) and returns the three sets.
+func ClassifyIAR(tr *trace.Trace, p *profile.Profile, opts IAROptions) (IARClassification, error) {
+	if opts.K == 0 {
+		opts.K = 5
+	}
+	model := opts.Model
+	if model == nil {
+		model = profile.NewOracle(p)
+	}
+	var cls IARClassification
+	if err := tr.Validate(p.NumFuncs()); err != nil {
+		return cls, err
+	}
+	order := tr.FirstCallOrder()
+	if len(order) == 0 {
+		return cls, nil
+	}
+	counts := tr.Counts()
+
+	initSched := make(Schedule, len(order))
+	for i, f := range order {
+		initSched[i] = sim.CompileEvent{Func: f, Level: 0}
+	}
+	res, err := sim.Run(tr, p, initSched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
+	if err != nil {
+		return cls, err
+	}
+	n1 := make(map[trace.FuncID]int64, len(order))
+	for i, f := range tr.Calls {
+		if res.CallStarts[i] < res.CompileEnd {
+			n1[f]++
+		}
+	}
+	for _, f := range order {
+		n := counts[f]
+		high := profile.CostEffectiveLevel(model, f, n)
+		cl, ch := p.CompileTime(f, 0), p.CompileTime(f, high)
+		el, eh := p.ExecTime(f, 0), p.ExecTime(f, high)
+		switch {
+		case high == 0 || ch+n*eh > cl+n*el:
+			cls.Other = append(cls.Other, f)
+		case ch-cl > opts.K*n1[f]*(el-eh):
+			cls.Append = append(cls.Append, f)
+		default:
+			cls.Replace = append(cls.Replace, f)
+		}
+	}
+	return cls, nil
+}

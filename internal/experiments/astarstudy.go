@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/astar"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// AStarRow reports one search feasibility trial (§6.2.5).
+type AStarRow struct {
+	// Algo is "A*" (memory-bound) or "IDA*" (the time-bound,
+	// iterative-deepening extension).
+	Algo           string
+	UniqueFuncs    int
+	Calls          int
+	Completed      bool
+	NodesExpanded  int
+	NodesAllocated int // stored nodes for A*; path depth for IDA*
+	PathsTotal     float64
+	MakeSpan       int64 // only when Completed
+}
+
+// AStarOptions configures the feasibility study.
+type AStarOptions struct {
+	// MinFuncs..MaxFuncs is the range of unique-function counts to try
+	// (defaults 3..8, bracketing the paper's six-function cliff).
+	MinFuncs, MaxFuncs int
+	// Calls is the call-sequence length (default 50, as in the paper's
+	// example).
+	Calls int
+	// MaxNodes is the node budget standing in for the paper's 2 GB heap
+	// (default astar.DefaultMaxNodes).
+	MaxNodes int
+	// Seed drives instance generation.
+	Seed int64
+}
+
+// AStarStudy reproduces the §6.2.5 feasibility experiment: A*-search finds
+// optimal schedules for tiny instances by visiting a vanishing fraction of
+// the tree, but the storage requirement explodes with the number of unique
+// methods; past roughly six, the budget (memory) runs out.
+func AStarStudy(opts AStarOptions) ([]AStarRow, error) {
+	if opts.MinFuncs == 0 {
+		opts.MinFuncs = 3
+	}
+	if opts.MaxFuncs == 0 {
+		opts.MaxFuncs = 8
+	}
+	if opts.Calls == 0 {
+		opts.Calls = 50
+	}
+	if opts.MinFuncs < 1 || opts.MaxFuncs < opts.MinFuncs {
+		return nil, errors.New("experiments: invalid A* study function range")
+	}
+
+	var rows []AStarRow
+	for nf := opts.MinFuncs; nf <= opts.MaxFuncs; nf++ {
+		tr, p := AStarInstance(nf, opts.Calls, opts.Seed+int64(nf))
+
+		res, err := astar.Search(tr, p, astar.Options{MaxNodes: opts.MaxNodes})
+		row := AStarRow{
+			Algo:           "A*",
+			UniqueFuncs:    nf,
+			Calls:          tr.Len(),
+			NodesExpanded:  res.NodesExpanded,
+			NodesAllocated: res.NodesAllocated,
+			PathsTotal:     res.PathsTotal,
+		}
+		switch {
+		case err == nil:
+			row.Completed = res.Complete
+			row.MakeSpan = res.MakeSpan
+		case errors.Is(err, astar.ErrBudgetExhausted):
+			row.Completed = false
+		default:
+			return nil, err
+		}
+		rows = append(rows, row)
+
+		// The IDA* extension: memory bounded by the path, so the budget is
+		// expansions (time). It hits the same exponential wall.
+		ires, err := astar.IDASearch(tr, p, astar.IDAOptions{})
+		irow := AStarRow{
+			Algo:           "IDA*",
+			UniqueFuncs:    nf,
+			Calls:          tr.Len(),
+			NodesExpanded:  ires.NodesExpanded,
+			NodesAllocated: ires.NodesAllocated,
+			PathsTotal:     ires.PathsTotal,
+		}
+		switch {
+		case err == nil:
+			irow.Completed = ires.Complete
+			irow.MakeSpan = ires.MakeSpan
+		case errors.Is(err, astar.ErrTimeExhausted):
+			irow.Completed = false
+		default:
+			return nil, err
+		}
+		if row.Completed && irow.Completed && row.MakeSpan != irow.MakeSpan {
+			return nil, fmt.Errorf("experiments: A* and IDA* disagree at %d functions (%d vs %d)",
+				nf, row.MakeSpan, irow.MakeSpan)
+		}
+		rows = append(rows, irow)
+
+		// Beam search abandons optimality for a width-bounded budget: it
+		// returns a (possibly suboptimal) schedule at every size.
+		bres, err := astar.BeamSearch(tr, p, astar.BeamOptions{})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AStarRow{
+			Algo:           "beam-256",
+			UniqueFuncs:    nf,
+			Calls:          tr.Len(),
+			Completed:      false, // never proves optimality
+			NodesExpanded:  bres.NodesExpanded,
+			NodesAllocated: bres.NodesAllocated,
+			PathsTotal:     bres.PathsTotal,
+			MakeSpan:       bres.MakeSpan,
+		})
+	}
+	return rows, nil
+}
+
+// AStarInstance builds a random two-level OCSP instance in the style of the
+// paper's §6.2.5 example: nf unique functions, a mixed-hotness call
+// sequence, and per-function level tradeoffs that make ordering matter.
+func AStarInstance(nf, calls int, seed int64) (*trace.Trace, *profile.Profile) {
+	rng := rand.New(rand.NewSource(seed))
+	p := &profile.Profile{Levels: 2, Funcs: make([]profile.FuncTimes, nf)}
+	for i := range p.Funcs {
+		cl := int64(1 + rng.Intn(3))
+		ch := cl + 1 + int64(rng.Intn(10))
+		eh := int64(1 + rng.Intn(3))
+		el := eh + 1 + int64(rng.Intn(10))
+		p.Funcs[i] = profile.FuncTimes{Compile: []int64{cl, ch}, Exec: []int64{el, eh}, Size: 1}
+	}
+	seq := make([]trace.FuncID, calls)
+	for i := range seq {
+		// A Zipf-ish skew: function j gets weight 1/(j+1).
+		r := rng.Float64()
+		var total float64
+		for j := 0; j < nf; j++ {
+			total += 1 / float64(j+1)
+		}
+		r *= total
+		var acc float64
+		id := 0
+		for j := 0; j < nf; j++ {
+			acc += 1 / float64(j+1)
+			if r <= acc {
+				id = j
+				break
+			}
+		}
+		seq[i] = trace.FuncID(id)
+	}
+	// Guarantee every function appears so the instance truly has nf unique
+	// methods.
+	for j := 0; j < nf && j < len(seq); j++ {
+		seq[j*len(seq)/nf] = trace.FuncID(j)
+	}
+	return trace.New("astar-study", seq), p
+}

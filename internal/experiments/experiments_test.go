@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests assert the *shape* of the paper's results — who wins,
+// by roughly what factor — not absolute numbers (DESIGN.md §4).
+
+func TestFig5Shape(t *testing.T) {
+	res, err := Fig5(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("%d rows, want 9 benchmarks", len(res.Rows))
+	}
+	avg := res.Averages()
+
+	if avg[SchemeLowerBound] != 1.0 {
+		t.Errorf("lower bound normalizes to %.3f, want 1.0", avg[SchemeLowerBound])
+	}
+	// IAR is near-optimal: the paper reports 8.5% average, <=17% per
+	// benchmark.
+	if avg[SchemeIAR] > 1.17 {
+		t.Errorf("IAR average %.3f; paper reports within 8.5%% of bound", avg[SchemeIAR])
+	}
+	for _, row := range res.Rows {
+		if row.Schemes[SchemeIAR].Normalized > 1.20 {
+			t.Errorf("%s: IAR at %.3f, beyond the paper's worst-case 17%%",
+				row.Benchmark, row.Schemes[SchemeIAR].Normalized)
+		}
+	}
+	// The default scheme leaves a large gap: the paper's headline is a ~1.6x
+	// possible speedup, i.e. default around 1.5-2x the bound.
+	if avg[SchemeDefault] < 1.35 {
+		t.Errorf("default scheme average %.3f; too close to optimal for the paper's conclusion", avg[SchemeDefault])
+	}
+	if avg[SchemeDefault] > 2.3 {
+		t.Errorf("default scheme average %.3f; far beyond the paper's ~1.7", avg[SchemeDefault])
+	}
+	// Single-level schemes are worse than the default on most programs.
+	worseBase, worseOpt := 0, 0
+	for _, row := range res.Rows {
+		if row.Schemes[SchemeBaseOnly].Normalized > row.Schemes[SchemeDefault].Normalized {
+			worseBase++
+		}
+		if row.Schemes[SchemeOptOnly].Normalized > row.Schemes[SchemeDefault].Normalized {
+			worseOpt++
+		}
+	}
+	if worseBase < 5 || worseOpt < 5 {
+		t.Errorf("single-level schemes beat default too often (base worse on %d, opt worse on %d of 9)",
+			worseBase, worseOpt)
+	}
+	// And IAR beats every other scheme on every benchmark.
+	for _, row := range res.Rows {
+		iar := row.Schemes[SchemeIAR].Normalized
+		for _, s := range []string{SchemeDefault, SchemeBaseOnly, SchemeOptOnly} {
+			if row.Schemes[s].Normalized < iar {
+				t.Errorf("%s: %s (%.3f) beat IAR (%.3f)", row.Benchmark, s, row.Schemes[s].Normalized, iar)
+			}
+		}
+	}
+}
+
+func TestFig6OracleWidensGap(t *testing.T) {
+	f5, err := Fig5(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6, err := Fig6(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a5, a6 := f5.Averages(), f6.Averages()
+	// §6.2.2: with the oracle model the default's gap grows while IAR stays
+	// tight (within ~6% more on average).
+	gap5 := a5[SchemeDefault] - 1
+	gap6 := a6[SchemeDefault] - 1
+	if gap6 <= gap5 {
+		t.Errorf("oracle model should widen default's gap: %.3f -> %.3f", gap5, gap6)
+	}
+	if a6[SchemeIAR] > a5[SchemeIAR]+0.06 {
+		t.Errorf("IAR gap grew too much under oracle model: %.3f -> %.3f", a5[SchemeIAR], a6[SchemeIAR])
+	}
+	if a6[SchemeIAR] > 1.17 {
+		t.Errorf("IAR under oracle model at %.3f; should remain near-optimal", a6[SchemeIAR])
+	}
+}
+
+func TestFig7ConcurrencyMarginal(t *testing.T) {
+	res, err := Fig7(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := res.Averages()
+	if avg[1] != 1.0 {
+		t.Errorf("1-core speedup %.3f, want 1.0", avg[1])
+	}
+	// §6.2.3: speedups increase with cores but stay minor — the paper
+	// reports <=7% average, 13% max.
+	for _, w := range []int{2, 4, 8, 16} {
+		if avg[w] < 1.0 {
+			t.Errorf("%d cores: average slowdown %.3f", w, avg[w])
+		}
+		if avg[w] > 1.10 {
+			t.Errorf("%d cores: average speedup %.3f; too large for the paper's conclusion", w, avg[w])
+		}
+	}
+	if avg[16] < avg[2]-1e-9 {
+		t.Errorf("speedup not monotone: 2 cores %.3f, 16 cores %.3f", avg[2], avg[16])
+	}
+	for _, row := range res.Rows {
+		if row.SpeedupByWorkers[16] > 1.15 {
+			t.Errorf("%s: 16-core speedup %.3f exceeds the paper's 13%% max regime",
+				row.Benchmark, row.SpeedupByWorkers[16])
+		}
+	}
+}
+
+func TestFig8V8Shape(t *testing.T) {
+	res, err := Fig8(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := res.Averages()
+	// §6.2.4: IAR stays near the two-level bound (4% in the paper); the V8
+	// scheme leaves a clear gap (61% in the paper) but a smaller one than
+	// Jikes showed against its four-level bound.
+	if avg[SchemeIAR] > 1.10 {
+		t.Errorf("IAR average %.3f on two levels; paper reports ~1.04", avg[SchemeIAR])
+	}
+	if avg[SchemeV8] < 1.15 || avg[SchemeV8] > 2.2 {
+		t.Errorf("V8 average %.3f; paper reports ~1.61", avg[SchemeV8])
+	}
+	for _, row := range res.Rows {
+		if row.Schemes[SchemeV8].Normalized < row.Schemes[SchemeIAR].Normalized {
+			t.Errorf("%s: V8 beat IAR", row.Benchmark)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(Options{Benchmarks: []string{"antlr", "lusearch"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	if rows[0].Benchmark != "antlr" || rows[0].Funcs != 1187 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if !rows[1].Parallel {
+		t.Error("lusearch should be parallel")
+	}
+	if rows[0].GenLength == 0 || rows[0].SimDefaultMs <= 0 {
+		t.Errorf("generated stats missing: %+v", rows[0])
+	}
+}
+
+func TestTable2Overhead(t *testing.T) {
+	rows, err := Table2(Options{Benchmarks: []string{"antlr", "pmd"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.IARSeconds <= 0 || r.ProgramSeconds <= 0 {
+			t.Errorf("%s: non-positive timings %+v", r.Benchmark, r)
+		}
+		// The paper reports <=3.4%, mostly <1%. Allow slack for slow CI
+		// machines but the linear algorithm must stay cheap.
+		if r.Percent > 5 {
+			t.Errorf("%s: IAR overhead %.2f%%; expected ~1%%", r.Benchmark, r.Percent)
+		}
+	}
+}
+
+func TestAStarStudyCliff(t *testing.T) {
+	rows, err := AStarStudy(AStarOptions{MinFuncs: 3, MaxFuncs: 8, Calls: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 { // A*, IDA*, and beam per function count
+		t.Fatalf("%d rows, want 18", len(rows))
+	}
+	var lastAStarStored int
+	for _, r := range rows {
+		switch r.Algo {
+		case "A*":
+			// §6.2.5: optimal for small instances, out of memory past ~6
+			// unique functions.
+			if r.UniqueFuncs <= 6 && !r.Completed {
+				t.Errorf("A* at %d functions: should complete", r.UniqueFuncs)
+			}
+			if r.UniqueFuncs >= 7 && r.Completed {
+				t.Errorf("A* at %d functions: should exhaust memory", r.UniqueFuncs)
+			}
+			if r.Completed {
+				if r.NodesAllocated < lastAStarStored {
+					t.Errorf("A* stored nodes shrank at %d functions", r.UniqueFuncs)
+				}
+				lastAStarStored = r.NodesAllocated
+			}
+		case "IDA*":
+			// The extension: memory stays at the path depth (tiny) whether
+			// or not the search finishes; big instances die on time instead.
+			if r.NodesAllocated > 2*r.UniqueFuncs {
+				t.Errorf("IDA* at %d functions: stored %d nodes, want <= path depth",
+					r.UniqueFuncs, r.NodesAllocated)
+			}
+			if r.UniqueFuncs >= 8 && r.Completed {
+				t.Errorf("IDA* at %d functions: should exhaust time", r.UniqueFuncs)
+			}
+			if r.UniqueFuncs <= 6 && !r.Completed {
+				t.Errorf("IDA* at %d functions: should complete", r.UniqueFuncs)
+			}
+		case "beam-256":
+			// Beam returns a schedule at every size, never a proof.
+			if r.Completed {
+				t.Errorf("beam at %d functions claims proved optimality", r.UniqueFuncs)
+			}
+			if r.MakeSpan <= 0 {
+				t.Errorf("beam at %d functions returned no schedule", r.UniqueFuncs)
+			}
+		default:
+			t.Fatalf("unknown algorithm %q", r.Algo)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := Fig5(Options{Benchmarks: []string{"nope"}}); err == nil {
+		t.Error("want error for unknown benchmark")
+	}
+	if _, err := AStarStudy(AStarOptions{MinFuncs: 5, MaxFuncs: 2}); err == nil {
+		t.Error("want error for inverted function range")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	opts := Options{Benchmarks: []string{"luindex"}}
+	f5, err := Fig5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := f5.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "luindex") || !strings.Contains(b.String(), "average") {
+		t.Errorf("figure render missing rows:\n%s", b.String())
+	}
+
+	f7, err := Fig7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := f7.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "16 cores") {
+		t.Errorf("fig7 render missing worker columns:\n%s", b.String())
+	}
+
+	t1, err := Table1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := RenderTable1(t1, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "20582610") {
+		t.Errorf("table1 render missing paper length:\n%s", b.String())
+	}
+
+	rows, err := AStarStudy(AStarOptions{MinFuncs: 3, MaxFuncs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := RenderAStar(rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "optimal found") {
+		t.Errorf("astar render missing outcomes:\n%s", b.String())
+	}
+}

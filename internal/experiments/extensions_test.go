@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPriorityStudySelfRegulation(t *testing.T) {
+	rows, err := PriorityStudy(Options{Benchmarks: []string{"antlr", "jython", "luindex"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// At trace-driven loads the discipline's effect is modest and can
+		// go either way: jumping the queue avoids blocking but delays hot
+		// recompilations. The study's point is the magnitude, not the sign.
+		lo, hi := r.FIFO*0.93, r.FIFO*1.07
+		if r.Priority < lo || r.Priority > hi {
+			t.Errorf("%s: priority effect out of the expected modest range: %.3f vs FIFO %.3f",
+				r.Benchmark, r.Priority, r.FIFO)
+		}
+	}
+	var b strings.Builder
+	if err := RenderPriority("test", rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "max queue") {
+		t.Errorf("render missing pressure columns:\n%s", b.String())
+	}
+}
+
+func TestSaturationStudyShowsOvertakes(t *testing.T) {
+	rows, err := SaturationStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	sawPressure := false
+	bubblesShrank := false
+	for _, r := range rows {
+		if r.MaxPending >= 2 && r.FirstBehind >= 1 {
+			sawPressure = true
+		}
+		if r.PriorityBubble < r.FIFOBubble {
+			bubblesShrank = true
+		}
+		// The reproduction's finding: even under engineered pressure, the
+		// make-span effect stays small with one execution thread.
+		if diff := r.Priority/r.FIFO - 1; diff > 0.02 || diff < -0.02 {
+			t.Errorf("%s: make-span effect unexpectedly large: %.3f vs %.3f", r.Benchmark, r.Priority, r.FIFO)
+		}
+	}
+	if !sawPressure {
+		t.Error("saturation workload produced no queue pressure (MaxPending/FirstBehind)")
+	}
+	if !bubblesShrank {
+		t.Error("priority discipline never reduced stall time under saturation")
+	}
+}
+
+func TestVariationStudyRobust(t *testing.T) {
+	rows, err := VariationStudy(Options{Benchmarks: []string{"antlr", "lusearch"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		base := r.ByMagnitude[0]
+		for _, m := range VariationMagnitudes {
+			v := r.ByMagnitude[m]
+			if v <= 0 {
+				t.Fatalf("%s: missing magnitude %g", r.Benchmark, m)
+			}
+			// §8's claim: average-based schedules hold up under per-call
+			// variation. Allow a few percent of degradation.
+			if v > base*1.05 {
+				t.Errorf("%s: ±%.0f%% variation degraded IAR from %.3f to %.3f",
+					r.Benchmark, m*100, base, v)
+			}
+		}
+	}
+	var b strings.Builder
+	if err := RenderVariation(rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "±60%") {
+		t.Errorf("render missing magnitude columns:\n%s", b.String())
+	}
+}
+
+func TestKSweepInsensitive(t *testing.T) {
+	ks := []int64{3, 5, 10}
+	rows, err := KSweep(Options{Benchmarks: []string{"fop", "pmd"}}, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		lo, hi := r.ByValue[ks[0]], r.ByValue[ks[0]]
+		for _, k := range ks {
+			v := r.ByValue[k]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		// The paper: K in [3,10] gives quite similar results.
+		if hi > lo*1.05 {
+			t.Errorf("%s: K sweep spread too wide: [%.3f, %.3f]", r.Benchmark, lo, hi)
+		}
+	}
+}
+
+func TestPeriodSweepMonotoneTrend(t *testing.T) {
+	periods := []int64{50000, 500000, 5000000}
+	rows, err := PeriodSweep(Options{Benchmarks: []string{"jython"}}, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if !(r.ByValue[periods[0]] < r.ByValue[periods[2]]) {
+		t.Errorf("coarser sampling should eventually cost: %v", r.ByValue)
+	}
+	var b strings.Builder
+	format := func(v int64) string { return "S=" + strconv.FormatInt(v, 10) }
+	if err := RenderSweep("periods", periods, format, rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "jython") {
+		t.Errorf("render missing benchmark:\n%s", b.String())
+	}
+}
+
+func TestScaleStudyStable(t *testing.T) {
+	rows, err := ScaleStudy(Options{Benchmarks: []string{"luindex", "antlr"}}, []float64{0.5, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		// The conclusions must hold at every scale: IAR near the bound, the
+		// default scheme well above it.
+		if r.IAR > 1.12 {
+			t.Errorf("scale %g: IAR %.3f too far from the bound", r.Scale, r.IAR)
+		}
+		if r.Default < 1.25 {
+			t.Errorf("scale %g: default %.3f too close to the bound", r.Scale, r.Default)
+		}
+		if r.Default < r.IAR {
+			t.Errorf("scale %g: default beat IAR", r.Scale)
+		}
+	}
+	var b strings.Builder
+	if err := RenderScale(rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "0.5x") {
+		t.Errorf("render missing scales:\n%s", b.String())
+	}
+}
+
+func TestPredictStudyShape(t *testing.T) {
+	rows, err := PredictStudy(Options{Benchmarks: []string{"antlr", "luindex"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		best := r.ByTrainRuns[TrainRunCounts[len(TrainRunCounts)-1]]
+		// Predicted-IAR must recover most of the gap: clearly better than
+		// the online default, within ~10% of perfect-trace IAR.
+		if best >= r.Default {
+			t.Errorf("%s: predicted IAR (%.3f) no better than default (%.3f)", r.Benchmark, best, r.Default)
+		}
+		if best > r.PerfectIAR*1.10 {
+			t.Errorf("%s: predicted IAR (%.3f) too far from perfect (%.3f)", r.Benchmark, best, r.PerfectIAR)
+		}
+		if r.Accuracy.Coverage < 0.9 {
+			t.Errorf("%s: prediction coverage %.2f too low", r.Benchmark, r.Accuracy.Coverage)
+		}
+	}
+	var b strings.Builder
+	if err := RenderPredict(rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "IAR@5 runs") {
+		t.Errorf("render missing train-run columns:\n%s", b.String())
+	}
+}
+
+func TestMTStudyCompletesPriorityArc(t *testing.T) {
+	rows, err := MTStudy(Options{Benchmarks: []string{"jython", "eclipse", "luindex"}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	helped := 0
+	for _, r := range rows {
+		// Multiple execution threads create real queue pressure...
+		if r.MaxPending < 3 {
+			t.Errorf("%s: max queue %d; expected pressure with 4 threads", r.Benchmark, r.MaxPending)
+		}
+		if r.FirstBehind < 3 {
+			t.Errorf("%s: only %d firsts behind recompiles", r.Benchmark, r.FirstBehind)
+		}
+		if r.Priority < r.FIFO {
+			helped++
+		}
+		// ...and the discipline never hurts much.
+		if r.Priority > r.FIFO*1.05 {
+			t.Errorf("%s: priority hurt badly: %.3f vs %.3f", r.Benchmark, r.Priority, r.FIFO)
+		}
+	}
+	if helped < 2 {
+		t.Errorf("priority helped on only %d of 3 multi-threaded benchmarks", helped)
+	}
+	var b strings.Builder
+	if err := RenderMT(rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "threads") {
+		t.Errorf("render missing columns:\n%s", b.String())
+	}
+}

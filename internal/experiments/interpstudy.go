@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/profile"
+	"repro/internal/program"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// InterpRow is one benchmark's outcome in the interpreter-tier study.
+type InterpRow struct {
+	Benchmark string
+	// CompiledIAR is IAR's normalized make-span on the plain 4-level
+	// profile; InterpIAR adds the interpretation tier (5 levels); BaseIAR
+	// is the interpreter setting with IAR's initial schedule starting at
+	// the baseline compiler (LowLevel=1) instead of the interpreter — the
+	// "extra care" §8 calls for.
+	CompiledIAR, InterpIAR, BaseIAR float64
+	// DefaultCompiled/DefaultInterp are the Jikes scheme's normalized
+	// make-spans in the two settings.
+	DefaultCompiled, DefaultInterp float64
+}
+
+// InterpreterStudy implements §8's interpreter note: "if we treat
+// interpretation as the lowest level compilation ... the analysis and
+// algorithms discussed in this paper can still be applied". The study adds
+// an interpretation tier (one-tick 'compilation', InterpSlowdown-times
+// slower execution) to every workload and re-runs IAR and the default
+// scheme. The expected shape: both remain well-behaved — IAR near its
+// bound, the default's gap similar — because interpretation merely gives
+// first calls a cheaper entry point.
+func InterpreterStudy(opts Options) ([]InterpRow, error) {
+	const slowdown = 6 // interpreters run several-fold slower than baseline-compiled code
+	ws, err := loadBenchmarks(opts)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]InterpRow, 0, len(ws))
+	for _, w := range ws {
+		row := InterpRow{Benchmark: w.Bench.Name}
+		// Plain setting.
+		model := w.DefaultModel()
+		var err error
+		row.CompiledIAR, row.DefaultCompiled, err = runIARAndDefault(
+			w.Trace, w.Profile, model, w.Bench.SamplePeriod, opts.IARK)
+		if err != nil {
+			return nil, err
+		}
+		// Interpreter tier added.
+		pi, err := w.Profile.WithInterpreter(slowdown)
+		if err != nil {
+			return nil, err
+		}
+		modelI := profile.NewEstimated(pi, profile.DefaultEstimatedConfig(int64(len(w.Bench.Name))*31+7))
+		row.InterpIAR, row.DefaultInterp, err = runIARAndDefault(
+			w.Trace, pi, modelI, w.Bench.SamplePeriod, opts.IARK)
+		if err != nil {
+			return nil, err
+		}
+		// The §8 fix: initialize at the baseline compiler, not the
+		// interpreter.
+		lbI := float64(core.ModelLowerBound(w.Trace, pi, modelI))
+		baseSched, err := core.IAR(w.Trace, pi, core.IAROptions{Model: modelI, K: opts.IARK, LowLevel: 1})
+		if err != nil {
+			return nil, err
+		}
+		baseRes, err := sim.Run(w.Trace, pi, baseSched, sim.DefaultConfig(), sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row.BaseIAR = float64(baseRes.MakeSpan) / lbI
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runIARAndDefault evaluates IAR (replay) and the Jikes policy on one
+// workload, both normalized by the model lower bound.
+func runIARAndDefault(tr *trace.Trace, p *profile.Profile, model profile.CostModel, samplePeriod, iarK int64) (iar, def float64, err error) {
+	lb := float64(core.ModelLowerBound(tr, p, model))
+	sched, err := core.IAR(tr, p, core.IAROptions{Model: model, K: iarK})
+	if err != nil {
+		return 0, 0, err
+	}
+	iarRes, err := sim.Run(tr, p, sched, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	pol, err := policy.NewJikes(model, p.NumFuncs(), samplePeriod)
+	if err != nil {
+		return 0, 0, err
+	}
+	defRes, err := sim.RunPolicy(tr, p, pol, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	return float64(iarRes.MakeSpan) / lb, float64(defRes.MakeSpan) / lb, nil
+}
+
+// RenderInterp writes the interpreter-tier study.
+func RenderInterp(rows []InterpRow, w io.Writer) error {
+	t := report.NewTable("Interpreter tier study (§8): 4 compiled levels vs interpretation + 4 levels",
+		"benchmark", "IAR", "IAR+interp", "IAR+interp/base-init", "default", "default+interp")
+	var a, b, e, c, d []float64
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, report.F3(r.CompiledIAR), report.F3(r.InterpIAR), report.F3(r.BaseIAR),
+			report.F3(r.DefaultCompiled), report.F3(r.DefaultInterp))
+		a = append(a, r.CompiledIAR)
+		b = append(b, r.InterpIAR)
+		e = append(e, r.BaseIAR)
+		c = append(c, r.DefaultCompiled)
+		d = append(d, r.DefaultInterp)
+	}
+	t.AddRow("average", report.F3(report.Mean(a)), report.F3(report.Mean(b)), report.F3(report.Mean(e)),
+		report.F3(report.Mean(c)), report.F3(report.Mean(d)))
+	return t.Render(w)
+}
+
+// InlineRow is the inlining study's outcome on one synthetic program.
+type InlineRow struct {
+	Label string
+	// Calls is the collected trace length; IAR/Default are normalized
+	// make-spans.
+	Calls        int
+	IAR, Default float64
+}
+
+// InlineStudy implements §8's inlining note on the call-graph substrate:
+// inline the hottest leaf functions, re-collect the trace (shorter; callers
+// bigger and longer-running), re-derive timing from the new sizes, and
+// re-run the schedulers. Scheduling keeps working on the transformed
+// program; what changes is the input, exactly as §8 warns a static
+// profile-based deployment must expect.
+func InlineStudy(victims int) ([]InlineRow, error) {
+	prog, err := program.Generate(program.GenConfig{
+		Funcs: 300, Layers: 5, FanOut: 3, LoopMean: 5, BranchProb: 0.65, Seed: 77,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if victims <= 0 {
+		victims = 12
+	}
+	inlined, _, err := program.Inline(prog, program.HottestLeaves(prog, victims))
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]InlineRow, 0, 2)
+	for _, v := range []struct {
+		label string
+		p     *program.Program
+	}{{"original", prog}, {fmt.Sprintf("inlined top %d leaves", victims), inlined}} {
+		tr, err := program.Collect(v.p, program.CollectOptions{MaxCalls: 200000, Seed: 78})
+		if err != nil {
+			return nil, err
+		}
+		prof, err := profile.SynthesizeWithSizes(v.p.Sizes(), profile.DefaultTiming(4, 79))
+		if err != nil {
+			return nil, err
+		}
+		model := profile.NewEstimated(prof, profile.DefaultEstimatedConfig(80))
+		iar, def, err := runIARAndDefault(tr, prof, model, 300000, 0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, InlineRow{Label: v.label, Calls: tr.Len(), IAR: iar, Default: def})
+	}
+	return rows, nil
+}
+
+// RenderInline writes the inlining study.
+func RenderInline(rows []InlineRow, w io.Writer) error {
+	t := report.NewTable("Inlining study (§8): scheduling before and after leaf inlining",
+		"program", "trace calls", "IAR", "default")
+	for _, r := range rows {
+		t.AddRow(r.Label, fmt.Sprintf("%d", r.Calls), report.F3(r.IAR), report.F3(r.Default))
+	}
+	return t.Render(w)
+}

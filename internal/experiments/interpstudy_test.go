@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInterpreterStudyShape(t *testing.T) {
+	rows, err := InterpreterStudy(Options{Benchmarks: []string{"luindex", "pmd"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Adding an interpreter tier hurts the naive IAR configuration
+		// (level 0 is now too slow to be the right initial version)...
+		if r.InterpIAR <= r.CompiledIAR {
+			t.Errorf("%s: interpreter tier should cost naive IAR something: %.3f vs %.3f",
+				r.Benchmark, r.InterpIAR, r.CompiledIAR)
+		}
+		// ...and §8's "extra care" (baseline-compiled initial schedule)
+		// recovers most of it.
+		if r.BaseIAR >= r.InterpIAR {
+			t.Errorf("%s: baseline-init should beat interpreter-init: %.3f vs %.3f",
+				r.Benchmark, r.BaseIAR, r.InterpIAR)
+		}
+		if r.BaseIAR > r.CompiledIAR*1.15 {
+			t.Errorf("%s: baseline-init IAR %.3f too far above the compiled-only setting %.3f",
+				r.Benchmark, r.BaseIAR, r.CompiledIAR)
+		}
+		// The default scheme suffers much more: functions stay interpreted
+		// until sampled hot.
+		if r.DefaultInterp <= r.DefaultCompiled {
+			t.Errorf("%s: interpreter tier should hurt the default scheme: %.3f vs %.3f",
+				r.Benchmark, r.DefaultInterp, r.DefaultCompiled)
+		}
+	}
+	var b strings.Builder
+	if err := RenderInterp(rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "base-init") {
+		t.Errorf("render missing base-init column:\n%s", b.String())
+	}
+}
+
+func TestInlineStudyShape(t *testing.T) {
+	rows, err := InlineStudy(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	orig, inl := rows[0], rows[1]
+	if inl.Calls >= orig.Calls {
+		t.Errorf("inlining should shorten the trace: %d -> %d", orig.Calls, inl.Calls)
+	}
+	// Scheduling keeps working on the transformed program: IAR stays near
+	// its bound in both settings.
+	for _, r := range rows {
+		if r.IAR > 1.25 {
+			t.Errorf("%s: IAR at %.3f; pipeline mis-shapen", r.Label, r.IAR)
+		}
+		if r.Default <= r.IAR {
+			t.Errorf("%s: default (%.3f) should trail IAR (%.3f)", r.Label, r.Default, r.IAR)
+		}
+	}
+	var b strings.Builder
+	if err := RenderInline(rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "inlined top 8 leaves") {
+		t.Errorf("render missing labels:\n%s", b.String())
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/profile"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// MTRow is one benchmark's outcome in the multi-threaded execution study.
+type MTRow struct {
+	Benchmark string
+	Threads   int
+	// FIFO and Priority are the default (organizer-batched Jikes) scheme's
+	// normalized make-spans under the two queue disciplines, with the given
+	// number of execution threads sharing one compilation worker.
+	FIFO, Priority float64
+	// MaxPending / FirstBehind are the FIFO run's queue-pressure stats.
+	MaxPending  int
+	FirstBehind int
+}
+
+// MTStudy completes the §7 arc: the single-threaded studies found the
+// compile queue self-regulates because one blocked executor generates no
+// requests. With several execution threads (the common case in the JVMs the
+// paper targets), requests keep flowing while any one thread blocks, the
+// queue genuinely backs up, and the first-compile-first discipline has
+// material to act on.
+//
+// Each benchmark runs as `threads` per-thread call sequences (thread 0
+// carries the warmup) against one compilation worker. Normalization is by
+// the busiest thread's execution floor: the maximum over threads of that
+// thread's calls at their model-chosen cost-effective levels — the MT
+// analogue of the paper's lower bound.
+func MTStudy(opts Options, threads int) ([]MTRow, error) {
+	if threads == 0 {
+		threads = 4
+	}
+	bs, err := opts.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MTRow, 0, len(bs))
+	for _, b := range bs {
+		per, p, err := b.LoadThreads(opts.scale(), threads)
+		if err != nil {
+			return nil, err
+		}
+		model := profile.NewEstimated(p, profile.DefaultEstimatedConfig(int64(len(b.Name))*41+3))
+		lb, err := mtLowerBound(per, p, model)
+		if err != nil {
+			return nil, err
+		}
+		row := MTRow{Benchmark: b.Name, Threads: threads}
+		for _, d := range []sim.QueueDiscipline{sim.FIFO, sim.FirstCompileFirst} {
+			pol, err := policy.NewJikesOrganizer(model, p.NumFuncs(),
+				b.SamplePeriod/int64(threads), b.SamplePeriod)
+			if err != nil {
+				return nil, err
+			}
+			res, _, err := sim.RunPolicyMT(per, p, pol,
+				sim.Config{CompileWorkers: 1, Discipline: d}, sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			norm := float64(res.MakeSpan) / lb
+			if d == sim.FIFO {
+				row.FIFO = norm
+				row.MaxPending = res.MaxPending
+				row.FirstBehind = res.FirstBehindRecompiles
+			} else {
+				row.Priority = norm
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// mtLowerBound is the busiest-thread execution floor under the model's
+// cost-effective levels.
+func mtLowerBound(threads []*trace.Trace, p *profile.Profile, model profile.CostModel) (float64, error) {
+	// Level choices use global (cross-thread) invocation counts, as a JIT's
+	// would.
+	merged := &trace.Trace{Name: "union"}
+	for _, t := range threads {
+		merged.Calls = append(merged.Calls, t.Calls...)
+	}
+	levels := core.SingleCoreLevels(merged, model)
+	var max int64
+	for _, t := range threads {
+		lb, err := core.LowerBoundAtLevels(t, p, levels)
+		if err != nil {
+			return 0, err
+		}
+		if lb > max {
+			max = lb
+		}
+	}
+	if max <= 0 {
+		return 0, fmt.Errorf("experiments: non-positive MT lower bound")
+	}
+	return float64(max), nil
+}
+
+// RenderMT writes the multi-threaded execution study.
+func RenderMT(rows []MTRow, w io.Writer) error {
+	t := report.NewTable("Multi-threaded execution study (§7 completed): Jikes scheme, FIFO vs first-compile-first",
+		"benchmark", "threads", "FIFO", "first-compile-first", "max queue", "firsts behind recompiles")
+	var f, pr []float64
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, fmt.Sprintf("%d", r.Threads),
+			report.F3(r.FIFO), report.F3(r.Priority),
+			fmt.Sprintf("%d", r.MaxPending), fmt.Sprintf("%d", r.FirstBehind))
+		f = append(f, r.FIFO)
+		pr = append(pr, r.Priority)
+	}
+	t.AddRow("average", "", report.F3(report.Mean(f)), report.F3(report.Mean(pr)), "", "")
+	return t.Render(w)
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+)
+
+// Render writes a figure experiment as a table of normalized make-spans, one
+// row per benchmark plus the cross-benchmark average — the same series the
+// paper's bar charts plot.
+func (r *FigResult) Render(w io.Writer) error {
+	cols := append([]string{"benchmark"}, r.Schemes...)
+	t := report.NewTable(r.Name, cols...)
+	for _, row := range r.Rows {
+		cells := make([]string, 0, len(cols))
+		cells = append(cells, row.Benchmark)
+		for _, s := range r.Schemes {
+			cells = append(cells, report.F2(row.Schemes[s].Normalized))
+		}
+		t.AddRow(cells...)
+	}
+	avg := r.Averages()
+	cells := []string{"average"}
+	for _, s := range r.Schemes {
+		cells = append(cells, report.F2(avg[s]))
+	}
+	t.AddRow(cells...)
+	return t.Render(w)
+}
+
+// Render writes the Figure 7 experiment: per-benchmark speedups by
+// compile-worker count, plus averages.
+func (r *Fig7Result) Render(w io.Writer) error {
+	cols := []string{"benchmark"}
+	for _, wk := range r.Workers {
+		cols = append(cols, fmt.Sprintf("%d cores", wk))
+	}
+	t := report.NewTable("Figure 7: speedup of concurrent JIT under the IAR schedule", cols...)
+	for _, row := range r.Rows {
+		cells := []string{row.Benchmark}
+		for _, wk := range r.Workers {
+			cells = append(cells, report.F3(row.SpeedupByWorkers[wk]))
+		}
+		t.AddRow(cells...)
+	}
+	avg := r.Averages()
+	cells := []string{"average"}
+	for _, wk := range r.Workers {
+		cells = append(cells, report.F3(avg[wk]))
+	}
+	t.AddRow(cells...)
+	return t.Render(w)
+}
+
+// RenderTable1 writes the benchmark-characteristics table: the paper's
+// numbers and the generated traces' actual shapes side by side.
+func RenderTable1(rows []Table1Row, w io.Writer) error {
+	t := report.NewTable("Table 1: benchmarks (paper values + generated-trace shape)",
+		"program", "parallelism", "#functions", "call seq (paper)", "time (paper, s)",
+		"gen length", "gen #funcs", "gen top-10 %", "sim default (ms)")
+	for _, r := range rows {
+		par := "seq"
+		if r.Parallel {
+			par = "parallel"
+		}
+		t.AddRow(r.Benchmark, par,
+			fmt.Sprintf("%d", r.Funcs),
+			fmt.Sprintf("%d", r.FullLength),
+			fmt.Sprintf("%.1f", r.DefaultSeconds),
+			fmt.Sprintf("%d", r.GenLength),
+			fmt.Sprintf("%d", r.GenUnique),
+			fmt.Sprintf("%.1f", r.GenTop10Pct),
+			fmt.Sprintf("%.1f", r.SimDefaultMs),
+		)
+	}
+	return t.Render(w)
+}
+
+// RenderTable2 writes the IAR-overhead table.
+func RenderTable2(rows []Table2Row, w io.Writer) error {
+	t := report.NewTable("Table 2: IAR algorithm time",
+		"program", "IAR time (s)", "program time (s)", "overhead (%)")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark,
+			fmt.Sprintf("%.4f", r.IARSeconds),
+			fmt.Sprintf("%.3f", r.ProgramSeconds),
+			fmt.Sprintf("%.2f", r.Percent),
+		)
+	}
+	return t.Render(w)
+}
+
+// RenderAStar writes the §6.2.5 feasibility study (A* plus the IDA*
+// extension).
+func RenderAStar(rows []AStarRow, w io.Writer) error {
+	t := report.NewTable("Search feasibility (§6.2.5): A* (memory-bound), IDA* (time-bound), beam (approximate)",
+		"algorithm", "unique funcs", "calls", "outcome", "nodes expanded", "stored/depth", "tree paths", "make-span")
+	for _, r := range rows {
+		outcome := "optimal found"
+		span := fmt.Sprintf("%d", r.MakeSpan)
+		if !r.Completed {
+			switch {
+			case r.MakeSpan > 0:
+				outcome = "approximate"
+			case r.Algo == "IDA*":
+				outcome = "out of time"
+				span = "-"
+			default:
+				outcome = "out of memory"
+				span = "-"
+			}
+		}
+		algo := r.Algo
+		if algo == "" {
+			algo = "A*"
+		}
+		t.AddRow(
+			algo,
+			fmt.Sprintf("%d", r.UniqueFuncs),
+			fmt.Sprintf("%d", r.Calls),
+			outcome,
+			fmt.Sprintf("%d", r.NodesExpanded),
+			fmt.Sprintf("%d", r.NodesAllocated),
+			fmt.Sprintf("%.3g", r.PathsTotal),
+			span,
+		)
+	}
+	return t.Render(w)
+}

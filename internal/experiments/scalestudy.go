@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+)
+
+// ScaleRow reports the Fig. 5 headline quantities at one trace scale.
+type ScaleRow struct {
+	// Scale multiplies the benchmarks' default trace lengths.
+	Scale float64
+	// IAR and Default are suite averages of normalized make-spans.
+	IAR, Default float64
+}
+
+// ScaleStudy re-runs the Fig. 5 comparison at several trace scales,
+// checking that the reproduction's conclusions are not artifacts of the
+// scaled-down traces: the default scheme's gap and IAR's near-optimality
+// must persist as the sequences grow toward the paper's full lengths.
+func ScaleStudy(opts Options, scales []float64) ([]ScaleRow, error) {
+	if len(scales) == 0 {
+		scales = []float64{0.5, 1, 2, 4}
+	}
+	rows := make([]ScaleRow, 0, len(scales))
+	for _, sc := range scales {
+		o := opts
+		o.Scale = sc
+		res, err := Fig5(o)
+		if err != nil {
+			return nil, err
+		}
+		avg := res.Averages()
+		rows = append(rows, ScaleRow{
+			Scale:   sc,
+			IAR:     avg[SchemeIAR],
+			Default: avg[SchemeDefault],
+		})
+	}
+	return rows, nil
+}
+
+// RenderScale writes the scale-robustness study.
+func RenderScale(rows []ScaleRow, w io.Writer) error {
+	t := report.NewTable("Scale robustness: Fig. 5 averages as traces grow",
+		"scale", "IAR / LB", "default / LB")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%gx", r.Scale), report.F3(r.IAR), report.F3(r.Default))
+	}
+	return t.Render(w)
+}

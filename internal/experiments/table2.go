@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Table2Row reports the IAR algorithm's own running time on one benchmark —
+// the overhead study of Table 2. The algorithm runs on the host machine; the
+// "whole program time" it is compared against is the simulated IAR make-span
+// read as wall time at one tick per microsecond, the same convention the
+// tick unit is designed around.
+type Table2Row struct {
+	Benchmark string
+	// IARSeconds is the measured wall time of one IAR invocation.
+	IARSeconds float64
+	// ProgramSeconds is the simulated make-span in seconds (ticks / 1e6).
+	ProgramSeconds float64
+	// Percent is IARSeconds / ProgramSeconds * 100.
+	Percent float64
+}
+
+// Table2 reproduces Table 2: the IAR algorithm's time overhead relative to
+// program execution time. The paper reports sub-1% overheads for most
+// benchmarks; the linear-time algorithm should land in the same regime here.
+func Table2(opts Options) ([]Table2Row, error) {
+	bs, err := opts.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, 0, len(bs))
+	for _, b := range bs {
+		w, err := b.Load(opts.scale())
+		if err != nil {
+			return nil, err
+		}
+		model := w.DefaultModel()
+
+		// Warm once (page in code paths), then time a small number of runs.
+		sched, err := core.IAR(w.Trace, w.Profile, core.IAROptions{Model: model, K: opts.IARK})
+		if err != nil {
+			return nil, err
+		}
+		const reps = 3
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := core.IAR(w.Trace, w.Profile, core.IAROptions{Model: model, K: opts.IARK}); err != nil {
+				return nil, err
+			}
+		}
+		iarSec := time.Since(start).Seconds() / reps
+
+		res, err := sim.Run(w.Trace, w.Profile, sched, sim.DefaultConfig(), sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		progSec := float64(res.MakeSpan) / 1e6
+		row := Table2Row{
+			Benchmark:      b.Name,
+			IARSeconds:     iarSec,
+			ProgramSeconds: progSec,
+		}
+		if progSec > 0 {
+			row.Percent = iarSec / progSec * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,49 @@
+package npc_test
+
+import (
+	"fmt"
+
+	"repro/internal/npc"
+)
+
+// ExampleReduce runs the Theorem 2 reduction on a PARTITION instance and
+// checks the bound with the canonical schedule of a balanced subset.
+func ExampleReduce() {
+	inst, err := npc.Reduce([]int64{5, 4, 3, 2}) // {4,3} | {5,2}
+	if err != nil {
+		panic(err)
+	}
+	sched, err := inst.ScheduleForSubset([]bool{false, true, true, false})
+	if err != nil {
+		panic(err)
+	}
+	span, err := inst.MakeSpan(sched)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bound=%d make-span=%d\n", inst.Bound, span)
+	// Output:
+	// bound=24 make-span=24
+}
+
+// ExampleReduceSAT walks the composed 3-SAT chain down to a scheduling
+// instance.
+func ExampleReduceSAT() {
+	f := &npc.Formula{Vars: 2, Clauses: []npc.Clause{{1, 2, 0}, {-1, 2, 0}}}
+	si, err := npc.ReduceSAT(f)
+	if err != nil {
+		panic(err)
+	}
+	assign := npc.SolveSATBruteForce(f)
+	sched, err := si.ScheduleForAssignment(assign)
+	if err != nil {
+		panic(err)
+	}
+	span, err := si.OCSP.MakeSpan(sched)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("assignment=%v meets-bound=%v\n", assign, span == si.OCSP.Bound)
+	// Output:
+	// assignment=[false true] meets-bound=true
+}

@@ -1,0 +1,187 @@
+// Package npc implements the constructive half of the paper's
+// NP-completeness result (§4.2): the polynomial reduction from PARTITION to
+// OCSP, together with the forward and backward mappings the proof uses.
+//
+// Given non-negative integers S = {s1..sn} with t = (Σ si)/2, the reduction
+// builds an OCSP instance with one function per element plus a prologue and
+// an epilogue function, such that the instance admits a schedule with
+// make-span exactly 2(1+t+n) if and only if S admits a partition into two
+// halves of sum t. The machine model is the paper's: one execution core, one
+// compilation core.
+//
+// The paper further strengthens the result to strong NP-completeness via a
+// 3-SAT reduction in a technical report that is not publicly available; that
+// construction is not reproduced here (see DESIGN.md).
+package npc
+
+import (
+	"fmt"
+
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Instance is a PARTITION-derived OCSP instance.
+type Instance struct {
+	// S is the original PARTITION multiset.
+	S []int64
+	// T is half the sum of S (the partition target).
+	T int64
+	// Trace calls the prologue function, each element function once (in
+	// index order), then the epilogue function.
+	Trace *trace.Trace
+	// Profile has two levels. Element function i (FuncID i+1) has
+	// c = {1, s_i+1} and e = {s_i+1, 1}. FuncID 0 is the prologue
+	// (c = {1,1}, e = {t+n, t+n}); FuncID n+1 is the epilogue
+	// (c = {t+n, t+n}, e = {1, 1}).
+	Profile *profile.Profile
+	// Bound is the make-span achievable iff a partition exists: 2(1+t+n).
+	Bound int64
+}
+
+// Reduce builds the OCSP instance for a PARTITION input. The element sum
+// must be even (an odd sum is trivially unpartitionable, and the reduction's
+// target t would not be integral).
+func Reduce(s []int64) (*Instance, error) {
+	if len(s) == 0 {
+		return nil, fmt.Errorf("npc: PARTITION instance must have at least one element")
+	}
+	var sum int64
+	for i, v := range s {
+		if v < 0 {
+			return nil, fmt.Errorf("npc: element %d is negative (%d)", i, v)
+		}
+		sum += v
+	}
+	if sum%2 != 0 {
+		return nil, fmt.Errorf("npc: element sum %d is odd; no partition can exist", sum)
+	}
+	t := sum / 2
+	n := int64(len(s))
+
+	funcs := make([]profile.FuncTimes, 0, len(s)+2)
+	funcs = append(funcs, profile.FuncTimes{ // prologue
+		Name: "first", Size: 1,
+		Compile: []int64{1, 1},
+		Exec:    []int64{t + n, t + n},
+	})
+	for i, v := range s {
+		funcs = append(funcs, profile.FuncTimes{
+			Name: fmt.Sprintf("s%d", i), Size: 1,
+			Compile: []int64{1, v + 1},
+			Exec:    []int64{v + 1, 1},
+		})
+	}
+	funcs = append(funcs, profile.FuncTimes{ // epilogue
+		Name: "last", Size: 1,
+		Compile: []int64{t + n, t + n},
+		Exec:    []int64{1, 1},
+	})
+
+	calls := make([]trace.FuncID, 0, len(s)+2)
+	for i := 0; i <= len(s)+1; i++ {
+		calls = append(calls, trace.FuncID(i))
+	}
+
+	inst := &Instance{
+		S:       append([]int64(nil), s...),
+		T:       t,
+		Trace:   trace.New("partition", calls),
+		Profile: &profile.Profile{Levels: 2, Funcs: funcs},
+		Bound:   2 * (1 + t + n),
+	}
+	return inst, nil
+}
+
+// ScheduleForSubset builds the schedule the proof's forward direction
+// prescribes for a candidate subset X (inSubset[i] == true ⇔ s_i ∈ X):
+// compile the prologue, then each element function — at level 0 if it is in
+// X, at level 1 otherwise — in execution order, then the epilogue. If X sums
+// to t, replaying this schedule yields make-span exactly Instance.Bound.
+func (inst *Instance) ScheduleForSubset(inSubset []bool) (sim.Schedule, error) {
+	if len(inSubset) != len(inst.S) {
+		return nil, fmt.Errorf("npc: subset mask has %d entries for %d elements", len(inSubset), len(inst.S))
+	}
+	sched := make(sim.Schedule, 0, len(inst.S)+2)
+	sched = append(sched, sim.CompileEvent{Func: 0, Level: 0})
+	for i := range inst.S {
+		level := profile.Level(1)
+		if inSubset[i] {
+			level = 0
+		}
+		sched = append(sched, sim.CompileEvent{Func: trace.FuncID(i + 1), Level: level})
+	}
+	sched = append(sched, sim.CompileEvent{Func: trace.FuncID(len(inst.S) + 1), Level: 0})
+	return sched, nil
+}
+
+// MakeSpan replays a schedule on the instance's two-machine model.
+func (inst *Instance) MakeSpan(sched sim.Schedule) (int64, error) {
+	res, err := sim.Run(inst.Trace, inst.Profile, sched, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return res.MakeSpan, nil
+}
+
+// SubsetFromSchedule inverts the reduction (the proof's backward direction):
+// given a schedule achieving the bound, the element functions compiled at
+// level 0 form a subset of S summing to t. It returns the subset mask. The
+// schedule need not be the canonical one, but each element function's
+// effective level is taken from its last compilation event.
+func (inst *Instance) SubsetFromSchedule(sched sim.Schedule) ([]bool, error) {
+	span, err := inst.MakeSpan(sched)
+	if err != nil {
+		return nil, err
+	}
+	if span != inst.Bound {
+		return nil, fmt.Errorf("npc: schedule has make-span %d, not the bound %d", span, inst.Bound)
+	}
+	levels := make(map[trace.FuncID]profile.Level)
+	for _, ev := range sched {
+		levels[ev.Func] = ev.Level
+	}
+	mask := make([]bool, len(inst.S))
+	var sum int64
+	for i := range inst.S {
+		if levels[trace.FuncID(i+1)] == 0 {
+			mask[i] = true
+			sum += inst.S[i]
+		}
+	}
+	if sum != inst.T {
+		return nil, fmt.Errorf("npc: level-0 subset sums to %d, want %d (schedule meets the bound by other means?)", sum, inst.T)
+	}
+	return mask, nil
+}
+
+// SolveBruteForce enumerates subsets to decide the PARTITION instance
+// directly (exponential; for cross-checking small instances). It returns a
+// witness mask, or nil if no partition exists.
+func SolveBruteForce(s []int64) []bool {
+	var sum int64
+	for _, v := range s {
+		sum += v
+	}
+	if sum%2 != 0 || len(s) > 30 {
+		return nil
+	}
+	t := sum / 2
+	for mask := 0; mask < 1<<len(s); mask++ {
+		var acc int64
+		for i, v := range s {
+			if mask&(1<<i) != 0 {
+				acc += v
+			}
+		}
+		if acc == t {
+			out := make([]bool, len(s))
+			for i := range s {
+				out[i] = mask&(1<<i) != 0
+			}
+			return out
+		}
+	}
+	return nil
+}

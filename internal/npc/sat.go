@@ -1,0 +1,299 @@
+package npc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// This file composes the classic textbook reductions 3-SAT → SUBSET-SUM →
+// PARTITION with this package's PARTITION → OCSP construction, yielding an
+// executable 3-SAT → OCSP pipeline: a formula is satisfiable iff the derived
+// compilation-scheduling instance admits a schedule meeting its make-span
+// bound.
+//
+// The paper proves OCSP *strongly* NP-complete via a direct 3-SAT reduction
+// in a technical report that is not publicly available. The chain here
+// passes through SUBSET-SUM, whose numbers grow exponentially with the
+// formula size, so it establishes ordinary NP-hardness only — the strong
+// version needs the tech report's polynomial-magnitude construction. The
+// pipeline is still a faithful, checkable artifact of the reducibility
+// claim, and it bounds usable formulas to roughly 17 digits (variables +
+// clauses) in int64 arithmetic.
+
+// Literal is a 3-SAT literal: a 1-based variable index, negative for a
+// negated variable.
+type Literal int
+
+// Clause is a disjunction of up to three literals (fewer are allowed;
+// duplicated literals are allowed, as in standard 3-SAT padding).
+type Clause [3]Literal
+
+// Formula is a 3-CNF formula over variables 1..Vars.
+type Formula struct {
+	Vars    int
+	Clauses []Clause
+}
+
+// Validate checks literal ranges. A zero literal slot marks an absent
+// literal (clauses may hold one to three literals; at least one required).
+func (f *Formula) Validate() error {
+	if f.Vars < 1 {
+		return fmt.Errorf("npc: formula needs at least one variable, got %d", f.Vars)
+	}
+	if len(f.Clauses) == 0 {
+		return fmt.Errorf("npc: formula needs at least one clause")
+	}
+	for ci, c := range f.Clauses {
+		nonzero := 0
+		for _, l := range c {
+			if l == 0 {
+				continue
+			}
+			nonzero++
+			v := int(l)
+			if v < 0 {
+				v = -v
+			}
+			if v > f.Vars {
+				return fmt.Errorf("npc: clause %d references variable %d beyond %d", ci, v, f.Vars)
+			}
+		}
+		if nonzero == 0 {
+			return fmt.Errorf("npc: clause %d is empty", ci)
+		}
+	}
+	return nil
+}
+
+// Eval reports whether the assignment (assign[i] is the value of variable
+// i+1) satisfies the formula.
+func (f *Formula) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if l == 0 {
+				continue
+			}
+			v := int(l)
+			neg := false
+			if v < 0 {
+				v, neg = -v, true
+			}
+			if assign[v-1] != neg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveSATBruteForce finds a satisfying assignment by enumeration (formulas
+// of up to ~20 variables), or returns nil.
+func SolveSATBruteForce(f *Formula) []bool {
+	if f.Vars > 24 {
+		return nil
+	}
+	assign := make([]bool, f.Vars)
+	for mask := 0; mask < 1<<f.Vars; mask++ {
+		for i := range assign {
+			assign[i] = mask&(1<<i) != 0
+		}
+		if f.Eval(assign) {
+			out := make([]bool, f.Vars)
+			copy(out, assign)
+			return out
+		}
+	}
+	return nil
+}
+
+// SubsetSumInstance is a SUBSET-SUM instance: does a subset of S sum to T?
+type SubsetSumInstance struct {
+	S []int64
+	T int64
+	// varElem[i][0] is the element index for variable i+1 being true,
+	// varElem[i][1] for false; slackElem[j] are the two slack elements of
+	// clause j. Kept so satisfying assignments map to subsets.
+	varElem   [][2]int
+	slackElem [][2]int
+	formula   *Formula
+}
+
+// ReduceSATToSubsetSum runs the standard digit construction: one base-10
+// digit per variable plus one per clause. The true/false element of each
+// variable carries a 1 in its variable digit and a 1 in each clause digit
+// where the corresponding literal appears; each clause gets slack elements
+// worth 1 and 2. The target has a 1 in every variable digit and a 4 in
+// every clause digit — reachable exactly when every clause has a true
+// literal. Base 10 keeps digits carry-free (a clause digit sums to at most
+// 3 literals + 3 slack = 6 < 10).
+func ReduceSATToSubsetSum(f *Formula) (*SubsetSumInstance, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	digits := f.Vars + len(f.Clauses)
+	if digits > 17 {
+		return nil, fmt.Errorf("npc: formula needs %d digits; int64 arithmetic allows 17", digits)
+	}
+	pow := make([]int64, digits)
+	pow[0] = 1
+	for i := 1; i < digits; i++ {
+		pow[i] = pow[i-1] * 10
+	}
+	// Digit layout: variable i (1-based) is digit i-1; clause j is digit
+	// Vars+j.
+	inst := &SubsetSumInstance{
+		formula:   f,
+		varElem:   make([][2]int, f.Vars),
+		slackElem: make([][2]int, len(f.Clauses)),
+	}
+	add := func(v int64) int {
+		inst.S = append(inst.S, v)
+		return len(inst.S) - 1
+	}
+	for i := 1; i <= f.Vars; i++ {
+		tv := pow[i-1]
+		fv := pow[i-1]
+		for j, c := range f.Clauses {
+			for _, l := range c {
+				switch {
+				case int(l) == i:
+					tv += pow[f.Vars+j]
+				case int(l) == -i:
+					fv += pow[f.Vars+j]
+				}
+			}
+		}
+		inst.varElem[i-1] = [2]int{add(tv), add(fv)}
+	}
+	for j := range f.Clauses {
+		inst.slackElem[j] = [2]int{add(pow[f.Vars+j]), add(2 * pow[f.Vars+j])}
+	}
+	inst.T = 0
+	for i := 0; i < f.Vars; i++ {
+		inst.T += pow[i]
+	}
+	for j := range f.Clauses {
+		inst.T += 4 * pow[f.Vars+j]
+	}
+	return inst, nil
+}
+
+// SubsetForAssignment maps a satisfying assignment to a subset of S summing
+// to T (the forward direction of the reduction). It errors if the
+// assignment does not satisfy the formula.
+func (inst *SubsetSumInstance) SubsetForAssignment(assign []bool) ([]bool, error) {
+	f := inst.formula
+	if len(assign) != f.Vars {
+		return nil, fmt.Errorf("npc: assignment has %d values for %d variables", len(assign), f.Vars)
+	}
+	if !f.Eval(assign) {
+		return nil, fmt.Errorf("npc: assignment does not satisfy the formula")
+	}
+	mask := make([]bool, len(inst.S))
+	for i, val := range assign {
+		if val {
+			mask[inst.varElem[i][0]] = true
+		} else {
+			mask[inst.varElem[i][1]] = true
+		}
+	}
+	for j, c := range f.Clauses {
+		satisfied := 0
+		for _, l := range c {
+			if l == 0 {
+				continue
+			}
+			v := int(l)
+			neg := false
+			if v < 0 {
+				v, neg = -v, true
+			}
+			if assign[v-1] != neg {
+				satisfied++
+			}
+		}
+		// Top the clause digit up from `satisfied` to 4 with slack 1 and/or
+		// 2 (satisfied is 1..3 here).
+		switch 4 - satisfied {
+		case 1:
+			mask[inst.slackElem[j][0]] = true
+		case 2:
+			mask[inst.slackElem[j][1]] = true
+		case 3:
+			mask[inst.slackElem[j][0]] = true
+			mask[inst.slackElem[j][1]] = true
+		}
+	}
+	return mask, nil
+}
+
+// ReduceSubsetSumToPartition is the textbook two-element padding: given
+// (S, T) with total Σ and 0 <= T <= Σ, the set S ∪ {2Σ-T, Σ+T} has a
+// partition iff some subset of S sums to T. (Both new elements exceed Σ
+// together, so they land on opposite sides; the side holding Σ+T needs
+// exactly T more from S.)
+func ReduceSubsetSumToPartition(inst *SubsetSumInstance) ([]int64, error) {
+	var sigma int64
+	for _, v := range inst.S {
+		if v < 0 {
+			return nil, fmt.Errorf("npc: negative subset-sum element")
+		}
+		sigma += v
+	}
+	if inst.T < 0 || inst.T > sigma {
+		return nil, fmt.Errorf("npc: target %d outside [0,%d]", inst.T, sigma)
+	}
+	out := append([]int64(nil), inst.S...)
+	out = append(out, 2*sigma-inst.T, sigma+inst.T)
+	return out, nil
+}
+
+// SATInstance bundles the full 3-SAT → OCSP chain.
+type SATInstance struct {
+	Formula   *Formula
+	SubsetSum *SubsetSumInstance
+	// Partition is SubsetSum.S plus the two padding elements (at the end).
+	Partition []int64
+	// OCSP is the scheduling instance; a schedule with make-span OCSP.Bound
+	// exists iff the formula is satisfiable.
+	OCSP *Instance
+}
+
+// ReduceSAT composes the chain.
+func ReduceSAT(f *Formula) (*SATInstance, error) {
+	ss, err := ReduceSATToSubsetSum(f)
+	if err != nil {
+		return nil, err
+	}
+	part, err := ReduceSubsetSumToPartition(ss)
+	if err != nil {
+		return nil, err
+	}
+	ocsp, err := Reduce(part)
+	if err != nil {
+		return nil, err
+	}
+	return &SATInstance{Formula: f, SubsetSum: ss, Partition: part, OCSP: ocsp}, nil
+}
+
+// ScheduleForAssignment maps a satisfying assignment through the whole
+// chain to a compilation schedule achieving the OCSP bound: assignment →
+// subset summing to T → balanced partition (the padding element 2Σ-T joins
+// the subset's side: T + (2Σ-T) = 2Σ, half of the 4Σ total) → the canonical
+// bound-achieving schedule.
+func (si *SATInstance) ScheduleForAssignment(assign []bool) (sim.Schedule, error) {
+	subset, err := si.SubsetSum.SubsetForAssignment(assign)
+	if err != nil {
+		return nil, err
+	}
+	mask := make([]bool, len(si.Partition))
+	copy(mask, subset)
+	mask[len(si.Partition)-2] = true // 2Σ-T
+	return si.OCSP.ScheduleForSubset(mask)
+}

@@ -1,0 +1,265 @@
+package npc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sampleFormulas: a satisfiable and an unsatisfiable 3-CNF.
+func satisfiableFormula() *Formula {
+	// (x1 ∨ x2 ∨ ¬x3) ∧ (¬x1 ∨ x3 ∨ x3) ∧ (¬x2 ∨ ¬x3 ∨ x1)
+	return &Formula{Vars: 3, Clauses: []Clause{
+		{1, 2, -3},
+		{-1, 3, 3},
+		{-2, -3, 1},
+	}}
+}
+
+func unsatisfiableFormula() *Formula {
+	// All eight sign patterns over three variables: no assignment satisfies
+	// all of them.
+	var cs []Clause
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			for c := 0; c < 2; c++ {
+				lit := func(v int, neg int) Literal {
+					if neg == 1 {
+						return Literal(-v)
+					}
+					return Literal(v)
+				}
+				cs = append(cs, Clause{lit(1, a), lit(2, b), lit(3, c)})
+			}
+		}
+	}
+	return &Formula{Vars: 3, Clauses: cs}
+}
+
+func TestFormulaValidate(t *testing.T) {
+	if err := satisfiableFormula().Validate(); err != nil {
+		t.Errorf("valid formula rejected: %v", err)
+	}
+	bad := &Formula{Vars: 2, Clauses: []Clause{{3, 0, 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for out-of-range variable")
+	}
+	if err := (&Formula{Vars: 1, Clauses: []Clause{{}}}).Validate(); err == nil {
+		t.Error("want error for empty clause")
+	}
+	if err := (&Formula{Vars: 0}).Validate(); err == nil {
+		t.Error("want error for no variables")
+	}
+	if err := (&Formula{Vars: 1}).Validate(); err == nil {
+		t.Error("want error for no clauses")
+	}
+}
+
+func TestSolveSATBruteForce(t *testing.T) {
+	if SolveSATBruteForce(satisfiableFormula()) == nil {
+		t.Error("satisfiable formula declared unsat")
+	}
+	if SolveSATBruteForce(unsatisfiableFormula()) != nil {
+		t.Error("unsatisfiable formula declared sat")
+	}
+}
+
+func TestSubsetSumDigits(t *testing.T) {
+	f := satisfiableFormula()
+	ss, err := ReduceSATToSubsetSum(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 elements per variable + 2 per clause.
+	if len(ss.S) != 2*f.Vars+2*len(f.Clauses) {
+		t.Fatalf("got %d elements", len(ss.S))
+	}
+	// Forward direction: a satisfying assignment's subset sums to T.
+	assign := SolveSATBruteForce(f)
+	mask, err := ss.SubsetForAssignment(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for i, in := range mask {
+		if in {
+			sum += ss.S[i]
+		}
+	}
+	if sum != ss.T {
+		t.Errorf("subset sums to %d, want %d", sum, ss.T)
+	}
+	// A non-satisfying assignment is rejected: x1=F, x2=F, x3=T falsifies
+	// the first clause (F ∨ F ∨ ¬T).
+	bad := []bool{false, false, true}
+	if f.Eval(bad) {
+		t.Fatal("assignment unexpectedly satisfies the formula")
+	}
+	if _, err := ss.SubsetForAssignment(bad); err == nil {
+		t.Error("want error for non-satisfying assignment")
+	}
+}
+
+// TestSubsetSumEquivalence: brute-forced SUBSET-SUM solvability matches
+// brute-forced satisfiability on random small formulas.
+func TestSubsetSumEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		f := randomFormula(rng, 3, 3)
+		ss, err := ReduceSATToSubsetSum(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		satisfiable := SolveSATBruteForce(f) != nil
+		subsetExists := subsetSumBruteForce(ss.S, ss.T)
+		if satisfiable != subsetExists {
+			t.Errorf("trial %d: satisfiable=%v but subset-sum solvable=%v\nformula=%+v",
+				trial, satisfiable, subsetExists, f)
+		}
+	}
+}
+
+func randomFormula(rng *rand.Rand, vars, clauses int) *Formula {
+	f := &Formula{Vars: vars}
+	for j := 0; j < clauses; j++ {
+		var c Clause
+		for k := 0; k < 3; k++ {
+			v := 1 + rng.Intn(vars)
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			c[k] = Literal(v)
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+func subsetSumBruteForce(s []int64, target int64) bool {
+	for mask := 0; mask < 1<<len(s); mask++ {
+		var sum int64
+		for i, v := range s {
+			if mask&(1<<i) != 0 {
+				sum += v
+			}
+		}
+		if sum == target {
+			return true
+		}
+	}
+	return false
+}
+
+func TestReduceSubsetSumToPartition(t *testing.T) {
+	ss := &SubsetSumInstance{S: []int64{3, 5, 2}, T: 5}
+	part, err := ReduceSubsetSumToPartition(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Σ=10: padding elements 15 and 15; total 40, half 20: {5, 15} works.
+	if len(part) != 5 {
+		t.Fatalf("got %d elements", len(part))
+	}
+	if SolveBruteForce(part) == nil {
+		t.Error("solvable instance has no partition")
+	}
+	// Unsolvable: S={2,4}, T=3.
+	ss2 := &SubsetSumInstance{S: []int64{2, 4}, T: 3}
+	part2, err := ReduceSubsetSumToPartition(ss2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SolveBruteForce(part2) != nil {
+		t.Error("unsolvable instance got a partition")
+	}
+	// Bad target.
+	if _, err := ReduceSubsetSumToPartition(&SubsetSumInstance{S: []int64{1}, T: 5}); err == nil {
+		t.Error("want error for target beyond total")
+	}
+}
+
+// TestSATChainForward: a satisfiable formula's assignment walks the whole
+// chain down to a schedule achieving the OCSP bound.
+func TestSATChainForward(t *testing.T) {
+	f := satisfiableFormula()
+	si, err := ReduceSAT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := SolveSATBruteForce(f)
+	sched, err := si.ScheduleForAssignment(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, err := si.OCSP.MakeSpan(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != si.OCSP.Bound {
+		t.Errorf("make-span %d, want bound %d", span, si.OCSP.Bound)
+	}
+	// And the partition can be read back out of the schedule.
+	if _, err := si.OCSP.SubsetFromSchedule(sched); err != nil {
+		t.Errorf("backward extraction failed: %v", err)
+	}
+}
+
+// TestSATChainUnsat: for an unsatisfiable formula, no subset schedule meets
+// the bound (checked by brute force over the partition instance).
+func TestSATChainUnsat(t *testing.T) {
+	// Use 2 variables to keep the brute-force space small: all four sign
+	// patterns over 2 variables.
+	f := &Formula{Vars: 2, Clauses: []Clause{
+		{1, 2, 2}, {1, -2, -2}, {-1, 2, 2}, {-1, -2, -2},
+	}}
+	if SolveSATBruteForce(f) != nil {
+		t.Fatal("formula unexpectedly satisfiable")
+	}
+	si, err := ReduceSAT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SolveBruteForce(si.Partition) != nil {
+		t.Error("unsatisfiable formula yielded a partitionable instance")
+	}
+}
+
+// TestSATChainEquivalenceRandom fuzzes the full chain on random formulas.
+func TestSATChainEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		f := randomFormula(rng, 2, 3)
+		si, err := ReduceSAT(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign := SolveSATBruteForce(f)
+		partitionable := SolveBruteForce(si.Partition) != nil
+		if (assign != nil) != partitionable {
+			t.Errorf("trial %d: sat=%v partitionable=%v", trial, assign != nil, partitionable)
+			continue
+		}
+		if assign != nil {
+			sched, err := si.ScheduleForAssignment(assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			span, err := si.OCSP.MakeSpan(sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if span != si.OCSP.Bound {
+				t.Errorf("trial %d: make-span %d != bound %d", trial, span, si.OCSP.Bound)
+			}
+		}
+	}
+}
+
+func TestReduceSATLimits(t *testing.T) {
+	big := &Formula{Vars: 10, Clauses: make([]Clause, 10)}
+	for i := range big.Clauses {
+		big.Clauses[i] = Clause{1, 2, 3}
+	}
+	if _, err := ReduceSATToSubsetSum(big); err == nil {
+		t.Error("want error for formulas beyond int64 digit capacity")
+	}
+}

@@ -1,0 +1,330 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func workload(seed int64) (*trace.Trace, *profile.Profile) {
+	tr := trace.MustGenerate(trace.GenConfig{
+		Name: "wl", NumFuncs: 300, Length: 60000, Seed: seed,
+		ZipfS: 1.5, Phases: 3, CoreFuncs: 30, CoreShare: 0.5, BurstMean: 3,
+		WarmupFrac: 0.1, WarmupCoverage: 0.7,
+	})
+	p := profile.MustSynthesize(300, profile.DefaultTiming(4, seed+1))
+	return tr, p
+}
+
+func TestNewJikesValidation(t *testing.T) {
+	p := profile.MustSynthesize(3, profile.DefaultTiming(4, 1))
+	o := profile.NewOracle(p)
+	if _, err := NewJikes(nil, 3, 100); err == nil {
+		t.Error("want error for nil model")
+	}
+	if _, err := NewJikes(o, -1, 100); err == nil {
+		t.Error("want error for negative nfuncs")
+	}
+	if _, err := NewJikes(o, 3, 0); err == nil {
+		t.Error("want error for zero period")
+	}
+}
+
+func TestJikesFirstCallIsLowestLevel(t *testing.T) {
+	tr, p := workload(1)
+	pol, err := NewJikes(profile.NewOracle(p), p.NumFuncs(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunPolicy(tr, p, pol, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make(map[trace.FuncID]bool)
+	for _, c := range res.Compiles {
+		if !first[c.Event.Func] {
+			first[c.Event.Func] = true
+			if c.Event.Level != 0 {
+				t.Fatalf("first compilation of %d at level %d, want 0", c.Event.Func, c.Event.Level)
+			}
+		}
+	}
+	if len(first) != tr.UniqueFuncs() {
+		t.Errorf("compiled %d functions, trace calls %d", len(first), tr.UniqueFuncs())
+	}
+}
+
+func TestJikesRecompilesHotFunctions(t *testing.T) {
+	tr, p := workload(2)
+	pol, err := NewJikes(profile.NewOracle(p), p.NumFuncs(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunPolicy(tr, p, pol, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recompiles := 0
+	perFunc := make(map[trace.FuncID]int)
+	for _, c := range res.Compiles {
+		perFunc[c.Event.Func]++
+		if perFunc[c.Event.Func] > 1 {
+			recompiles++
+			if c.Event.Level == 0 {
+				t.Fatalf("recompilation of %d at level 0", c.Event.Func)
+			}
+		}
+	}
+	if recompiles == 0 {
+		t.Error("Jikes policy never recompiled anything on a hot workload")
+	}
+	// The hottest function must get recompiled.
+	counts := tr.Counts()
+	hottest := trace.FuncID(0)
+	for f, n := range counts {
+		if n > counts[hottest] {
+			hottest = trace.FuncID(f)
+		}
+	}
+	if perFunc[hottest] < 2 {
+		t.Errorf("hottest function %d was never recompiled", hottest)
+	}
+}
+
+// TestJikesLevelsNeverDecrease: recompilation requests only go up in level.
+func TestJikesLevelsNeverDecrease(t *testing.T) {
+	tr, p := workload(3)
+	pol, err := NewJikes(profile.NewEstimated(p, profile.DefaultEstimatedConfig(7)), p.NumFuncs(), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunPolicy(tr, p, pol, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastLevel := make(map[trace.FuncID]profile.Level)
+	for _, c := range res.Compiles {
+		if prev, ok := lastLevel[c.Event.Func]; ok && c.Event.Level <= prev {
+			t.Fatalf("function %d recompiled at level %d after level %d", c.Event.Func, c.Event.Level, prev)
+		}
+		lastLevel[c.Event.Func] = c.Event.Level
+	}
+}
+
+// TestJikesSamplingPeriodMatters: sampling less often delays recompilation
+// and can only make the make-span worse or equal.
+func TestJikesSamplingPeriodMatters(t *testing.T) {
+	tr, p := workload(4)
+	spans := make([]int64, 0, 3)
+	for _, period := range []int64{2000, 50000, 2000000} {
+		pol, err := NewJikes(profile.NewOracle(p), p.NumFuncs(), period)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.RunPolicy(tr, p, pol, sim.DefaultConfig(), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans = append(spans, res.MakeSpan)
+	}
+	if !(spans[0] < spans[2]) {
+		t.Errorf("coarser sampling should eventually hurt: spans %v", spans)
+	}
+}
+
+func TestJikesOrganizerBatches(t *testing.T) {
+	tr, p := workload(6)
+	if _, err := NewJikesOrganizer(profile.NewOracle(p), p.NumFuncs(), 5000, 0); err == nil {
+		t.Error("want error for non-positive organizer period")
+	}
+	pol, err := NewJikesOrganizer(profile.NewOracle(p), p.NumFuncs(), 5000, 80000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunPolicy(tr, p, pol, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recompiles := 0
+	perFunc := map[trace.FuncID]int{}
+	for _, c := range res.Compiles {
+		perFunc[c.Event.Func]++
+		if perFunc[c.Event.Func] > 1 {
+			recompiles++
+		}
+	}
+	if recompiles == 0 {
+		t.Error("organizer variant never recompiled anything")
+	}
+	// The organizer variant must stay in the same performance regime as the
+	// per-sample variant: same scheme, batched decisions.
+	perSample, err := NewJikes(profile.NewOracle(p), p.NumFuncs(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sim.RunPolicy(tr, p, perSample, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res.MakeSpan) / float64(ref.MakeSpan)
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Errorf("organizer variant diverges from per-sample: ratio %.2f", ratio)
+	}
+}
+
+func TestPlannedPolicyEqualsReplay(t *testing.T) {
+	tr, p := workload(7)
+	sched, err := core.IAR(tr, p, core.IAROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := sim.Run(tr, p, sched, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, err := sim.RunPolicy(tr, p, NewPlanned(sched), sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Installing the whole plan at time zero is exactly the static replay.
+	if online.MakeSpan != replay.MakeSpan {
+		t.Errorf("planned policy make-span %d != replay %d", online.MakeSpan, replay.MakeSpan)
+	}
+}
+
+func TestPlannedPolicyFallsBack(t *testing.T) {
+	p := &profile.Profile{
+		Levels: 2,
+		Funcs: []profile.FuncTimes{
+			{Compile: []int64{1, 5}, Exec: []int64{10, 2}},
+			{Compile: []int64{3, 9}, Exec: []int64{10, 2}},
+		},
+	}
+	// The plan only covers function 0; function 1 must fall back to
+	// on-demand level 0.
+	tr := trace.New("t", []trace.FuncID{0, 1})
+	plan := sim.Schedule{{Func: 0, Level: 1}}
+	res, err := sim.RunPolicy(tr, p, NewPlanned(plan), sim.DefaultConfig(), sim.Options{RecordCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compiles) != 2 {
+		t.Fatalf("expected 2 compilations, got %d", len(res.Compiles))
+	}
+	var sawFallback bool
+	for _, c := range res.Compiles {
+		if c.Event.Func == 1 {
+			sawFallback = true
+			if c.Event.Level != 0 {
+				t.Errorf("fallback compiled at level %d, want 0", c.Event.Level)
+			}
+		}
+	}
+	if !sawFallback {
+		t.Error("unplanned function was never compiled")
+	}
+}
+
+func TestNewV8Validation(t *testing.T) {
+	if _, err := NewV8(0); err == nil {
+		t.Error("want error for high level < 1")
+	}
+}
+
+func TestV8SecondInvocationPromotes(t *testing.T) {
+	p := &profile.Profile{
+		Levels: 2,
+		Funcs: []profile.FuncTimes{
+			{Compile: []int64{1, 10}, Exec: []int64{20, 2}},
+			{Compile: []int64{1, 10}, Exec: []int64{20, 2}},
+		},
+	}
+	// f0 called three times, f1 once: f0 gets low then high; f1 only low.
+	tr := trace.New("t", []trace.FuncID{0, 0, 1, 0})
+	pol, err := NewV8(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunPolicy(tr, p, pol, sim.DefaultConfig(), sim.Options{RecordCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := res.ScheduleOf()
+	want := sim.Schedule{{Func: 0, Level: 0}, {Func: 0, Level: 1}, {Func: 1, Level: 0}}
+	if len(sched) != len(want) {
+		t.Fatalf("schedule %v, want %v", sched, want)
+	}
+	for i := range want {
+		if sched[i] != want[i] {
+			t.Fatalf("schedule %v, want %v", sched, want)
+		}
+	}
+	// Timeline: c0l done 1, e0 [1,21); second call requests high at 21
+	// (done 31), starts 21 at low [21,41); f1 low done 42, e1 [42,62);
+	// fourth call at 62 uses high: [62,64).
+	if res.MakeSpan != 64 {
+		t.Errorf("make-span = %d, want 64", res.MakeSpan)
+	}
+	if lv := res.CallLevels[3]; lv != 1 {
+		t.Errorf("fourth call ran at level %d, want 1", lv)
+	}
+}
+
+func TestOnDemandPolicies(t *testing.T) {
+	tr, p := workload(5)
+	// Level-0 on-demand equals the base-level single-level scheme replayed
+	// online: same levels, compile at first call.
+	res, err := sim.RunPolicy(tr, p, NewOnDemand(nil), sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Compiles {
+		if c.Event.Level != 0 {
+			t.Fatalf("nil-levels on-demand compiled at level %d", c.Event.Level)
+		}
+	}
+	if got, want := len(res.Compiles), tr.UniqueFuncs(); got != want {
+		t.Errorf("%d compilations, want %d", got, want)
+	}
+
+	levels := core.SingleCoreLevels(tr, profile.NewOracle(p))
+	res2, err := sim.RunPolicy(tr, p, NewOnDemand(levels), sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res2.Compiles {
+		if c.Event.Level != levels[c.Event.Func] {
+			t.Fatalf("on-demand compiled %d at %d, want %d", c.Event.Func, c.Event.Level, levels[c.Event.Func])
+		}
+	}
+}
+
+// TestOnlineNeverBeatsIARReplay: the online schemes face queueing delays a
+// precomputed IAR schedule does not; IAR should win on these workloads.
+func TestOnlineNeverBeatsIARReplay(t *testing.T) {
+	for seed := int64(11); seed < 14; seed++ {
+		tr, p := workload(seed)
+		iar, err := core.IAR(tr, p, core.IAROptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iarRes, err := sim.Run(tr, p, iar, sim.DefaultConfig(), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := NewJikes(profile.NewOracle(p), p.NumFuncs(), 50000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jikesRes, err := sim.RunPolicy(tr, p, pol, sim.DefaultConfig(), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jikesRes.MakeSpan < iarRes.MakeSpan {
+			t.Errorf("seed %d: Jikes (%d) beat IAR (%d)", seed, jikesRes.MakeSpan, iarRes.MakeSpan)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package predict_test
+
+import (
+	"fmt"
+
+	"repro/internal/predict"
+	"repro/internal/trace"
+)
+
+// ExampleRepository_Predict learns from two recorded runs and predicts the
+// next run's call sequence.
+func ExampleRepository_Predict() {
+	repo := predict.NewRepository()
+	repo.Add(trace.New("run", []trace.FuncID{0, 1, 1, 1, 2}))
+	repo.Add(trace.New("run", []trace.FuncID{0, 1, 1, 1, 1, 1, 2}))
+	pred, err := repo.Predict()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("len=%d counts=%v order=%v\n", pred.Len(), pred.Counts(), pred.FirstCallOrder())
+	// Output:
+	// len=6 counts=[1 4 1] order=[0 1 2]
+}
+
+// ExampleEvaluate scores a prediction against the run that actually
+// happened.
+func ExampleEvaluate() {
+	predicted := trace.New("p", []trace.FuncID{0, 1, 1})
+	actual := trace.New("a", []trace.FuncID{0, 1, 1, 1})
+	acc := predict.Evaluate(predicted, actual)
+	fmt.Printf("coverage=%.2f countErr=%.2f orderAgreement=%.2f\n",
+		acc.Coverage, acc.CountError, acc.FirstOrderAgreement)
+	// Output:
+	// coverage=1.00 countErr=0.25 orderAgreement=1.00
+}

@@ -1,0 +1,237 @@
+// Package predict implements cross-run call-sequence prediction — the first
+// barrier §8 of the paper identifies between the IAR algorithm and a
+// deployable runtime: "getting or estimating the call sequence of a
+// production run ... could be tackled through some recently developed
+// techniques, such as cross-run learning and prediction".
+//
+// A Repository accumulates the call traces of past runs of a program (the
+// cross-run profile repository of Arnold et al., cited by the paper) and
+// predicts the next run's call sequence from three per-function statistics:
+// how often the function is called, where in the run it first appears, and
+// over which window of the run its calls spread. The predicted sequence is
+// exactly what IAR consumes: a first-appearance order plus per-function call
+// volumes with a rough temporal layout.
+package predict
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Repository accumulates traces of past runs.
+type Repository struct {
+	runs []*trace.Trace
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository { return &Repository{} }
+
+// Add records one past run. The trace is retained by reference; callers
+// must not mutate it afterwards.
+func (r *Repository) Add(t *trace.Trace) { r.runs = append(r.runs, t) }
+
+// Runs returns the number of recorded runs.
+func (r *Repository) Runs() int { return len(r.runs) }
+
+// funcStats aggregates one function's behaviour across runs.
+type funcStats struct {
+	f          trace.FuncID
+	totalCalls int64
+	appearRuns int
+	// firstFrac/lastFrac sum the fractional positions of the function's
+	// first and last calls across the runs it appears in.
+	firstFrac, lastFrac float64
+}
+
+// Predict estimates the call sequence of the next run. It returns an error
+// if the repository is empty or holds only empty traces.
+//
+// The prediction places, for every function whose cross-run average call
+// count rounds to at least one, that many calls spread uniformly over the
+// function's average activity window, and merges all functions' calls by
+// position. First appearances therefore land in the averaged
+// first-appearance order, and hotness matches the averaged counts — the two
+// properties IAR's quality depends on.
+func (r *Repository) Predict() (*trace.Trace, error) {
+	if len(r.runs) == 0 {
+		return nil, fmt.Errorf("predict: repository has no runs")
+	}
+	var lenSum int64
+	nfuncs := 0
+	for _, t := range r.runs {
+		lenSum += int64(t.Len())
+		if n := t.NumFuncs(); n > nfuncs {
+			nfuncs = n
+		}
+	}
+	predLen := int(lenSum / int64(len(r.runs)))
+	if predLen == 0 || nfuncs == 0 {
+		return nil, fmt.Errorf("predict: recorded runs are empty")
+	}
+
+	stats := make([]funcStats, nfuncs)
+	for i := range stats {
+		stats[i].f = trace.FuncID(i)
+	}
+	for _, t := range r.runs {
+		if t.Len() == 0 {
+			continue
+		}
+		length := float64(t.Len())
+		last := make([]int, nfuncs)
+		for i := range last {
+			last[i] = -1
+		}
+		first := make([]int, nfuncs)
+		for i := range first {
+			first[i] = -1
+		}
+		for i, f := range t.Calls {
+			stats[f].totalCalls++
+			if first[f] < 0 {
+				first[f] = i
+			}
+			last[f] = i
+		}
+		for f := 0; f < nfuncs; f++ {
+			if first[f] >= 0 {
+				stats[f].appearRuns++
+				stats[f].firstFrac += float64(first[f]) / length
+				stats[f].lastFrac += float64(last[f]) / length
+			}
+		}
+	}
+
+	// One predicted event: function f expected at fractional position pos.
+	type event struct {
+		pos float64
+		f   trace.FuncID
+	}
+	var events []event
+	for _, s := range stats {
+		if s.appearRuns == 0 {
+			continue
+		}
+		// Average count over ALL runs: a function seen in 1 of 5 runs with
+		// 2 calls predicts 0 calls — absence is evidence.
+		n := (s.totalCalls + int64(len(r.runs))/2) / int64(len(r.runs))
+		if n <= 0 {
+			continue
+		}
+		first := s.firstFrac / float64(s.appearRuns)
+		last := s.lastFrac / float64(s.appearRuns)
+		if last < first {
+			last = first
+		}
+		events = append(events, event{pos: first, f: s.f})
+		if n > 1 {
+			span := last - first
+			for k := int64(1); k < n; k++ {
+				events = append(events, event{pos: first + span*float64(k)/float64(n-1), f: s.f})
+			}
+		}
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("predict: no function is predicted to be called")
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	calls := make([]trace.FuncID, len(events))
+	for i, e := range events {
+		calls[i] = e.f
+	}
+	name := r.runs[0].Name
+	if name != "" {
+		name += "-predicted"
+	}
+	return trace.New(name, calls), nil
+}
+
+// Accuracy quantifies how well a predicted trace matches an actual one, for
+// evaluation and tests.
+type Accuracy struct {
+	// CountError is the mean relative error of per-function call counts,
+	// weighted by the actual counts.
+	CountError float64
+	// FirstOrderAgreement is the fraction of function pairs whose
+	// first-appearance order the prediction got right (1.0 = perfect),
+	// sampled over the functions present in both traces.
+	FirstOrderAgreement float64
+	// Coverage is the fraction of the actual run's calls whose function the
+	// prediction knew about at all.
+	Coverage float64
+}
+
+// Evaluate compares a prediction against an actual run.
+func Evaluate(predicted, actual *trace.Trace) Accuracy {
+	var acc Accuracy
+	if actual.Len() == 0 {
+		return acc
+	}
+	n := actual.NumFuncs()
+	if pn := predicted.NumFuncs(); pn > n {
+		n = pn
+	}
+	actCounts := make([]int64, n)
+	for _, f := range actual.Calls {
+		actCounts[f]++
+	}
+	predCounts := make([]int64, n)
+	for _, f := range predicted.Calls {
+		predCounts[f]++
+	}
+
+	var weighted, total, covered float64
+	for f := 0; f < n; f++ {
+		if actCounts[f] == 0 {
+			continue
+		}
+		a, p := float64(actCounts[f]), float64(predCounts[f])
+		diff := a - p
+		if diff < 0 {
+			diff = -diff
+		}
+		weighted += diff
+		total += a
+		if predCounts[f] > 0 {
+			covered += a
+		}
+	}
+	if total > 0 {
+		acc.CountError = weighted / total
+		acc.Coverage = covered / total
+	}
+
+	// Pairwise first-appearance order agreement over a bounded sample of
+	// function pairs (all pairs for small programs).
+	actOrder := actual.FirstCalls()
+	predOrder := predicted.FirstCalls()
+	var both []trace.FuncID
+	for f := 0; f < n; f++ {
+		if f < len(actOrder) && f < len(predOrder) && actOrder[f] >= 0 && predOrder[f] >= 0 {
+			both = append(both, trace.FuncID(f))
+		}
+	}
+	agree, pairs := 0, 0
+	step := 1
+	if len(both) > 400 {
+		step = len(both) / 400
+	}
+	for i := 0; i < len(both); i += step {
+		for j := i + step; j < len(both); j += step {
+			fi, fj := both[i], both[j]
+			a := actOrder[fi] < actOrder[fj]
+			p := predOrder[fi] < predOrder[fj]
+			pairs++
+			if a == p {
+				agree++
+			}
+		}
+	}
+	if pairs > 0 {
+		acc.FirstOrderAgreement = float64(agree) / float64(pairs)
+	}
+	return acc
+}

@@ -1,0 +1,163 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestEmptyRepository(t *testing.T) {
+	r := NewRepository()
+	if _, err := r.Predict(); err == nil {
+		t.Error("want error for empty repository")
+	}
+	r.Add(trace.New("empty", nil))
+	if _, err := r.Predict(); err == nil {
+		t.Error("want error for empty traces")
+	}
+}
+
+func TestPredictSingleRun(t *testing.T) {
+	r := NewRepository()
+	run := trace.New("r", []trace.FuncID{2, 0, 0, 1, 0})
+	r.Add(run)
+	pred, err := r.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single-run prediction preserves counts exactly and first-appearance
+	// order.
+	wantCounts := []int64{3, 1, 1}
+	counts := pred.Counts()
+	for f, want := range wantCounts {
+		if counts[f] != want {
+			t.Errorf("func %d predicted %d calls, want %d", f, counts[f], want)
+		}
+	}
+	order := pred.FirstCallOrder()
+	wantOrder := []trace.FuncID{2, 0, 1}
+	if len(order) != len(wantOrder) {
+		t.Fatalf("first-call order %v, want %v", order, wantOrder)
+	}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] {
+			t.Errorf("first-call order %v, want %v", order, wantOrder)
+			break
+		}
+	}
+}
+
+func TestPredictAveragesCounts(t *testing.T) {
+	r := NewRepository()
+	// Function 0: 10 then 20 calls -> predict 15. Function 1: only in run 1
+	// with 2 calls -> averages to 1.
+	mk := func(n0, n1 int) *trace.Trace {
+		var calls []trace.FuncID
+		for i := 0; i < n0; i++ {
+			calls = append(calls, 0)
+		}
+		for i := 0; i < n1; i++ {
+			calls = append(calls, 1)
+		}
+		return trace.New("r", calls)
+	}
+	r.Add(mk(10, 2))
+	r.Add(mk(20, 0))
+	pred, err := r.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := pred.Counts()
+	if counts[0] != 15 {
+		t.Errorf("func 0 predicted %d, want 15", counts[0])
+	}
+	if counts[1] != 1 {
+		t.Errorf("func 1 predicted %d, want 1", counts[1])
+	}
+}
+
+func TestPredictDropsRareFunctions(t *testing.T) {
+	r := NewRepository()
+	// Function 1 appears once across 4 runs: average rounds to 0.
+	r.Add(trace.New("a", []trace.FuncID{0, 0, 1}))
+	r.Add(trace.New("b", []trace.FuncID{0, 0}))
+	r.Add(trace.New("c", []trace.FuncID{0, 0}))
+	r.Add(trace.New("d", []trace.FuncID{0, 0}))
+	pred, err := r.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range pred.Calls {
+		if f == 1 {
+			t.Error("rare function predicted despite rounding to zero calls")
+		}
+	}
+}
+
+func TestPredictOnGeneratedRuns(t *testing.T) {
+	// Several runs of the "same program" (same structure seed, different
+	// draws) should predict an unseen run well.
+	cfg := trace.GenConfig{
+		Name: "prog", NumFuncs: 300, Length: 30000, Seed: 42,
+		ZipfS: 1.5, Phases: 4, CoreFuncs: 40, CoreShare: 0.5, BurstMean: 3,
+		WarmupFrac: 0.1, WarmupCoverage: 0.8,
+	}
+	actualCfg := cfg
+	actual := trace.MustGenerate(actualCfg)
+
+	r := NewRepository()
+	for i := 1; i <= 4; i++ {
+		c := cfg
+		c.DrawSeed = int64(1000 + i)
+		r.Add(trace.MustGenerate(c))
+	}
+	pred, err := r.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Evaluate(pred, actual)
+	if acc.Coverage < 0.95 {
+		t.Errorf("coverage %.2f, want >= 0.95 (same program, different inputs)", acc.Coverage)
+	}
+	if acc.FirstOrderAgreement < 0.85 {
+		t.Errorf("first-appearance order agreement %.2f, want >= 0.85", acc.FirstOrderAgreement)
+	}
+	if acc.CountError > 0.5 {
+		t.Errorf("count error %.2f, want <= 0.5", acc.CountError)
+	}
+
+	// An unrelated program predicts badly in comparison.
+	other := cfg
+	other.Seed = 4242
+	unrelated := trace.MustGenerate(other)
+	worse := Evaluate(pred, unrelated)
+	if worse.FirstOrderAgreement >= acc.FirstOrderAgreement {
+		t.Errorf("unrelated program predicted as well as the real one (%.2f vs %.2f)",
+			worse.FirstOrderAgreement, acc.FirstOrderAgreement)
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	acc := Evaluate(trace.New("p", nil), trace.New("a", nil))
+	if acc.Coverage != 0 || acc.CountError != 0 {
+		t.Errorf("empty traces: %+v", acc)
+	}
+	// Perfect prediction.
+	tr := trace.New("x", []trace.FuncID{0, 1, 0, 2})
+	perfect := Evaluate(tr, tr)
+	if perfect.CountError != 0 || perfect.Coverage != 1 || perfect.FirstOrderAgreement != 1 {
+		t.Errorf("self-evaluation should be perfect: %+v", perfect)
+	}
+}
+
+func TestPredictedNameSuffix(t *testing.T) {
+	r := NewRepository()
+	r.Add(trace.New("myprog", []trace.FuncID{0}))
+	pred, err := r.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Name != "myprog-predicted" {
+		t.Errorf("predicted trace name %q", pred.Name)
+	}
+}

@@ -1,0 +1,141 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format makes profiles portable: users with real measurements (as
+// the paper collected from Jikes RVM's replay mode) can feed them to the
+// schedulers. One header line, then one line per function:
+//
+//	# jitsched profile v1 levels=<L>
+//	<funcID> <name> <size> c:<c0,...,cL-1> e:<e0,...,eL-1>
+//
+// Functions may appear in any order; missing IDs are an error (the ID space
+// must be dense, as traces index into it). '#' lines and blanks are ignored.
+
+const profileHeaderPrefix = "# jitsched profile v1 levels="
+
+// WriteText serializes the profile.
+func WriteText(w io.Writer, p *Profile) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s%d\n", profileHeaderPrefix, p.Levels); err != nil {
+		return err
+	}
+	joinInts := func(xs []int64) string {
+		parts := make([]string, len(xs))
+		for i, x := range xs {
+			parts[i] = strconv.FormatInt(x, 10)
+		}
+		return strings.Join(parts, ",")
+	}
+	for i, f := range p.Funcs {
+		name := f.Name
+		if name == "" {
+			name = fmt.Sprintf("m%04d", i)
+		}
+		if strings.ContainsAny(name, " \t") {
+			return fmt.Errorf("profile: function %d name %q contains whitespace", i, name)
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s %d c:%s e:%s\n",
+			i, name, f.Size, joinInts(f.Compile), joinInts(f.Exec)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a profile written by WriteText and validates it.
+func ReadText(r io.Reader) (*Profile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var p *Profile
+	filled := make(map[int]bool)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, profileHeaderPrefix); ok && p == nil {
+				levels, err := strconv.Atoi(strings.TrimSpace(rest))
+				if err != nil || levels < 1 {
+					return nil, fmt.Errorf("profile: line %d: bad level count %q", lineNo, rest)
+				}
+				p = &Profile{Levels: levels}
+			}
+			continue
+		}
+		if p == nil {
+			return nil, fmt.Errorf("profile: line %d: data before %q header", lineNo, profileHeaderPrefix)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("profile: line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("profile: line %d: bad function id %q", lineNo, fields[0])
+		}
+		size, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("profile: line %d: bad size %q", lineNo, fields[2])
+		}
+		parseVec := func(s, prefix string) ([]int64, error) {
+			body, ok := strings.CutPrefix(s, prefix)
+			if !ok {
+				return nil, fmt.Errorf("profile: line %d: expected %q vector, got %q", lineNo, prefix, s)
+			}
+			parts := strings.Split(body, ",")
+			if len(parts) != p.Levels {
+				return nil, fmt.Errorf("profile: line %d: %d values for %d levels", lineNo, len(parts), p.Levels)
+			}
+			out := make([]int64, len(parts))
+			for i, part := range parts {
+				v, err := strconv.ParseInt(part, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("profile: line %d: bad value %q", lineNo, part)
+				}
+				out[i] = v
+			}
+			return out, nil
+		}
+		compile, err := parseVec(fields[3], "c:")
+		if err != nil {
+			return nil, err
+		}
+		exec, err := parseVec(fields[4], "e:")
+		if err != nil {
+			return nil, err
+		}
+		if filled[id] {
+			return nil, fmt.Errorf("profile: line %d: duplicate function id %d", lineNo, id)
+		}
+		filled[id] = true
+		for len(p.Funcs) <= id {
+			p.Funcs = append(p.Funcs, FuncTimes{})
+		}
+		p.Funcs[id] = FuncTimes{Name: fields[1], Size: size, Compile: compile, Exec: exec}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("profile: scanning: %w", err)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("profile: missing %q header", profileHeaderPrefix)
+	}
+	for i := range p.Funcs {
+		if !filled[i] {
+			return nil, fmt.Errorf("profile: function id %d missing (ids must be dense)", i)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,124 @@
+package profile
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestProfileTextRoundTrip(t *testing.T) {
+	p := MustSynthesize(50, DefaultTiming(4, 7))
+	var buf bytes.Buffer
+	if err := WriteText(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Levels != p.Levels || got.NumFuncs() != p.NumFuncs() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.Levels, got.NumFuncs(), p.Levels, p.NumFuncs())
+	}
+	if !reflect.DeepEqual(got.Funcs, p.Funcs) {
+		for i := range p.Funcs {
+			if !reflect.DeepEqual(got.Funcs[i], p.Funcs[i]) {
+				t.Fatalf("func %d differs: %+v vs %+v", i, got.Funcs[i], p.Funcs[i])
+			}
+		}
+	}
+}
+
+func TestProfileTextOutOfOrderIDs(t *testing.T) {
+	in := `# jitsched profile v1 levels=2
+1 b 10 c:2,4 e:9,3
+0 a 20 c:1,3 e:8,2
+`
+	p, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Funcs[0].Name != "a" || p.Funcs[1].Name != "b" {
+		t.Errorf("ids not honored: %+v", p.Funcs)
+	}
+}
+
+func TestProfileTextRejects(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no header", "0 a 1 c:1,2 e:2,1\n"},
+		{"bad levels", "# jitsched profile v1 levels=x\n"},
+		{"zero levels", "# jitsched profile v1 levels=0\n"},
+		{"wrong fields", "# jitsched profile v1 levels=2\n0 a 1 c:1,2\n"},
+		{"bad id", "# jitsched profile v1 levels=2\n-1 a 1 c:1,2 e:2,1\n"},
+		{"bad size", "# jitsched profile v1 levels=2\n0 a x c:1,2 e:2,1\n"},
+		{"wrong vector len", "# jitsched profile v1 levels=2\n0 a 1 c:1 e:2,1\n"},
+		{"bad vector value", "# jitsched profile v1 levels=2\n0 a 1 c:1,y e:2,1\n"},
+		{"wrong vector tag", "# jitsched profile v1 levels=2\n0 a 1 x:1,2 e:2,1\n"},
+		{"duplicate id", "# jitsched profile v1 levels=2\n0 a 1 c:1,2 e:2,1\n0 b 1 c:1,2 e:2,1\n"},
+		{"sparse ids", "# jitsched profile v1 levels=2\n1 a 1 c:1,2 e:2,1\n"},
+		{"monotonicity", "# jitsched profile v1 levels=2\n0 a 1 c:2,1 e:2,1\n"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestProfileTextRejectsWhitespaceNames(t *testing.T) {
+	p := &Profile{Levels: 1, Funcs: []FuncTimes{
+		{Name: "has space", Compile: []int64{1}, Exec: []int64{1}},
+	}}
+	if err := WriteText(&bytes.Buffer{}, p); err == nil {
+		t.Error("want error for whitespace in name")
+	}
+}
+
+func TestProfileTextDefaultNames(t *testing.T) {
+	p := &Profile{Levels: 1, Funcs: []FuncTimes{
+		{Compile: []int64{1}, Exec: []int64{1}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Funcs[0].Name != "m0000" {
+		t.Errorf("default name %q", got.Funcs[0].Name)
+	}
+}
+
+// FuzzProfileReadText checks the parser never panics and round-trips what
+// it accepts.
+func FuzzProfileReadText(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteText(&buf, MustSynthesize(3, DefaultTiming(2, 1)))
+	f.Add(buf.String())
+	f.Add("# jitsched profile v1 levels=2\n0 a 1 c:1,2 e:2,1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		p, err := ReadText(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteText(&out, p); err != nil {
+			// Accepted profiles with odd names may be unwritable; that is
+			// fine as long as nothing panics.
+			return
+		}
+		again, err := ReadText(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Levels != p.Levels || again.NumFuncs() != p.NumFuncs() {
+			t.Fatal("profile round trip unstable")
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package profile_test
+
+import (
+	"fmt"
+
+	"repro/internal/profile"
+)
+
+// ExampleCostEffectiveLevel picks the level minimizing compile time plus
+// total execution time — the quantity Theorem 1 and the cost-benefit models
+// revolve around.
+func ExampleCostEffectiveLevel() {
+	p := &profile.Profile{
+		Levels: 2,
+		Funcs: []profile.FuncTimes{
+			{Name: "f", Compile: []int64{10, 100}, Exec: []int64{50, 10}},
+		},
+	}
+	o := profile.NewOracle(p)
+	fmt.Println(profile.CostEffectiveLevel(o, 0, 1), profile.CostEffectiveLevel(o, 0, 10))
+	// Output:
+	// 0 1
+}
+
+// ExampleProfile_WithInterpreter prepends the §8 interpretation tier.
+func ExampleProfile_WithInterpreter() {
+	p := &profile.Profile{
+		Levels: 1,
+		Funcs: []profile.FuncTimes{
+			{Name: "f", Compile: []int64{100}, Exec: []int64{20}},
+		},
+	}
+	q, err := p.WithInterpreter(5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("levels=%d compile=%v exec=%v\n", q.Levels, q.Funcs[0].Compile, q.Funcs[0].Exec)
+	// Output:
+	// levels=2 compile=[1 100] exec=[100 20]
+}

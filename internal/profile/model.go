@@ -1,0 +1,178 @@
+package profile
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// CostModel is a JIT's cost-benefit model: its belief about compilation and
+// execution times at each level. Schedulers and online policies consult a
+// CostModel to choose levels; the simulator always charges the *true* times
+// from the Profile. The gap between the two is exactly what §6.2.2 of the
+// paper studies (default model vs. oracle model).
+type CostModel interface {
+	// Levels returns the number of compilation levels the model covers.
+	Levels() int
+	// CompileTime returns the estimated compile time of f at level l.
+	CompileTime(f trace.FuncID, l Level) int64
+	// ExecTime returns the estimated per-call execution time of f at level l.
+	ExecTime(f trace.FuncID, l Level) int64
+}
+
+// Oracle is the perfect cost-benefit model of §6.2.2: estimates equal the
+// measured times.
+type Oracle struct{ P *Profile }
+
+// NewOracle returns the oracle model over p.
+func NewOracle(p *Profile) Oracle { return Oracle{P: p} }
+
+// Levels implements CostModel.
+func (o Oracle) Levels() int { return o.P.Levels }
+
+// CompileTime implements CostModel.
+func (o Oracle) CompileTime(f trace.FuncID, l Level) int64 { return o.P.CompileTime(f, l) }
+
+// ExecTime implements CostModel.
+func (o Oracle) ExecTime(f trace.FuncID, l Level) int64 { return o.P.ExecTime(f, l) }
+
+// Estimated mimics the default Jikes RVM cost-benefit model (§8): compile
+// times are estimated by offline-trained linear functions of code size
+// (fairly accurate, since compilation cost really is roughly size-linear),
+// while execution benefits are predicted with one *global* per-level speedup
+// ratio applied to the function's observed base-level time. Real functions
+// benefit unevenly from optimization, so a global ratio is "often quite
+// rough"; on top of that the model is conservative — Jikes discounts
+// predicted benefits because overestimating them wastes compile time.
+type Estimated struct {
+	p       *Profile
+	compile [][]int64
+	exec    [][]int64
+}
+
+// EstimatedConfig tunes the synthetic default model.
+type EstimatedConfig struct {
+	// Noise is the magnitude of the per-function multiplicative estimation
+	// error: each base estimate is scaled by a deterministic factor drawn
+	// log-uniformly from [1/(1+Noise), 1+Noise].
+	Noise float64
+	// Conservatism in (0,1] raises believed per-level speedups to this
+	// power, systematically understating the benefit of deep optimization
+	// (1 = unbiased). The paper's oracle-model experiment (§6.2.2) is the
+	// contrast between this bias and the truth.
+	Conservatism float64
+	// Seed drives the deterministic noise.
+	Seed int64
+}
+
+// DefaultEstimatedConfig is the configuration used by the Fig. 5 experiments.
+func DefaultEstimatedConfig(seed int64) EstimatedConfig {
+	return EstimatedConfig{Noise: 1.8, Conservatism: 0.35, Seed: seed}
+}
+
+// NewEstimated derives the default (non-oracle) cost-benefit model from p.
+func NewEstimated(p *Profile, cfg EstimatedConfig) *Estimated {
+	if cfg.Noise < 0 {
+		cfg.Noise = 0
+	}
+	if cfg.Conservatism <= 0 || cfg.Conservatism > 1 {
+		cfg.Conservatism = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Estimated{
+		p:       p,
+		compile: make([][]int64, len(p.Funcs)),
+		exec:    make([][]int64, len(p.Funcs)),
+	}
+	factor := func() float64 {
+		hi := math.Log(1 + cfg.Noise)
+		return math.Exp(rng.Float64()*2*hi - hi)
+	}
+
+	// "Train" one global speedup ratio per level: the geometric mean of the
+	// true per-function speedups, discounted by the conservatism exponent.
+	belief := make([]float64, p.Levels)
+	belief[0] = 1
+	for l := 1; l < p.Levels; l++ {
+		var logSum float64
+		n := 0
+		for _, f := range p.Funcs {
+			if f.Exec[l] > 0 && f.Exec[0] > 0 {
+				logSum += math.Log(float64(f.Exec[0]) / float64(f.Exec[l]))
+				n++
+			}
+		}
+		mean := 1.0
+		if n > 0 {
+			mean = math.Exp(logSum / float64(n))
+		}
+		belief[l] = math.Pow(mean, cfg.Conservatism)
+		if belief[l] < belief[l-1] {
+			belief[l] = belief[l-1]
+		}
+	}
+
+	for i, f := range p.Funcs {
+		cs := make([]int64, p.Levels)
+		es := make([]int64, p.Levels)
+		exec0 := math.Max(1, float64(f.Exec[0])*factor())
+		for l := 0; l < p.Levels; l++ {
+			cs[l] = int64(math.Max(1, float64(f.Compile[l])*factor()))
+			es[l] = int64(math.Max(1, exec0/belief[l]))
+			if l > 0 {
+				// Preserve monotonicity so the model stays a plausible belief.
+				if cs[l] < cs[l-1] {
+					cs[l] = cs[l-1]
+				}
+				if es[l] > es[l-1] {
+					es[l] = es[l-1]
+				}
+			}
+		}
+		m.compile[i] = cs
+		m.exec[i] = es
+	}
+	return m
+}
+
+// Levels implements CostModel.
+func (m *Estimated) Levels() int { return m.p.Levels }
+
+// CompileTime implements CostModel.
+func (m *Estimated) CompileTime(f trace.FuncID, l Level) int64 { return m.compile[f][l] }
+
+// ExecTime implements CostModel.
+func (m *Estimated) ExecTime(f trace.FuncID, l Level) int64 { return m.exec[f][l] }
+
+// CostEffectiveLevel returns the level minimizing the model's view of total
+// cost for n invocations of f: compile(l) + n*exec(l). Ties go to the lower
+// level (cheaper compile, same believed total). This is the paper's "most
+// cost-effective compilation level" (§4.1 and §5.1).
+func CostEffectiveLevel(m CostModel, f trace.FuncID, n int64) Level {
+	best := Level(0)
+	bestCost := m.CompileTime(f, 0) + n*m.ExecTime(f, 0)
+	for l := 1; l < m.Levels(); l++ {
+		cost := m.CompileTime(f, Level(l)) + n*m.ExecTime(f, Level(l))
+		if cost < bestCost {
+			bestCost = cost
+			best = Level(l)
+		}
+	}
+	return best
+}
+
+// ResponsiveLevel returns the level with the smallest estimated compile time;
+// under the monotonicity assumption this is level 0. It is IAR's "most
+// responsive level" (§5.1).
+func ResponsiveLevel(m CostModel, f trace.FuncID) Level {
+	best := Level(0)
+	bestC := m.CompileTime(f, 0)
+	for l := 1; l < m.Levels(); l++ {
+		if c := m.CompileTime(f, Level(l)); c < bestC {
+			bestC = c
+			best = Level(l)
+		}
+	}
+	return best
+}

@@ -1,0 +1,175 @@
+// Package profile holds per-function, per-level compilation and execution
+// times — the c[i][j] and e[i][j] of OCSP (Definition 1 of the paper) — plus
+// the cost-benefit models a JIT uses to choose compilation levels.
+//
+// Times are abstract integer ticks. The paper measures them on Jikes RVM; we
+// synthesize them from code size with the same monotonicity assumptions the
+// paper verifies on its data: for levels j1 < j2, compile time c[i][j1] <=
+// c[i][j2] and execution time e[i][j1] >= e[i][j2].
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Level indexes a compilation level. Level 0 is the most responsive (fastest
+// to compile); higher levels optimize more deeply.
+type Level int
+
+// FuncTimes holds one function's timing at every level.
+type FuncTimes struct {
+	// Name is an optional human-readable label.
+	Name string
+	// Size is the synthetic code size in bytes; cost-benefit estimators key
+	// off it, as Jikes RVM's do.
+	Size int64
+	// Compile[l] is the time to compile the function at level l, in ticks.
+	Compile []int64
+	// Exec[l] is the average per-call execution time of code compiled at
+	// level l, in ticks.
+	Exec []int64
+}
+
+// Profile is the timing table for all functions of a workload.
+type Profile struct {
+	// Levels is the number of compilation levels, uniform across functions
+	// (4 in Jikes RVM: baseline + three optimizing levels; 2 in V8).
+	Levels int
+	// Funcs is indexed by trace.FuncID.
+	Funcs []FuncTimes
+}
+
+// NumFuncs returns the number of functions in the profile.
+func (p *Profile) NumFuncs() int { return len(p.Funcs) }
+
+// CompileTime returns c[f][l].
+func (p *Profile) CompileTime(f trace.FuncID, l Level) int64 { return p.Funcs[f].Compile[l] }
+
+// ExecTime returns e[f][l].
+func (p *Profile) ExecTime(f trace.FuncID, l Level) int64 { return p.Funcs[f].Exec[l] }
+
+// BestExecTime returns min over levels of e[f][l]; under the monotonicity
+// assumption this is the highest level's execution time.
+func (p *Profile) BestExecTime(f trace.FuncID) int64 {
+	best := p.Funcs[f].Exec[0]
+	for _, e := range p.Funcs[f].Exec[1:] {
+		if e < best {
+			best = e
+		}
+	}
+	return best
+}
+
+// Validate checks structural consistency and the OCSP monotonicity
+// assumptions: every function has exactly Levels entries, all times are
+// positive, compile times never decrease with level, and execution times
+// never increase with level.
+func (p *Profile) Validate() error {
+	if p.Levels <= 0 {
+		return fmt.Errorf("profile: Levels must be positive, got %d", p.Levels)
+	}
+	for i, f := range p.Funcs {
+		if len(f.Compile) != p.Levels || len(f.Exec) != p.Levels {
+			return fmt.Errorf("profile: func %d has %d compile / %d exec levels, want %d",
+				i, len(f.Compile), len(f.Exec), p.Levels)
+		}
+		for l := 0; l < p.Levels; l++ {
+			if f.Compile[l] <= 0 {
+				return fmt.Errorf("profile: func %d compile time at level %d is %d, want > 0", i, l, f.Compile[l])
+			}
+			if f.Exec[l] <= 0 {
+				return fmt.Errorf("profile: func %d exec time at level %d is %d, want > 0", i, l, f.Exec[l])
+			}
+			if l > 0 {
+				if f.Compile[l] < f.Compile[l-1] {
+					return fmt.Errorf("profile: func %d compile time decreases from level %d to %d (%d -> %d)",
+						i, l-1, l, f.Compile[l-1], f.Compile[l])
+				}
+				if f.Exec[l] > f.Exec[l-1] {
+					return fmt.Errorf("profile: func %d exec time increases from level %d to %d (%d -> %d)",
+						i, l-1, l, f.Exec[l-1], f.Exec[l])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (p *Profile) Clone() *Profile {
+	q := &Profile{Levels: p.Levels, Funcs: make([]FuncTimes, len(p.Funcs))}
+	for i, f := range p.Funcs {
+		q.Funcs[i] = FuncTimes{
+			Name:    f.Name,
+			Size:    f.Size,
+			Compile: append([]int64(nil), f.Compile...),
+			Exec:    append([]int64(nil), f.Exec...),
+		}
+	}
+	return q
+}
+
+// WithInterpreter prepends an interpretation tier as a new level 0, per the
+// §8 discussion: "if we treat interpretation as the lowest level compilation
+// in the optimal compilation schedule problem, the analysis and algorithms
+// discussed in this paper can still be applied". Interpretation needs no
+// code generation, so its "compilation" costs one tick; its execution runs
+// slowdown times slower than the old level-0 (baseline-compiled) code.
+// Existing levels shift up by one.
+func (p *Profile) WithInterpreter(slowdown float64) (*Profile, error) {
+	if slowdown < 1 {
+		return nil, fmt.Errorf("profile: interpreter slowdown must be >= 1, got %g", slowdown)
+	}
+	q := &Profile{Levels: p.Levels + 1, Funcs: make([]FuncTimes, len(p.Funcs))}
+	for i, f := range p.Funcs {
+		ft := FuncTimes{
+			Name:    f.Name,
+			Size:    f.Size,
+			Compile: make([]int64, 0, p.Levels+1),
+			Exec:    make([]int64, 0, p.Levels+1),
+		}
+		interpExec := int64(float64(f.Exec[0]) * slowdown)
+		if interpExec < f.Exec[0] {
+			interpExec = f.Exec[0] // overflow guard; keeps monotonicity
+		}
+		ft.Compile = append(ft.Compile, 1)
+		ft.Compile = append(ft.Compile, f.Compile...)
+		ft.Exec = append(ft.Exec, interpExec)
+		ft.Exec = append(ft.Exec, f.Exec...)
+		q.Funcs[i] = ft
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Restrict returns a new profile exposing only the given levels, renumbered
+// 0..len(levels)-1 in the given order. The experiment of Fig. 8 restricts the
+// four Jikes levels to the lowest two, matching V8's low/high pair.
+func (p *Profile) Restrict(levels ...Level) (*Profile, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("profile: Restrict needs at least one level")
+	}
+	for i, l := range levels {
+		if l < 0 || int(l) >= p.Levels {
+			return nil, fmt.Errorf("profile: Restrict level %d out of range [0,%d)", l, p.Levels)
+		}
+		if i > 0 && l <= levels[i-1] {
+			return nil, fmt.Errorf("profile: Restrict levels must be strictly increasing")
+		}
+	}
+	q := &Profile{Levels: len(levels), Funcs: make([]FuncTimes, len(p.Funcs))}
+	for i, f := range p.Funcs {
+		ft := FuncTimes{Name: f.Name, Size: f.Size,
+			Compile: make([]int64, len(levels)), Exec: make([]int64, len(levels))}
+		for k, l := range levels {
+			ft.Compile[k] = f.Compile[l]
+			ft.Exec[k] = f.Exec[l]
+		}
+		q.Funcs[i] = ft
+	}
+	return q, nil
+}

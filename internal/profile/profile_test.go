@@ -1,0 +1,271 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func twoFuncProfile() *Profile {
+	return &Profile{
+		Levels: 3,
+		Funcs: []FuncTimes{
+			{Name: "a", Size: 100, Compile: []int64{10, 50, 200}, Exec: []int64{40, 20, 10}},
+			{Name: "b", Size: 400, Compile: []int64{20, 90, 400}, Exec: []int64{100, 60, 55}},
+		},
+	}
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	if err := twoFuncProfile().Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"zero levels", func(p *Profile) { p.Levels = 0 }},
+		{"short compile slice", func(p *Profile) { p.Funcs[0].Compile = p.Funcs[0].Compile[:2] }},
+		{"nonpositive compile", func(p *Profile) { p.Funcs[1].Compile[0] = 0 }},
+		{"nonpositive exec", func(p *Profile) { p.Funcs[0].Exec[2] = -1 }},
+		{"compile decreases", func(p *Profile) { p.Funcs[0].Compile[2] = 5 }},
+		{"exec increases", func(p *Profile) { p.Funcs[1].Exec[2] = 500 }},
+	}
+	for _, c := range cases {
+		p := twoFuncProfile()
+		c.mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: want validation error", c.name)
+		}
+	}
+}
+
+func TestBestExecTime(t *testing.T) {
+	p := twoFuncProfile()
+	if got := p.BestExecTime(0); got != 10 {
+		t.Errorf("BestExecTime(0) = %d, want 10", got)
+	}
+	if got := p.BestExecTime(1); got != 55 {
+		t.Errorf("BestExecTime(1) = %d, want 55", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := twoFuncProfile()
+	q := p.Clone()
+	q.Funcs[0].Compile[0] = 999
+	if p.Funcs[0].Compile[0] == 999 {
+		t.Error("Clone shares compile slice")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	p := twoFuncProfile()
+	q, err := p.Restrict(0, 2)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if q.Levels != 2 {
+		t.Fatalf("restricted levels = %d, want 2", q.Levels)
+	}
+	if q.CompileTime(1, 1) != 400 || q.ExecTime(1, 1) != 55 {
+		t.Errorf("restricted level 1 should map to original level 2")
+	}
+	if err := q.Validate(); err != nil {
+		t.Errorf("restricted profile invalid: %v", err)
+	}
+	if _, err := p.Restrict(); err == nil {
+		t.Error("want error for empty restriction")
+	}
+	if _, err := p.Restrict(2, 0); err == nil {
+		t.Error("want error for non-increasing levels")
+	}
+	if _, err := p.Restrict(0, 7); err == nil {
+		t.Error("want error for out-of-range level")
+	}
+}
+
+func TestWithInterpreter(t *testing.T) {
+	p := twoFuncProfile()
+	q, err := p.WithInterpreter(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Levels != p.Levels+1 {
+		t.Fatalf("levels = %d, want %d", q.Levels, p.Levels+1)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("interpreter-augmented profile invalid: %v", err)
+	}
+	for f := trace.FuncID(0); int(f) < p.NumFuncs(); f++ {
+		if q.CompileTime(f, 0) != 1 {
+			t.Errorf("func %d: interpretation 'compile' = %d, want 1", f, q.CompileTime(f, 0))
+		}
+		if q.ExecTime(f, 0) != 5*p.ExecTime(f, 0) {
+			t.Errorf("func %d: interpreted exec = %d, want %d", f, q.ExecTime(f, 0), 5*p.ExecTime(f, 0))
+		}
+		for l := 0; l < p.Levels; l++ {
+			if q.CompileTime(f, Level(l+1)) != p.CompileTime(f, Level(l)) ||
+				q.ExecTime(f, Level(l+1)) != p.ExecTime(f, Level(l)) {
+				t.Errorf("func %d: level %d not shifted intact", f, l)
+			}
+		}
+	}
+	if _, err := p.WithInterpreter(0.5); err == nil {
+		t.Error("want error for slowdown < 1")
+	}
+}
+
+func TestOracleMatchesProfile(t *testing.T) {
+	p := twoFuncProfile()
+	o := NewOracle(p)
+	if o.Levels() != 3 {
+		t.Errorf("oracle levels = %d, want 3", o.Levels())
+	}
+	for f := trace.FuncID(0); f < 2; f++ {
+		for l := Level(0); l < 3; l++ {
+			if o.CompileTime(f, l) != p.CompileTime(f, l) || o.ExecTime(f, l) != p.ExecTime(f, l) {
+				t.Errorf("oracle diverges from profile at f=%d l=%d", f, l)
+			}
+		}
+	}
+}
+
+func TestEstimatedIsMonotoneAndDeterministic(t *testing.T) {
+	p := MustSynthesize(60, DefaultTiming(4, 3))
+	m1 := NewEstimated(p, DefaultEstimatedConfig(99))
+	m2 := NewEstimated(p, DefaultEstimatedConfig(99))
+	different := false
+	for f := 0; f < p.NumFuncs(); f++ {
+		for l := 0; l < p.Levels; l++ {
+			fl, ll := trace.FuncID(f), Level(l)
+			if m1.CompileTime(fl, ll) != m2.CompileTime(fl, ll) {
+				t.Fatal("same seed produced different estimates")
+			}
+			if m1.CompileTime(fl, ll) != p.CompileTime(fl, ll) {
+				different = true
+			}
+			if l > 0 {
+				if m1.CompileTime(fl, ll) < m1.CompileTime(fl, ll-1) {
+					t.Errorf("estimated compile time decreases at f=%d l=%d", f, l)
+				}
+				if m1.ExecTime(fl, ll) > m1.ExecTime(fl, ll-1) {
+					t.Errorf("estimated exec time increases at f=%d l=%d", f, l)
+				}
+			}
+		}
+	}
+	if !different {
+		t.Error("estimated model is identical to the oracle; no estimation error introduced")
+	}
+}
+
+func TestEstimatedZeroNoiseCompile(t *testing.T) {
+	p := twoFuncProfile()
+	m := NewEstimated(p, EstimatedConfig{Noise: 0, Conservatism: 1, Seed: 1})
+	for f := trace.FuncID(0); f < 2; f++ {
+		for l := Level(0); l < 3; l++ {
+			if m.CompileTime(f, l) != p.CompileTime(f, l) {
+				t.Errorf("zero-noise compile estimate differs from truth at f=%d l=%d", f, l)
+			}
+		}
+	}
+}
+
+// TestEstimatedConservatism: a conservative model believes in smaller
+// speedups, so its predicted deep-level execution times are no smaller than
+// an unbiased model's.
+func TestEstimatedConservatism(t *testing.T) {
+	p := MustSynthesize(40, DefaultTiming(4, 4))
+	unbiased := NewEstimated(p, EstimatedConfig{Noise: 0, Conservatism: 1, Seed: 2})
+	conservative := NewEstimated(p, EstimatedConfig{Noise: 0, Conservatism: 0.5, Seed: 2})
+	for f := 0; f < p.NumFuncs(); f++ {
+		for l := 1; l < p.Levels; l++ {
+			fl, ll := trace.FuncID(f), Level(l)
+			if conservative.ExecTime(fl, ll) < unbiased.ExecTime(fl, ll) {
+				t.Fatalf("conservative model predicts faster code at f=%d l=%d", f, l)
+			}
+		}
+	}
+}
+
+func TestCostEffectiveLevel(t *testing.T) {
+	p := twoFuncProfile()
+	o := NewOracle(p)
+	// Function a: level costs for n=1: 50, 70, 210 -> level 0.
+	if got := CostEffectiveLevel(o, 0, 1); got != 0 {
+		t.Errorf("n=1: level %d, want 0", got)
+	}
+	// n=10: 410, 250, 300 -> level 1.
+	if got := CostEffectiveLevel(o, 0, 10); got != 1 {
+		t.Errorf("n=10: level %d, want 1", got)
+	}
+	// n=100: 4010, 2050, 1200 -> level 2.
+	if got := CostEffectiveLevel(o, 0, 100); got != 2 {
+		t.Errorf("n=100: level %d, want 2", got)
+	}
+}
+
+func TestResponsiveLevel(t *testing.T) {
+	p := twoFuncProfile()
+	if got := ResponsiveLevel(NewOracle(p), 0); got != 0 {
+		t.Errorf("responsive level = %d, want 0", got)
+	}
+}
+
+// TestCostEffectiveMonotoneInCalls: with more invocations, the chosen level
+// never decreases — a direct consequence of the monotonicity assumptions.
+func TestCostEffectiveMonotoneInCalls(t *testing.T) {
+	p := MustSynthesize(30, DefaultTiming(4, 5))
+	o := NewOracle(p)
+	f := func(fRaw uint8, n1, n2 uint16) bool {
+		fid := trace.FuncID(int(fRaw) % p.NumFuncs())
+		lo, hi := int64(n1), int64(n2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return CostEffectiveLevel(o, fid, lo) <= CostEffectiveLevel(o, fid, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynthesizeValidAndDeterministic(t *testing.T) {
+	for _, levels := range []int{2, 3, 4, 5} {
+		p, err := Synthesize(80, DefaultTiming(levels, 7))
+		if err != nil {
+			t.Fatalf("levels=%d: %v", levels, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("levels=%d: synthesized profile invalid: %v", levels, err)
+		}
+		q := MustSynthesize(80, DefaultTiming(levels, 7))
+		for i := range p.Funcs {
+			if p.Funcs[i].Compile[0] != q.Funcs[i].Compile[0] || p.Funcs[i].Exec[0] != q.Funcs[i].Exec[0] {
+				t.Fatalf("levels=%d: synthesis not deterministic", levels)
+			}
+		}
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	cfg := DefaultTiming(4, 1)
+	cfg.Speedup[0] = 2
+	if _, err := Synthesize(5, cfg); err == nil {
+		t.Error("want error for Speedup[0] != 1")
+	}
+	cfg = DefaultTiming(4, 1)
+	cfg.CompilePerByte[3] = 0
+	if _, err := Synthesize(5, cfg); err == nil {
+		t.Error("want error for decreasing compile cost")
+	}
+	cfg = DefaultTiming(4, 1)
+	if _, err := Synthesize(-1, cfg); err == nil {
+		t.Error("want error for negative nfuncs")
+	}
+}

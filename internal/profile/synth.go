@@ -1,0 +1,196 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TimingConfig parameterizes timing synthesis. One tick reads naturally as a
+// microsecond but nothing depends on the unit.
+//
+// The defaults approximate the regime the paper reports for Jikes RVM:
+// baseline compilation is cheap (it is "a method-level interpreter" in
+// spirit), optimizing levels cost roughly one to two orders of magnitude
+// more, and deeper levels speed code up with diminishing returns.
+type TimingConfig struct {
+	// Seed drives the deterministic generator.
+	Seed int64
+	// Levels is the number of compilation levels (>= 1).
+	Levels int
+	// SizeMedian and SizeSigma shape the lognormal code-size distribution.
+	SizeMedian float64
+	SizeSigma  float64
+	// CompilePerByte[l] is the compile cost per code byte at level l;
+	// CompileBase[l] is the fixed per-compilation overhead. Both must be
+	// nondecreasing in l.
+	CompilePerByte []float64
+	CompileBase    []float64
+	// ExecMedian and ExecSigma shape the lognormal per-call execution time of
+	// level-0 code across functions.
+	ExecMedian float64
+	ExecSigma  float64
+	// SizeExecExponent couples execution time to code size: exec scales with
+	// (size/SizeMedian)^SizeExecExponent. Zero decouples them.
+	SizeExecExponent float64
+	// Speedup[l] divides level-0 execution time to give level-l execution
+	// time. Speedup[0] must be 1 and the slice nondecreasing.
+	Speedup []float64
+	// SpeedupJitter randomizes each function's per-level speedups by up to
+	// the given fraction, modeling functions that benefit unevenly from
+	// optimization (clamped to preserve monotonicity).
+	SpeedupJitter float64
+}
+
+// DefaultTiming returns a TimingConfig with Jikes-RVM-flavoured defaults for
+// the given number of levels (supported: 2, 3 or 4).
+func DefaultTiming(levels int, seed int64) TimingConfig {
+	cfg := TimingConfig{
+		Seed:             seed,
+		Levels:           levels,
+		SizeMedian:       800,
+		SizeSigma:        1.0,
+		ExecMedian:       120,
+		ExecSigma:        0.9,
+		SizeExecExponent: 0.3,
+		SpeedupJitter:    0.2,
+	}
+	switch levels {
+	case 2:
+		cfg.CompilePerByte = []float64{0.3, 20}
+		cfg.CompileBase = []float64{60, 7000}
+		cfg.Speedup = []float64{1, 2.8}
+	case 3:
+		cfg.CompilePerByte = []float64{0.3, 12, 30}
+		cfg.CompileBase = []float64{60, 4000, 12000}
+		cfg.Speedup = []float64{1, 2.5, 3.2}
+	case 4:
+		cfg.CompilePerByte = []float64{0.3, 12, 24, 40}
+		cfg.CompileBase = []float64{60, 4000, 8000, 16000}
+		cfg.Speedup = []float64{1, 2.6, 3.1, 3.4}
+	default:
+		// Geometric extrapolation for unusual level counts.
+		cfg.CompilePerByte = make([]float64, levels)
+		cfg.CompileBase = make([]float64, levels)
+		cfg.Speedup = make([]float64, levels)
+		for l := 0; l < levels; l++ {
+			cfg.CompilePerByte[l] = math.Pow(4, float64(l))
+			cfg.CompileBase[l] = 200 * math.Pow(5, float64(l))
+			cfg.Speedup[l] = math.Pow(1.9, float64(l))
+		}
+		cfg.Speedup[0] = 1
+	}
+	return cfg
+}
+
+// Validate reports the first configuration error, or nil.
+func (c *TimingConfig) Validate() error {
+	switch {
+	case c.Levels < 1:
+		return fmt.Errorf("profile: TimingConfig.Levels must be >= 1, got %d", c.Levels)
+	case len(c.CompilePerByte) != c.Levels, len(c.CompileBase) != c.Levels, len(c.Speedup) != c.Levels:
+		return fmt.Errorf("profile: TimingConfig per-level slices must have length %d", c.Levels)
+	case c.SizeMedian <= 0 || c.ExecMedian <= 0:
+		return fmt.Errorf("profile: TimingConfig medians must be positive")
+	case c.Speedup[0] != 1:
+		return fmt.Errorf("profile: TimingConfig.Speedup[0] must be 1, got %g", c.Speedup[0])
+	}
+	for l := 1; l < c.Levels; l++ {
+		if c.CompilePerByte[l] < c.CompilePerByte[l-1] || c.CompileBase[l] < c.CompileBase[l-1] {
+			return fmt.Errorf("profile: compile costs must be nondecreasing in level (level %d)", l)
+		}
+		if c.Speedup[l] < c.Speedup[l-1] {
+			return fmt.Errorf("profile: Speedup must be nondecreasing in level (level %d)", l)
+		}
+	}
+	return nil
+}
+
+// Synthesize builds a Profile for nfuncs functions under the configuration,
+// drawing code sizes from the configured lognormal distribution. The result
+// always satisfies Profile.Validate.
+func Synthesize(nfuncs int, cfg TimingConfig) (*Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nfuncs < 0 {
+		return nil, fmt.Errorf("profile: Synthesize nfuncs must be non-negative, got %d", nfuncs)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Profile{Levels: cfg.Levels, Funcs: make([]FuncTimes, nfuncs)}
+	for i := 0; i < nfuncs; i++ {
+		size := cfg.SizeMedian * math.Exp(rng.NormFloat64()*cfg.SizeSigma)
+		if size < 16 {
+			size = 16
+		}
+		p.Funcs[i] = makeFuncTimes(i, int64(size), cfg, rng)
+	}
+	return p, nil
+}
+
+// SynthesizeWithSizes builds a Profile with the given per-function code
+// sizes (e.g. derived from a call-graph program) instead of drawing them.
+func SynthesizeWithSizes(sizes []int64, cfg TimingConfig) (*Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("profile: size of function %d must be positive, got %d", i, s)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Profile{Levels: cfg.Levels, Funcs: make([]FuncTimes, len(sizes))}
+	for i, sz := range sizes {
+		p.Funcs[i] = makeFuncTimes(i, sz, cfg, rng)
+	}
+	return p, nil
+}
+
+// makeFuncTimes fills one function's timings for a given size. Callers have
+// validated cfg and size.
+func makeFuncTimes(i int, sz int64, cfg TimingConfig, rng *rand.Rand) FuncTimes {
+	size := float64(sz)
+	ft := FuncTimes{
+		Name:    fmt.Sprintf("m%04d", i),
+		Size:    sz,
+		Compile: make([]int64, cfg.Levels),
+		Exec:    make([]int64, cfg.Levels),
+	}
+	exec0 := cfg.ExecMedian * math.Exp(rng.NormFloat64()*cfg.ExecSigma) *
+		math.Pow(size/cfg.SizeMedian, cfg.SizeExecExponent)
+	if exec0 < 1 {
+		exec0 = 1
+	}
+	prevSpeed := 0.0
+	for l := 0; l < cfg.Levels; l++ {
+		ct := cfg.CompilePerByte[l]*size + cfg.CompileBase[l]
+		ft.Compile[l] = int64(math.Max(1, ct))
+		if l > 0 && ft.Compile[l] < ft.Compile[l-1] {
+			ft.Compile[l] = ft.Compile[l-1]
+		}
+		speed := cfg.Speedup[l]
+		if l > 0 && cfg.SpeedupJitter > 0 {
+			speed *= 1 + (rng.Float64()*2-1)*cfg.SpeedupJitter
+		}
+		if speed < prevSpeed {
+			speed = prevSpeed // keep exec times nonincreasing in level
+		}
+		prevSpeed = speed
+		ft.Exec[l] = int64(math.Max(1, exec0/speed))
+		if l > 0 && ft.Exec[l] > ft.Exec[l-1] {
+			ft.Exec[l] = ft.Exec[l-1]
+		}
+	}
+	return ft
+}
+
+// MustSynthesize is Synthesize for static configurations; it panics on
+// configuration errors.
+func MustSynthesize(nfuncs int, cfg TimingConfig) *Profile {
+	p, err := Synthesize(nfuncs, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

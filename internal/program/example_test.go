@@ -1,0 +1,59 @@
+package program_test
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+)
+
+// ExampleCollect executes a tiny hand-built program and prints the
+// collected call sequence — what a method-entry profiler would record.
+func ExampleCollect() {
+	p := &program.Program{
+		Entry: 0,
+		Funcs: []program.Function{
+			{Name: "main", Work: 10, Body: []program.CallSite{
+				{Callee: 1, Count: 2, Prob: 1},
+				{Callee: 2, Count: 1, Prob: 1},
+			}},
+			{Name: "worker", Work: 50, Body: []program.CallSite{
+				{Callee: 2, Count: 1, Prob: 1},
+			}},
+			{Name: "leaf", Work: 5},
+		},
+	}
+	tr, err := program.Collect(p, program.CollectOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, f := range tr.Calls {
+		fmt.Printf("%s ", p.Funcs[f].Name)
+	}
+	fmt.Println()
+	// Output:
+	// main worker leaf worker leaf leaf
+}
+
+// ExampleInline merges a hot leaf into its callers: the trace shrinks, the
+// callers absorb the work.
+func ExampleInline() {
+	p := &program.Program{
+		Entry: 0,
+		Funcs: []program.Function{
+			{Name: "main", Work: 10, Body: []program.CallSite{{Callee: 1, Count: 3, Prob: 1}}},
+			{Name: "leaf", Work: 40},
+		},
+	}
+	q, stats, err := program.Inline(p, []int{1})
+	if err != nil {
+		panic(err)
+	}
+	tr, err := program.Collect(q, program.CollectOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("inlined=%d sites=%d mainWork=%d calls=%d\n",
+		stats.Inlined, stats.SitesRewritten, q.Funcs[0].Work, tr.Len())
+	// Output:
+	// inlined=1 sites=1 mainWork=130 calls=1
+}

@@ -1,0 +1,130 @@
+package program
+
+import (
+	"fmt"
+)
+
+// Inlining support for the §8 discussion: "function inlining that happens in
+// a run may substantially change the length and execution time of the caller
+// function". Inlining a callee into its call sites removes the callee's
+// invocation events from collected traces and folds its work (and code size)
+// into the callers — exactly the two effects that perturb a
+// measured-beforehand profile.
+
+// InlineStats reports what an Inline transformation did.
+type InlineStats struct {
+	// Inlined is the number of functions merged into their callers.
+	Inlined int
+	// SitesRewritten is the number of call sites absorbed.
+	SitesRewritten int
+}
+
+// Inline returns a copy of the program with the given functions merged into
+// every call site that targets them. Only functions without call sites of
+// their own (leaves) can be inlined — the usual first-order inliner target —
+// and the entry function cannot be. The inlined functions remain in the
+// function table (their IDs stay valid) but are no longer reachable.
+func Inline(p *Program, victims []int) (*Program, InlineStats, error) {
+	var stats InlineStats
+	if err := p.Validate(); err != nil {
+		return nil, stats, err
+	}
+	inline := make([]bool, len(p.Funcs))
+	for _, v := range victims {
+		if v < 0 || v >= len(p.Funcs) {
+			return nil, stats, fmt.Errorf("program: inline victim %d out of range", v)
+		}
+		if v == p.Entry {
+			return nil, stats, fmt.Errorf("program: cannot inline the entry function")
+		}
+		if len(p.Funcs[v].Body) != 0 {
+			return nil, stats, fmt.Errorf("program: function %d is not a leaf; only leaves inline", v)
+		}
+		if !inline[v] {
+			inline[v] = true
+			stats.Inlined++
+		}
+	}
+
+	q := &Program{Entry: p.Entry, Funcs: make([]Function, len(p.Funcs))}
+	for i, f := range p.Funcs {
+		nf := Function{Name: f.Name, Work: f.Work}
+		for _, cs := range f.Body {
+			if inline[cs.Callee] {
+				// The callee's body is empty (leaf); absorb its work,
+				// scaled by the expected executions of the site.
+				expected := float64(cs.Count) * cs.Prob
+				nf.Work += int64(expected * float64(p.Funcs[cs.Callee].Work))
+				stats.SitesRewritten++
+				continue
+			}
+			nf.Body = append(nf.Body, cs)
+		}
+		q.Funcs[i] = nf
+	}
+	return q, stats, nil
+}
+
+// HottestLeaves returns up to n leaf functions ranked by their expected
+// total work under the program's static structure (expected executions ×
+// work), the natural inlining candidates.
+func HottestLeaves(p *Program, n int) []int {
+	if err := p.Validate(); err != nil {
+		return nil
+	}
+	// Expected invocation counts by a breadth pass: entry executes once;
+	// each site contributes count*prob*callerFreq. The layered generator
+	// guarantees acyclicity; for hand-built cyclic programs this converges
+	// visit-limited.
+	freq := make([]float64, len(p.Funcs))
+	freq[p.Entry] = 1
+	// Process in topological-ish order: repeat passes until stable or a
+	// small bound (cycles get an approximation, which is fine for ranking).
+	for pass := 0; pass < 8; pass++ {
+		next := make([]float64, len(p.Funcs))
+		next[p.Entry] = 1
+		for i, f := range p.Funcs {
+			if freq[i] == 0 {
+				continue
+			}
+			for _, cs := range f.Body {
+				next[cs.Callee] += freq[i] * float64(cs.Count) * cs.Prob
+			}
+		}
+		stable := true
+		for i := range freq {
+			if next[i] != freq[i] {
+				stable = false
+			}
+		}
+		freq = next
+		if stable {
+			break
+		}
+	}
+	type cand struct {
+		fn   int
+		heat float64
+	}
+	var cands []cand
+	for i, f := range p.Funcs {
+		if i == p.Entry || len(f.Body) != 0 || freq[i] == 0 {
+			continue
+		}
+		cands = append(cands, cand{i, freq[i] * float64(f.Work)})
+	}
+	// Selection sort for the top n keeps this simple.
+	out := make([]int, 0, n)
+	for len(out) < n && len(cands) > 0 {
+		best := 0
+		for i := range cands {
+			if cands[i].heat > cands[best].heat ||
+				(cands[i].heat == cands[best].heat && cands[i].fn < cands[best].fn) {
+				best = i
+			}
+		}
+		out = append(out, cands[best].fn)
+		cands = append(cands[:best], cands[best+1:]...)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestInlineDiamondLeaf(t *testing.T) {
+	p := diamond()
+	q, stats, err := Inline(p, []int{3}) // inline c into a and b
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inlined != 1 || stats.SitesRewritten != 2 {
+		t.Errorf("stats = %+v, want 1 inlined / 2 sites", stats)
+	}
+	// a absorbed 2x c's work (count 2), b absorbed 1x.
+	if q.Funcs[1].Work != 20+2*40 {
+		t.Errorf("a's work = %d, want 100", q.Funcs[1].Work)
+	}
+	if q.Funcs[2].Work != 30+40 {
+		t.Errorf("b's work = %d, want 70", q.Funcs[2].Work)
+	}
+	// c no longer appears in collected traces.
+	tr, err := Collect(q, CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range tr.Calls {
+		if f == 3 {
+			t.Fatal("inlined function still invoked")
+		}
+	}
+	// The trace shrank by c's former invocations (7 of them).
+	orig, err := Collect(p, CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != orig.Len()-7 {
+		t.Errorf("inlined trace has %d calls, want %d", tr.Len(), orig.Len()-7)
+	}
+}
+
+func TestInlineValidation(t *testing.T) {
+	p := diamond()
+	if _, _, err := Inline(p, []int{0}); err == nil {
+		t.Error("want error for inlining the entry")
+	}
+	if _, _, err := Inline(p, []int{1}); err == nil {
+		t.Error("want error for inlining a non-leaf")
+	}
+	if _, _, err := Inline(p, []int{9}); err == nil {
+		t.Error("want error for out-of-range victim")
+	}
+	// Duplicates count once.
+	_, stats, err := Inline(p, []int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inlined != 1 {
+		t.Errorf("duplicate victim counted twice: %+v", stats)
+	}
+}
+
+func TestHottestLeaves(t *testing.T) {
+	p := diamond()
+	// Only leaf is c (function 3).
+	hot := HottestLeaves(p, 5)
+	if len(hot) != 1 || hot[0] != 3 {
+		t.Errorf("hottest leaves = %v, want [3]", hot)
+	}
+
+	// On a generated program, the hottest leaf must actually be hot in a
+	// collected trace.
+	g, err := Generate(GenConfig{Funcs: 120, Layers: 4, FanOut: 3, LoopMean: 4, BranchProb: 0.7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot = HottestLeaves(g, 3)
+	if len(hot) == 0 {
+		t.Fatal("no leaves found in generated program")
+	}
+	tr, err := Collect(g, CollectOptions{MaxCalls: 100000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.Counts()
+	var totalWork, hotWork int64
+	for f, n := range counts {
+		totalWork += n * g.Funcs[f].Work
+	}
+	for _, f := range hot {
+		hotWork += counts[f] * g.Funcs[f].Work
+	}
+	if float64(hotWork) < 0.05*float64(totalWork) {
+		t.Errorf("top leaves carry only %.1f%% of work; ranking looks broken",
+			100*float64(hotWork)/float64(totalWork))
+	}
+}
+
+// TestInlinePipeline: inlining shortens traces and shifts work into callers;
+// the scheduling pipeline keeps functioning on the transformed program.
+func TestInlinePipeline(t *testing.T) {
+	g, err := Generate(GenConfig{Funcs: 150, Layers: 4, FanOut: 3, LoopMean: 5, BranchProb: 0.7, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Collect(g, CollectOptions{MaxCalls: 150000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := HottestLeaves(g, 10)
+	q, stats, err := Inline(g, victims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SitesRewritten == 0 {
+		t.Fatal("nothing was rewritten")
+	}
+	after, err := Collect(q, CollectOptions{MaxCalls: 150000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Len() >= before.Len() {
+		t.Errorf("inlining did not shorten the trace: %d -> %d", before.Len(), after.Len())
+	}
+	for _, f := range after.Calls {
+		for _, v := range victims {
+			if int(f) == v {
+				t.Fatalf("victim %d still called", v)
+			}
+		}
+	}
+	_ = trace.ComputeStats(after) // exercised for crash-freedom
+}

@@ -1,0 +1,303 @@
+// Package program models synthetic programs as call graphs and collects
+// dynamic call sequences by executing them — the structural counterpart of
+// the paper's data-collection framework (§6.1), which records the call
+// sequence of a real program run. Where internal/trace's generator produces
+// statistically shaped sequences, this package produces them mechanically:
+// a Program is functions with call sites and trip counts; Collect walks the
+// graph from the entry point and emits one trace event per function
+// invocation, exactly as a method-entry profiler would.
+package program
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// CallSite is one static call location inside a function's body.
+type CallSite struct {
+	// Callee is the index of the called function.
+	Callee int
+	// Count is the number of times the site executes per invocation of the
+	// caller — a loop trip count (>= 0).
+	Count int
+	// Prob is the probability that the site executes at all on a given
+	// invocation (a branch guard), in [0,1]. 1 means always.
+	Prob float64
+}
+
+// Function is one node of the call graph.
+type Function struct {
+	// Name is a human-readable label.
+	Name string
+	// Body is the function's call sites, executed in order.
+	Body []CallSite
+	// Work is the function's own (exclusive) computational weight; it
+	// becomes the synthetic code size / base execution cost downstream.
+	Work int64
+}
+
+// Program is a call graph with a designated entry function.
+type Program struct {
+	Funcs []Function
+	Entry int
+}
+
+// Validate checks structural sanity: entry and all callees in range, trip
+// counts non-negative, probabilities in [0,1].
+func (p *Program) Validate() error {
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("program: no functions")
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Funcs) {
+		return fmt.Errorf("program: entry %d out of range [0,%d)", p.Entry, len(p.Funcs))
+	}
+	for i, f := range p.Funcs {
+		for j, cs := range f.Body {
+			if cs.Callee < 0 || cs.Callee >= len(p.Funcs) {
+				return fmt.Errorf("program: function %d site %d calls unknown function %d", i, j, cs.Callee)
+			}
+			if cs.Count < 0 {
+				return fmt.Errorf("program: function %d site %d has negative trip count", i, j)
+			}
+			if cs.Prob < 0 || cs.Prob > 1 {
+				return fmt.Errorf("program: function %d site %d has probability %g outside [0,1]", i, j, cs.Prob)
+			}
+		}
+	}
+	return nil
+}
+
+// Sizes returns each function's synthetic code size, derived from its own
+// work and the number of its call sites — the quantity cost-benefit models
+// estimate from.
+func (p *Program) Sizes() []int64 {
+	sizes := make([]int64, len(p.Funcs))
+	for i, f := range p.Funcs {
+		sizes[i] = f.Work + int64(len(f.Body))*24
+		if sizes[i] < 16 {
+			sizes[i] = 16
+		}
+	}
+	return sizes
+}
+
+// CollectOptions bounds a collection run.
+type CollectOptions struct {
+	// MaxCalls stops the walk once the trace reaches this many invocations
+	// (0 means DefaultMaxCalls). Real collection frameworks bound their
+	// buffers the same way.
+	MaxCalls int
+	// MaxDepth bounds the call stack; deeper invocations execute but emit
+	// no callees, cutting runaway recursion (0 means DefaultMaxDepth).
+	MaxDepth int
+	// Seed drives branch-probability draws.
+	Seed int64
+}
+
+// DefaultMaxCalls and DefaultMaxDepth bound collection runs.
+const (
+	DefaultMaxCalls = 1 << 22
+	DefaultMaxDepth = 64
+)
+
+// Collect executes the program and returns its dynamic call sequence: one
+// event per function invocation, in invocation order (the entry function
+// included). The walk is deterministic for a given seed.
+func Collect(p *Program, opts CollectOptions) (*trace.Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxCalls := opts.MaxCalls
+	if maxCalls == 0 {
+		maxCalls = DefaultMaxCalls
+	}
+	if maxCalls < 0 {
+		return nil, fmt.Errorf("program: MaxCalls must be non-negative, got %d", opts.MaxCalls)
+	}
+	maxDepth := opts.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	if maxDepth < 1 {
+		return nil, fmt.Errorf("program: MaxDepth must be positive, got %d", opts.MaxDepth)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	tr := &trace.Trace{Name: "collected"}
+	full := false
+	var walk func(fn, depth int)
+	walk = func(fn, depth int) {
+		if full {
+			return
+		}
+		if len(tr.Calls) >= maxCalls {
+			full = true
+			return
+		}
+		tr.Calls = append(tr.Calls, trace.FuncID(fn))
+		if depth >= maxDepth {
+			return
+		}
+		for _, cs := range p.Funcs[fn].Body {
+			if cs.Prob < 1 && rng.Float64() >= cs.Prob {
+				continue
+			}
+			for k := 0; k < cs.Count; k++ {
+				walk(cs.Callee, depth+1)
+				if full {
+					return
+				}
+			}
+		}
+	}
+	walk(p.Entry, 0)
+	return tr, nil
+}
+
+// GenConfig parameterizes random program generation: a layered call graph
+// in which functions call only strictly deeper layers (acyclic, so the walk
+// terminates without hitting the depth bound) plus a phased entry function.
+type GenConfig struct {
+	// Funcs is the total number of functions, entry included.
+	Funcs int
+	// Layers is the call-graph depth (>= 2: entry plus at least one layer).
+	Layers int
+	// FanOut is the mean number of call sites per function.
+	FanOut float64
+	// LoopMean is the mean loop trip count of a call site; heavy-tailed
+	// draws around it make some paths hot.
+	LoopMean float64
+	// BranchProb is the execution probability of non-loop call sites.
+	BranchProb float64
+	// Seed drives generation.
+	Seed int64
+}
+
+// Validate reports the first configuration error, or nil.
+func (c *GenConfig) Validate() error {
+	switch {
+	case c.Funcs < 2:
+		return fmt.Errorf("program: GenConfig.Funcs must be >= 2, got %d", c.Funcs)
+	case c.Layers < 2:
+		return fmt.Errorf("program: GenConfig.Layers must be >= 2, got %d", c.Layers)
+	case c.FanOut <= 0:
+		return fmt.Errorf("program: GenConfig.FanOut must be positive, got %g", c.FanOut)
+	case c.LoopMean < 1:
+		return fmt.Errorf("program: GenConfig.LoopMean must be >= 1, got %g", c.LoopMean)
+	case c.BranchProb <= 0 || c.BranchProb > 1:
+		return fmt.Errorf("program: GenConfig.BranchProb must be in (0,1], got %g", c.BranchProb)
+	}
+	return nil
+}
+
+// Generate builds a random layered program. Function 0 is the entry; the
+// remaining functions are split across layers, and each function's call
+// sites target the next layers only.
+func Generate(cfg GenConfig) (*Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Program{Funcs: make([]Function, cfg.Funcs), Entry: 0}
+
+	// Layer boundaries over functions 1..Funcs-1.
+	layerOf := make([]int, cfg.Funcs)
+	rest := cfg.Funcs - 1
+	for i := 1; i < cfg.Funcs; i++ {
+		layerOf[i] = 1 + (i-1)*(cfg.Layers-1)/rest
+	}
+	layerStart := make([]int, cfg.Layers+1)
+	for l := 1; l <= cfg.Layers; l++ {
+		layerStart[l] = cfg.Funcs
+		for i := 1; i < cfg.Funcs; i++ {
+			if layerOf[i] >= l {
+				layerStart[l] = i
+				break
+			}
+		}
+	}
+
+	pick := func(minLayer int) int {
+		lo := layerStart[minLayer]
+		if lo >= cfg.Funcs {
+			return -1
+		}
+		return lo + rng.Intn(cfg.Funcs-lo)
+	}
+
+	for i := 0; i < cfg.Funcs; i++ {
+		f := &p.Funcs[i]
+		f.Name = fmt.Sprintf("fn%04d", i)
+		f.Work = 100 + rng.Int63n(1500)
+		myLayer := layerOf[i]
+		if i == 0 {
+			myLayer = 0
+		}
+		if myLayer >= cfg.Layers-1 && i != 0 {
+			continue // leaf layer: no call sites
+		}
+		sites := 1 + rng.Intn(int(2*cfg.FanOut))
+		if i == 0 {
+			// The entry calls a spread of "phase roots" in order, each a
+			// loop — the program's phase structure. A wide entry keeps most
+			// of the program reachable.
+			sites = cfg.Layers * 2
+			if min := cfg.Funcs / 12; sites < min {
+				sites = min
+			}
+		}
+		// Loop trip counts grow toward the leaves (hot inner loops live
+		// deep), keeping upper-layer fan-out moderate so no single subtree
+		// swallows the whole run.
+		depthFactor := float64(myLayer+1) / float64(cfg.Layers)
+		countMean := 1 + (cfg.LoopMean-1)*depthFactor*depthFactor
+		for s := 0; s < sites; s++ {
+			callee := pick(myLayer + 1)
+			if callee < 0 {
+				break
+			}
+			// Heavy-tailed trip counts: mostly small, occasionally hot.
+			count := 1 + int(rng.ExpFloat64()*(countMean-1))
+			if rng.Intn(8) == 0 {
+				count *= 2 + rng.Intn(6)
+			}
+			prob := 1.0
+			if rng.Float64() < 0.5 {
+				prob = cfg.BranchProb
+			}
+			f.Body = append(f.Body, CallSite{Callee: callee, Count: count, Prob: prob})
+		}
+	}
+
+	// Connectivity pass: every function gets at least one unconditional
+	// incoming edge from a shallower layer, so the whole program is
+	// reachable (dead code would only dilute the function count).
+	hasIncoming := make([]bool, cfg.Funcs)
+	for _, f := range p.Funcs {
+		for _, cs := range f.Body {
+			if cs.Prob == 1 {
+				hasIncoming[cs.Callee] = true
+			}
+		}
+	}
+	for i := 1; i < cfg.Funcs; i++ {
+		if hasIncoming[i] {
+			continue
+		}
+		// Choose a caller in a strictly shallower layer (the entry for
+		// layer 1).
+		caller := 0
+		if layerOf[i] > 1 {
+			lo, hi := layerStart[layerOf[i]-1], layerStart[layerOf[i]]
+			if lo < hi {
+				caller = lo + rng.Intn(hi-lo)
+			}
+		}
+		p.Funcs[caller].Body = append(p.Funcs[caller].Body,
+			CallSite{Callee: i, Count: 1, Prob: 1})
+		hasIncoming[i] = true
+	}
+	return p, nil
+}

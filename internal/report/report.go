@@ -1,0 +1,194 @@
+// Package report renders experiment results as plain-text tables and ASCII
+// bar charts, and provides the small statistics helpers the experiment
+// harnesses share.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are an
+// error surfaced at render time.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(cells))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Style selects a table output format.
+type Style int
+
+const (
+	// Text is the column-aligned plain-text format.
+	Text Style = iota
+	// Markdown renders a GitHub-flavoured markdown table.
+	Markdown
+)
+
+// defaultStyle is the style Render uses; the CLI switches it with SetStyle.
+var defaultStyle = Text
+
+// SetStyle selects the style used by Render and returns the previous one.
+// It exists for the CLI's output flag; library code should call RenderTo
+// with an explicit style instead.
+func SetStyle(s Style) Style {
+	prev := defaultStyle
+	defaultStyle = s
+	return prev
+}
+
+// Render writes the table to w in the package's current default style.
+func (t *Table) Render(w io.Writer) error { return t.RenderTo(w, defaultStyle) }
+
+// RenderTo writes the table in the given style.
+func (t *Table) RenderTo(w io.Writer, style Style) error {
+	for _, row := range t.rows {
+		if len(row) > len(t.Columns) {
+			return fmt.Errorf("report: row has %d cells for %d columns", len(row), len(t.Columns))
+		}
+	}
+	if style == Markdown {
+		return t.renderMarkdown(w)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w, cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderMarkdown writes the GitHub-flavoured form. Callers have validated
+// row widths.
+func (t *Table) renderMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for i := range t.Columns {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			b.WriteByte(' ')
+			b.WriteString(strings.ReplaceAll(cell, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	b.WriteByte('|')
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Geomean returns the geometric mean of xs, which must all be positive
+// (0 for empty input, NaN if any x <= 0).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Bar renders value as a bar of '#' characters scaled so that max fills
+// width runes. Values beyond max are clamped; non-positive values and
+// degenerate maxima give an empty bar.
+func Bar(value, max float64, width int) string {
+	if width <= 0 || max <= 0 || value <= 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// F2 formats a float with two decimals — the normalized-make-span format
+// used throughout the experiment tables.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// F3 formats a float with three decimals.
+func F3(x float64) string { return fmt.Sprintf("%.3f", x) }

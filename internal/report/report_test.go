@@ -1,0 +1,125 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("My Title", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta-longer", "22")
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "My Title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: "value" starts at the same offset in header and rows.
+	idx := strings.Index(lines[1], "value")
+	if got := strings.Index(lines[4], "22"); got != idx {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", idx, got, out)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tab.NumRows())
+	}
+}
+
+func TestTableShortRowAndOverflow(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("only-a")
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Errorf("short row should render: %v", err)
+	}
+	tab.AddRow("1", "2", "3")
+	if err := tab.Render(&strings.Builder{}); err == nil {
+		t.Error("want error for row wider than columns")
+	}
+}
+
+func TestMarkdownRender(t *testing.T) {
+	tab := NewTable("Title", "a", "b")
+	tab.AddRow("x|y", "1")
+	var b strings.Builder
+	if err := tab.RenderTo(&b, Markdown); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "**Title**") {
+		t.Error("missing bold title")
+	}
+	if !strings.Contains(out, "| a | b |") || !strings.Contains(out, "|---|---|") {
+		t.Errorf("markdown structure wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `x\|y`) {
+		t.Error("pipe not escaped")
+	}
+}
+
+func TestSetStyle(t *testing.T) {
+	prev := SetStyle(Markdown)
+	defer SetStyle(prev)
+	tab := NewTable("", "c")
+	tab.AddRow("v")
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "| c |") {
+		t.Errorf("default style not switched:\n%s", b.String())
+	}
+	if got := SetStyle(Text); got != Markdown {
+		t.Errorf("SetStyle returned %v, want Markdown", got)
+	}
+	SetStyle(Markdown) // restore for the deferred reset to make sense
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g, want 2", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean(nil) = %g", got)
+	}
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %g, want 4", got)
+	}
+	if got := Geomean([]float64{1, 0}); !math.IsNaN(got) {
+		t.Errorf("Geomean with zero = %g, want NaN", got)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####" {
+		t.Errorf("Bar = %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "##########" {
+		t.Errorf("clamped Bar = %q", got)
+	}
+	if got := Bar(-1, 10, 10); got != "" {
+		t.Errorf("negative Bar = %q", got)
+	}
+	if got := Bar(1, 0, 10); got != "" {
+		t.Errorf("zero-max Bar = %q", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F2(1.234) != "1.23" || F3(1.2345) != "1.234" {
+		t.Error("float formatters broken")
+	}
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// Multi-threaded execution. The paper's model — and RunPolicy — drive one
+// execution worker, flattening even multithreaded benchmarks into a single
+// call sequence (§6.1). RunPolicyMT lifts that restriction: each thread
+// executes its own call sequence on its own core while all threads share
+// the code cache, the policy (hotness is global), and the compilation
+// workers. The §7 queue-discipline question only becomes substantive here:
+// with several execution threads the compile queue has several request
+// sources and genuinely backs up.
+
+// ThreadResult reports one execution thread's outcome.
+type ThreadResult struct {
+	// Finish is when the thread's last call completed.
+	Finish int64
+	// Exec and Bubble split the thread's timeline into running and waiting.
+	Exec, Bubble int64
+	// Calls is the thread's call count.
+	Calls int
+}
+
+// mtThread is one execution thread's engine state.
+type mtThread struct {
+	calls      []trace.FuncID
+	idx        int
+	clock      int64 // when the thread can issue its next call
+	issued     bool  // the current call's requests have been emitted
+	nextSample int64
+	res        ThreadResult
+}
+
+// RunPolicyMT drives per-thread call sequences through an online policy on
+// len(threads) execution cores and cfg.CompileWorkers compilation cores.
+// Policy state (invocation counts, sampler hotness) is shared across
+// threads, as it is in a JVM. Each thread carries its own sampling clock.
+//
+// The returned Result aggregates across threads: MakeSpan is the latest
+// thread finish, TotalExec/TotalBubble are summed, and Compiles lists the
+// shared compilation stream. Per-thread detail comes second.
+func RunPolicyMT(threads []*trace.Trace, p *profile.Profile, pol Policy, cfg Config, opts Options) (*Result, []ThreadResult, error) {
+	if len(threads) == 0 {
+		return nil, nil, fmt.Errorf("sim: RunPolicyMT needs at least one thread")
+	}
+	if cfg.CompileWorkers < 1 {
+		return nil, nil, fmt.Errorf("sim: Config.CompileWorkers must be >= 1, got %d", cfg.CompileWorkers)
+	}
+	if cfg.Discipline != FIFO && cfg.Discipline != FirstCompileFirst {
+		return nil, nil, fmt.Errorf("sim: unknown queue discipline %d", cfg.Discipline)
+	}
+	if pol == nil {
+		return nil, nil, fmt.Errorf("sim: RunPolicyMT needs a non-nil policy")
+	}
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	if opts.RecordCalls {
+		return nil, nil, fmt.Errorf("sim: RecordCalls is not supported for multi-threaded runs")
+	}
+	nf := p.NumFuncs()
+	period := pol.SamplePeriod()
+	if period < 0 {
+		return nil, nil, fmt.Errorf("sim: policy sample period must be >= 0, got %d", period)
+	}
+
+	res := &Result{FirstReady: make([]int64, nf)}
+	for f := range res.FirstReady {
+		res.FirstReady[f] = -1
+	}
+	eng := &engine{
+		p:        p,
+		queue:    compileQueue{discipline: cfg.Discipline, pool: newWorkerPool(cfg.CompileWorkers)},
+		versions: make([]versionList, nf),
+		res:      res,
+	}
+	maxRequested := make([]profile.Level, nf)
+	requested := make([]bool, nf)
+	seq := 0
+	enqueue := func(f trace.FuncID, l profile.Level, arrival int64) error {
+		if l < 0 || int(l) >= p.Levels {
+			return fmt.Errorf("sim: policy requested level %d for function %d outside [0,%d)", l, f, p.Levels)
+		}
+		if requested[f] && l <= maxRequested[f] {
+			return nil
+		}
+		first := !requested[f]
+		requested[f] = true
+		maxRequested[f] = l
+		seq++
+		if first {
+			for _, r := range eng.queue.pending {
+				if !r.first {
+					res.FirstBehindRecompiles++
+					break
+				}
+			}
+		}
+		eng.queue.push(pendingReq{f: f, level: l, arrival: arrival, first: first, seq: seq})
+		if n := len(eng.queue.pending); n > res.MaxPending {
+			res.MaxPending = n
+		}
+		return nil
+	}
+
+	ts := make([]*mtThread, len(threads))
+	callNum := make([]int64, nf) // global invocation counts, shared
+	for i, tr := range threads {
+		if err := tr.Validate(nf); err != nil {
+			return nil, nil, err
+		}
+		ts[i] = &mtThread{calls: tr.Calls, nextSample: period}
+	}
+
+	const inf = int64(1)<<62 - 1
+	for {
+		// Candidate events: the next compile assignment and each thread's
+		// next step (issue its call's requests, or start executing once a
+		// version is ready). Assignments commit first on ties: they unblock.
+		na, havePending := eng.nextAssignTime()
+		bestThread := -1
+		bestTime := inf
+		bestIsIssue := false
+		for i, t := range ts {
+			if t.idx >= len(t.calls) {
+				continue
+			}
+			f := t.calls[t.idx]
+			switch {
+			case !t.issued:
+				if t.clock < bestTime {
+					bestTime, bestThread, bestIsIssue = t.clock, i, true
+				}
+			case eng.versions[f].firstReady() >= 0:
+				start := t.clock
+				if r := eng.versions[f].firstReady(); r > start {
+					start = r
+				}
+				if start < bestTime {
+					bestTime, bestThread, bestIsIssue = start, i, false
+				}
+			}
+			// Threads whose function is requested but unassigned wait for
+			// an assignment event.
+		}
+
+		if havePending && (bestThread < 0 || na <= bestTime) {
+			if !eng.drainOne() {
+				return nil, nil, fmt.Errorf("sim: internal error: pending queue did not drain")
+			}
+			continue
+		}
+		if bestThread < 0 {
+			break // every thread finished (blocked threads imply pending work)
+		}
+		t := ts[bestThread]
+		f := t.calls[t.idx]
+		if bestIsIssue {
+			callNum[f]++
+			for _, r := range pol.BeforeCall(f, callNum[f], t.clock) {
+				if err := enqueue(r.Func, r.Level, t.clock); err != nil {
+					return nil, nil, err
+				}
+			}
+			if !requested[f] {
+				if err := enqueue(f, pol.FirstCall(f, t.clock), t.clock); err != nil {
+					return nil, nil, err
+				}
+			}
+			t.issued = true
+			continue
+		}
+
+		// Execute the call.
+		start := bestTime
+		if start > t.clock {
+			t.res.Bubble += start - t.clock
+		}
+		eng.drainArrived(start)
+		level := eng.versions[f].latestAt(start)
+		dur := p.ExecTime(f, level)
+		if opts.ExecVariation > 0 {
+			// Per-call factors key on a global, order-independent index:
+			// thread id mixed with the thread-local call index.
+			dur = scaleDuration(dur, CallFactor(opts.ExecVariationSeed+int64(bestThread)*1_000_003, t.idx, opts.ExecVariation))
+		}
+		end := start + dur
+		if period > 0 {
+			for t.nextSample < start {
+				t.nextSample += period
+			}
+			for t.nextSample < end {
+				for _, r := range pol.Sample(f, t.nextSample) {
+					if err := enqueue(r.Func, r.Level, t.nextSample); err != nil {
+						return nil, nil, err
+					}
+				}
+				t.nextSample += period
+			}
+		}
+		t.res.Exec += dur
+		t.res.Calls++
+		t.res.Finish = end
+		t.clock = end
+		t.idx++
+		t.issued = false
+	}
+
+	eng.drainAll()
+	for f := range eng.versions {
+		res.FirstReady[f] = eng.versions[f].firstReady()
+	}
+	perThread := make([]ThreadResult, len(ts))
+	for i, t := range ts {
+		perThread[i] = t.res
+		res.TotalExec += t.res.Exec
+		res.TotalBubble += t.res.Bubble
+		if t.res.Finish > res.MakeSpan {
+			res.MakeSpan = t.res.Finish
+		}
+	}
+	return res, perThread, nil
+}

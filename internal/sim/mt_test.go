@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+func TestMTValidation(t *testing.T) {
+	p := figure1Profile()
+	tr := trace.New("t", []trace.FuncID{0})
+	if _, _, err := RunPolicyMT(nil, p, levelZero{}, DefaultConfig(), Options{}); err == nil {
+		t.Error("want error for no threads")
+	}
+	if _, _, err := RunPolicyMT([]*trace.Trace{tr}, p, nil, DefaultConfig(), Options{}); err == nil {
+		t.Error("want error for nil policy")
+	}
+	if _, _, err := RunPolicyMT([]*trace.Trace{tr}, p, levelZero{}, Config{}, Options{}); err == nil {
+		t.Error("want error for zero workers")
+	}
+	if _, _, err := RunPolicyMT([]*trace.Trace{tr}, p, levelZero{}, DefaultConfig(), Options{RecordCalls: true}); err == nil {
+		t.Error("want error for RecordCalls")
+	}
+	if _, _, err := RunPolicyMT([]*trace.Trace{trace.New("bad", []trace.FuncID{99})}, p, levelZero{}, DefaultConfig(), Options{}); err == nil {
+		t.Error("want error for out-of-range function")
+	}
+}
+
+// TestMTSingleThreadMatchesRunPolicy: with one thread, the MT engine and the
+// single-threaded engine agree on the make-span.
+func TestMTSingleThreadMatchesRunPolicy(t *testing.T) {
+	tr := trace.MustGenerate(trace.GenConfig{
+		Name: "t", NumFuncs: 80, Length: 12000, Seed: 4,
+		ZipfS: 1.5, Phases: 2, CoreFuncs: 12, CoreShare: 0.5, BurstMean: 2,
+		WarmupFrac: 0.1, WarmupCoverage: 0.8,
+	})
+	p := profile.MustSynthesize(80, profile.DefaultTiming(4, 5))
+	for _, d := range []QueueDiscipline{FIFO, FirstCompileFirst} {
+		for _, pol := range []func() Policy{
+			func() Policy { return levelZero{} },
+			func() Policy { return v8ish{high: 3} },
+			func() Policy { return multiSampler{period: 5000} },
+		} {
+			single, err := RunPolicy(tr, p, pol(), Config{CompileWorkers: 1, Discipline: d}, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			multi, perThread, err := RunPolicyMT([]*trace.Trace{tr}, p, pol(), Config{CompileWorkers: 1, Discipline: d}, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if multi.MakeSpan != single.MakeSpan {
+				t.Errorf("%v: MT(1 thread) make-span %d != single-threaded %d", d, multi.MakeSpan, single.MakeSpan)
+			}
+			if multi.TotalExec != single.TotalExec || multi.TotalBubble != single.TotalBubble {
+				t.Errorf("%v: MT accounting differs: exec %d/%d bubble %d/%d",
+					d, multi.TotalExec, single.TotalExec, multi.TotalBubble, single.TotalBubble)
+			}
+			if len(perThread) != 1 || perThread[0].Finish != multi.MakeSpan {
+				t.Errorf("%v: per-thread detail inconsistent: %+v", d, perThread)
+			}
+		}
+	}
+}
+
+// TestMTTwoThreadsShareCode: a function compiled for one thread is ready for
+// the other, and invocation counts are global.
+func TestMTTwoThreadsShareCode(t *testing.T) {
+	p := &profile.Profile{
+		Levels: 2,
+		Funcs: []profile.FuncTimes{
+			{Name: "f", Compile: []int64{10, 30}, Exec: []int64{20, 2}},
+		},
+	}
+	// Thread A calls f twice; thread B calls f twice. V8-ish promotion on
+	// the global second invocation.
+	a := trace.New("a", []trace.FuncID{0, 0})
+	b := trace.New("b", []trace.FuncID{0, 0})
+	res, perThread, err := RunPolicyMT([]*trace.Trace{a, b}, p, v8ish{high: 1},
+		Config{CompileWorkers: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one first compile and one promotion, not per-thread copies.
+	if len(res.Compiles) != 2 {
+		t.Fatalf("%d compilations, want 2 (shared code cache)", len(res.Compiles))
+	}
+	if res.Compiles[0].Event.Level != 0 || res.Compiles[1].Event.Level != 1 {
+		t.Errorf("compilation levels %v", res.Compiles)
+	}
+	// Both threads ran both their calls.
+	for i, tr := range perThread {
+		if tr.Calls != 2 {
+			t.Errorf("thread %d ran %d calls", i, tr.Calls)
+		}
+	}
+	if res.MakeSpan != res.Compiles[0].Done+20+2 && res.MakeSpan < 22 {
+		t.Errorf("implausible make-span %d", res.MakeSpan)
+	}
+}
+
+// TestMTParallelismHelps: two threads splitting a workload finish sooner
+// than one thread running it all, but never faster than the exec-bound
+// limit.
+func TestMTParallelismHelps(t *testing.T) {
+	full := trace.MustGenerate(trace.GenConfig{
+		Name: "t", NumFuncs: 60, Length: 10000, Seed: 8,
+		ZipfS: 1.6, Phases: 2, CoreFuncs: 10, CoreShare: 0.5, BurstMean: 2,
+	})
+	p := profile.MustSynthesize(60, profile.DefaultTiming(4, 9))
+	half1 := trace.New("h1", full.Calls[:full.Len()/2])
+	half2 := trace.New("h2", full.Calls[full.Len()/2:])
+
+	one, _, err := RunPolicyMT([]*trace.Trace{full}, p, levelZero{}, DefaultConfig(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, perThread, err := RunPolicyMT([]*trace.Trace{half1, half2}, p, levelZero{}, DefaultConfig(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.MakeSpan >= one.MakeSpan {
+		t.Errorf("two threads (%d) not faster than one (%d)", two.MakeSpan, one.MakeSpan)
+	}
+	if two.MakeSpan < one.MakeSpan/3 {
+		t.Errorf("two threads implausibly fast: %d vs %d", two.MakeSpan, one.MakeSpan)
+	}
+	for i, th := range perThread {
+		if th.Finish != th.Exec+th.Bubble {
+			t.Errorf("thread %d: accounting identity broken: %d != %d+%d", i, th.Finish, th.Exec, th.Bubble)
+		}
+	}
+}
+
+// TestMTDeterministic: repeated runs agree exactly.
+func TestMTDeterministic(t *testing.T) {
+	p := profile.MustSynthesize(50, profile.DefaultTiming(4, 11))
+	var threads []*trace.Trace
+	for i := 0; i < 4; i++ {
+		threads = append(threads, trace.MustGenerate(trace.GenConfig{
+			Name: "t", NumFuncs: 50, Length: 3000, Seed: 20, DrawSeed: int64(21 + i),
+			ZipfS: 1.5, Phases: 2, CoreFuncs: 10, CoreShare: 0.5, BurstMean: 2,
+		}))
+	}
+	run := func() int64 {
+		res, _, err := RunPolicyMT(threads, p, multiSampler{period: 4000},
+			Config{CompileWorkers: 2, Discipline: FirstCompileFirst}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakeSpan
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("MT run not deterministic: %d vs %d", a, b)
+	}
+}
+
+// TestMTCompileRecordsConsistent: shared compile stream never overlaps per
+// worker and respects durations, under contention from four threads.
+func TestMTCompileRecordsConsistent(t *testing.T) {
+	p := profile.MustSynthesize(120, profile.DefaultTiming(4, 13))
+	var threads []*trace.Trace
+	for i := 0; i < 4; i++ {
+		threads = append(threads, trace.MustGenerate(trace.GenConfig{
+			Name: "t", NumFuncs: 120, Length: 6000, Seed: 30, DrawSeed: int64(31 + i),
+			ZipfS: 1.4, Phases: 2, CoreFuncs: 15, CoreShare: 0.5, BurstMean: 2,
+			WarmupFrac: 0.15, WarmupCoverage: 0.7,
+		}))
+	}
+	res, _, err := RunPolicyMT(threads, p, multiSampler{period: 3000},
+		Config{CompileWorkers: 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWorker := map[int]int64{}
+	for i, c := range res.Compiles {
+		if c.Start < perWorker[c.Worker] {
+			t.Errorf("compile %d overlaps previous work on worker %d", i, c.Worker)
+		}
+		perWorker[c.Worker] = c.Done
+		if c.Done-c.Start != p.CompileTime(c.Event.Func, c.Event.Level) {
+			t.Errorf("compile %d has wrong duration", i)
+		}
+	}
+}

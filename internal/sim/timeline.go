@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// RenderTimeline draws an ASCII Gantt chart of a simulated run in the style
+// of the paper's Figs. 1-2: one lane per compilation worker and one for the
+// execution core, time flowing left to right. It is meant for small runs
+// (tens of events); wider runs are compressed to the given width in
+// characters.
+//
+// The result must come from a Run/RunPolicy call with
+// Options.RecordCalls set, against the same trace and profile.
+func RenderTimeline(w io.Writer, tr *trace.Trace, p *profile.Profile, res *Result, width int) error {
+	if res.CallStarts == nil {
+		return fmt.Errorf("sim: RenderTimeline needs a result recorded with Options.RecordCalls")
+	}
+	if width < 20 {
+		width = 80
+	}
+	span := res.MakeSpan
+	if res.CompileEnd > span {
+		span = res.CompileEnd
+	}
+	if span == 0 {
+		_, err := fmt.Fprintln(w, "(empty run)")
+		return err
+	}
+	scale := func(t int64) int {
+		x := int(t * int64(width) / span)
+		if x >= width {
+			x = width - 1
+		}
+		return x
+	}
+	nameOf := func(f trace.FuncID) string {
+		if int(f) < p.NumFuncs() && p.Funcs[f].Name != "" {
+			return p.Funcs[f].Name
+		}
+		return fmt.Sprintf("f%d", f)
+	}
+
+	// Compile lanes, one per worker.
+	workers := 0
+	for _, c := range res.Compiles {
+		if c.Worker+1 > workers {
+			workers = c.Worker + 1
+		}
+	}
+	paint := func(lane []byte, from, to int64, glyph byte) {
+		a, b := scale(from), scale(to)
+		if b <= a {
+			b = a + 1
+		}
+		for x := a; x < b && x < len(lane); x++ {
+			lane[x] = glyph
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %d ticks, %d columns (~%d ticks each)\n", span, width, span/int64(width))
+	for wk := 0; wk < workers; wk++ {
+		lane := []byte(strings.Repeat(".", width))
+		for _, c := range res.Compiles {
+			if c.Worker != wk {
+				continue
+			}
+			glyph := byte('0' + int(c.Event.Level)%10)
+			paint(lane, c.Start, c.Done, glyph)
+		}
+		fmt.Fprintf(&b, "compile[%d] |%s|\n", wk, lane)
+	}
+	// Execution lane: level digits while running, spaces while stalled.
+	lane := []byte(strings.Repeat(".", width))
+	var execT int64
+	for i := range tr.Calls {
+		start := res.CallStarts[i]
+		if start > execT {
+			paint(lane, execT, start, '_') // bubble
+		}
+		var end int64
+		if i+1 < len(res.CallStarts) && res.CallStarts[i+1] > start {
+			end = res.CallStarts[i+1]
+		} else {
+			end = res.MakeSpan
+		}
+		paint(lane, start, end, byte('0'+int(res.CallLevels[i])%10))
+		execT = end
+	}
+	fmt.Fprintf(&b, "execute    |%s|\n", lane)
+	fmt.Fprintf(&b, "legend: digits = optimization level, _ = execution stall, . = idle\n")
+
+	// Event list for truly tiny runs.
+	if len(res.Compiles)+tr.Len() <= 24 {
+		b.WriteString("compilations:\n")
+		for _, c := range res.Compiles {
+			fmt.Fprintf(&b, "  C%d(%s) [%d,%d) worker %d\n",
+				c.Event.Level, nameOf(c.Event.Func), c.Start, c.Done, c.Worker)
+		}
+		b.WriteString("calls:\n")
+		for i, f := range tr.Calls {
+			fmt.Fprintf(&b, "  %s @%d level %d\n", nameOf(f), res.CallStarts[i], res.CallLevels[i])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRenderTimelineFig1(t *testing.T) {
+	p := figure1Profile()
+	tr := trace.New("fig1", []trace.FuncID{0, 1, 2, 1})
+	res, err := Run(tr, p, Schedule{{0, 0}, {1, 0}, {2, 0}, {1, 1}}, DefaultConfig(),
+		Options{RecordCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderTimeline(&b, tr, p, res, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"compile[0]", "execute", "legend", "C1(f1)", "f1 @8 level 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTimelineNeedsRecordedCalls(t *testing.T) {
+	p := figure1Profile()
+	tr := trace.New("t", []trace.FuncID{0})
+	res, err := Run(tr, p, Schedule{{0, 0}}, DefaultConfig(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderTimeline(&b, tr, p, res, 40); err == nil {
+		t.Error("want error without RecordCalls")
+	}
+}
+
+func TestRenderTimelineEmptyRun(t *testing.T) {
+	p := figure1Profile()
+	tr := trace.New("t", nil)
+	res, err := Run(tr, p, Schedule{}, DefaultConfig(), Options{RecordCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderTimeline(&b, tr, p, res, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "empty run") {
+		t.Errorf("empty run output: %q", b.String())
+	}
+}
+
+func TestRenderTimelineMultiWorker(t *testing.T) {
+	p := figure1Profile()
+	tr := trace.New("t", []trace.FuncID{1})
+	res, err := Run(tr, p, Schedule{{0, 0}, {1, 0}}, Config{CompileWorkers: 2},
+		Options{RecordCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderTimeline(&b, tr, p, res, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "compile[1]") {
+		t.Errorf("second worker lane missing:\n%s", b.String())
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+// Per-call execution-time variation (§8 of the paper). OCSP assumes each
+// e[i][j] is one number, but "the execution time e_ij may differ from one
+// call of function m_i to another, thanks to the differences in calling
+// parameters and contexts". The paper argues (and §8 spells out) that using
+// per-call averages does not skew the lower bound or the single-core
+// optimality, because total time is what both depend on; schedules computed
+// from averages may lose a little when replayed against varying times.
+//
+// The simulator models this with a mean-preserving deterministic per-call
+// factor: the duration of the k-th call in the trace is the profile's
+// average scaled by 1 + m*(2u-1), where u is a uniform hash of (seed, k)
+// and m the magnitude. The same (seed, k) always yields the same factor, so
+// experiments are reproducible and bounds can be computed against the exact
+// same realization.
+
+// CallFactor returns the execution-time scale factor for call index k under
+// the given variation magnitude (0 <= m < 1) and seed. Magnitude 0 returns
+// exactly 1.
+func CallFactor(seed int64, k int, magnitude float64) float64 {
+	if magnitude == 0 {
+		return 1
+	}
+	u := hashUnit(uint64(seed), uint64(k))
+	return 1 + magnitude*(2*u-1)
+}
+
+// hashUnit maps (seed, k) to a uniform float in [0,1) via splitmix64.
+func hashUnit(seed, k uint64) float64 {
+	x := seed*0x9E3779B97F4A7C15 + k + 1
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// scaleDuration applies a call factor to an average duration, keeping the
+// result at least one tick.
+func scaleDuration(avg int64, factor float64) int64 {
+	if factor == 1 {
+		return avg
+	}
+	d := int64(float64(avg) * factor)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+func TestCallFactorZeroMagnitude(t *testing.T) {
+	for k := 0; k < 100; k++ {
+		if f := CallFactor(3, k, 0); f != 1 {
+			t.Fatalf("magnitude 0 gave factor %g at call %d", f, k)
+		}
+	}
+}
+
+func TestCallFactorRangeAndDeterminism(t *testing.T) {
+	f := func(seed int64, k uint16, magRaw uint8) bool {
+		m := float64(magRaw%90) / 100 // 0 .. 0.89
+		a := CallFactor(seed, int(k), m)
+		b := CallFactor(seed, int(k), m)
+		return a == b && a >= 1-m-1e-9 && a <= 1+m+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCallFactorMeanPreserving(t *testing.T) {
+	const n = 200000
+	var sum float64
+	for k := 0; k < n; k++ {
+		sum += CallFactor(11, k, 0.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("mean factor %.4f, want ~1.0", mean)
+	}
+}
+
+func TestRunWithVariation(t *testing.T) {
+	tr := trace.MustGenerate(trace.GenConfig{
+		Name: "v", NumFuncs: 60, Length: 20000, Seed: 3,
+		ZipfS: 1.5, Phases: 2, CoreFuncs: 10, CoreShare: 0.5, BurstMean: 2,
+	})
+	p := profile.MustSynthesize(60, profile.DefaultTiming(4, 4))
+	var s Schedule
+	for _, f := range tr.FirstCallOrder() {
+		s = append(s, CompileEvent{f, 0})
+	}
+	base, err := Run(tr, p, s, DefaultConfig(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied, err := Run(tr, p, s, DefaultConfig(), Options{ExecVariation: 0.5, ExecVariationSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if varied.MakeSpan == base.MakeSpan {
+		t.Error("variation had no effect")
+	}
+	// Mean-preserving: total execution stays within a few percent.
+	ratio := float64(varied.TotalExec) / float64(base.TotalExec)
+	if ratio < 0.97 || ratio > 1.03 {
+		t.Errorf("varied exec total off by %.3fx; variation not mean-preserving", ratio)
+	}
+	if varied.MakeSpan != varied.TotalExec+varied.TotalBubble {
+		t.Error("accounting identity broken under variation")
+	}
+
+	// Same options, same result.
+	again, err := Run(tr, p, s, DefaultConfig(), Options{ExecVariation: 0.5, ExecVariationSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.MakeSpan != varied.MakeSpan {
+		t.Error("variation not deterministic")
+	}
+
+	// Different seed, different realization.
+	other, err := Run(tr, p, s, DefaultConfig(), Options{ExecVariation: 0.5, ExecVariationSeed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.MakeSpan == varied.MakeSpan {
+		t.Error("different variation seeds produced identical runs")
+	}
+}
+
+func TestVariationValidation(t *testing.T) {
+	p := figure1Profile()
+	tr := trace.New("t", []trace.FuncID{0})
+	s := Schedule{{Func: 0, Level: 0}}
+	for _, bad := range []float64{-0.1, 1.0, 2.0} {
+		if _, err := Run(tr, p, s, DefaultConfig(), Options{ExecVariation: bad}); err == nil {
+			t.Errorf("magnitude %g: want error", bad)
+		}
+		if _, err := RunPolicy(tr, p, levelZero{}, DefaultConfig(), Options{ExecVariation: bad}); err == nil {
+			t.Errorf("policy magnitude %g: want error", bad)
+		}
+	}
+}
+
+func TestRunPolicyWithVariation(t *testing.T) {
+	tr := trace.MustGenerate(trace.GenConfig{
+		Name: "v", NumFuncs: 40, Length: 8000, Seed: 5,
+		ZipfS: 1.5, Phases: 2, CoreFuncs: 8, CoreShare: 0.5, BurstMean: 2,
+	})
+	p := profile.MustSynthesize(40, profile.DefaultTiming(4, 6))
+	a, err := RunPolicy(tr, p, levelZero{}, DefaultConfig(), Options{ExecVariation: 0.4, ExecVariationSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPolicy(tr, p, levelZero{}, DefaultConfig(), Options{ExecVariation: 0.4, ExecVariationSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakeSpan != b.MakeSpan {
+		t.Error("online variation not deterministic")
+	}
+	if a.MakeSpan != a.TotalExec+a.TotalBubble {
+		t.Error("online accounting identity broken under variation")
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WindowStat summarizes one window of a trace's timeline.
+type WindowStat struct {
+	// Start and End are call-index bounds [Start, End).
+	Start, End int
+	// Unique is the number of distinct functions called in the window.
+	Unique int
+	// New is how many functions appear here for the first time in the
+	// trace — the class-loading / warmup signal.
+	New int
+	// TopShare is the fraction of the window's calls going to its single
+	// hottest function.
+	TopShare float64
+}
+
+// Windows splits the trace into n equal windows and summarizes each —
+// useful for seeing warmup (many New early) and phase behaviour (working
+// sets shifting between windows).
+func Windows(t *Trace, n int) ([]WindowStat, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("trace: Windows needs n >= 1, got %d", n)
+	}
+	if t.Len() == 0 {
+		return nil, nil
+	}
+	if n > t.Len() {
+		n = t.Len()
+	}
+	seen := make(map[FuncID]struct{}, 256)
+	out := make([]WindowStat, 0, n)
+	for w := 0; w < n; w++ {
+		lo := t.Len() * w / n
+		hi := t.Len() * (w + 1) / n
+		st := WindowStat{Start: lo, End: hi}
+		counts := make(map[FuncID]int, 64)
+		for _, f := range t.Calls[lo:hi] {
+			counts[f]++
+			if _, ok := seen[f]; !ok {
+				seen[f] = struct{}{}
+				st.New++
+			}
+		}
+		st.Unique = len(counts)
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		if hi > lo {
+			st.TopShare = float64(max) / float64(hi-lo)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// HotSet returns the smallest set of functions covering at least the given
+// fraction of all calls (0 < coverage <= 1), hottest first.
+func HotSet(t *Trace, coverage float64) ([]FuncID, error) {
+	if coverage <= 0 || coverage > 1 {
+		return nil, fmt.Errorf("trace: HotSet coverage must be in (0,1], got %g", coverage)
+	}
+	counts := t.Counts()
+	type fc struct {
+		f FuncID
+		n int64
+	}
+	fcs := make([]fc, 0, len(counts))
+	var total int64
+	for f, n := range counts {
+		if n > 0 {
+			fcs = append(fcs, fc{FuncID(f), n})
+			total += n
+		}
+	}
+	sort.Slice(fcs, func(i, j int) bool {
+		if fcs[i].n != fcs[j].n {
+			return fcs[i].n > fcs[j].n
+		}
+		return fcs[i].f < fcs[j].f
+	})
+	var out []FuncID
+	var acc int64
+	for _, x := range fcs {
+		out = append(out, x.f)
+		acc += x.n
+		if float64(acc) >= coverage*float64(total) {
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWindows(t *testing.T) {
+	// Two clear phases: zeros then ones, with one shared function.
+	calls := make([]FuncID, 0, 40)
+	for i := 0; i < 20; i++ {
+		calls = append(calls, 0)
+	}
+	for i := 0; i < 20; i++ {
+		calls = append(calls, 1)
+	}
+	calls[5], calls[25] = 2, 2
+	tr := New("w", calls)
+	ws, err := Windows(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("%d windows, want 2", len(ws))
+	}
+	if ws[0].New != 2 || ws[1].New != 1 {
+		t.Errorf("new counts %d,%d want 2,1", ws[0].New, ws[1].New)
+	}
+	if ws[0].Unique != 2 || ws[1].Unique != 2 {
+		t.Errorf("unique counts %d,%d want 2,2", ws[0].Unique, ws[1].Unique)
+	}
+	if ws[0].TopShare < 0.9 {
+		t.Errorf("window 0 top share %.2f, want ~0.95", ws[0].TopShare)
+	}
+}
+
+func TestWindowsEdges(t *testing.T) {
+	if _, err := Windows(New("x", []FuncID{0}), 0); err == nil {
+		t.Error("want error for n < 1")
+	}
+	ws, err := Windows(New("x", nil), 4)
+	if err != nil || ws != nil {
+		t.Errorf("empty trace: %v, %v", ws, err)
+	}
+	// More windows than calls clamps.
+	ws, err = Windows(New("x", []FuncID{0, 1}), 10)
+	if err != nil || len(ws) != 2 {
+		t.Errorf("clamped windows: %v, %v", ws, err)
+	}
+	// Window stats must tile the trace exactly.
+	tr := MustGenerate(GenConfig{Name: "g", NumFuncs: 30, Length: 997, Seed: 1,
+		ZipfS: 1.5, Phases: 2, BurstMean: 2})
+	ws, err = Windows(tr, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 0
+	for _, w := range ws {
+		if w.Start != pos {
+			t.Fatalf("window starts at %d, want %d", w.Start, pos)
+		}
+		pos = w.End
+	}
+	if pos != tr.Len() {
+		t.Errorf("windows end at %d, want %d", pos, tr.Len())
+	}
+	totalNew := 0
+	for _, w := range ws {
+		totalNew += w.New
+	}
+	if totalNew != tr.UniqueFuncs() {
+		t.Errorf("sum of New = %d, want %d", totalNew, tr.UniqueFuncs())
+	}
+}
+
+func TestHotSet(t *testing.T) {
+	// 0: 6 calls, 1: 3 calls, 2: 1 call.
+	tr := New("h", []FuncID{0, 0, 0, 0, 0, 0, 1, 1, 1, 2})
+	hs, err := HotSet(tr, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hs, []FuncID{0}) {
+		t.Errorf("60%% hot set = %v, want [0]", hs)
+	}
+	hs, err = HotSet(tr, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hs, []FuncID{0, 1}) {
+		t.Errorf("90%% hot set = %v, want [0 1]", hs)
+	}
+	hs, err = HotSet(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 3 {
+		t.Errorf("full hot set = %v, want all three", hs)
+	}
+	if _, err := HotSet(tr, 0); err == nil {
+		t.Error("want error for coverage 0")
+	}
+	if _, err := HotSet(tr, 1.5); err == nil {
+		t.Error("want error for coverage > 1")
+	}
+}

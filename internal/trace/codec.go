@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The binary format is a compact run-length encoding:
+//
+//	magic "OCSPTRC1" (8 bytes)
+//	uvarint nameLen, name bytes
+//	uvarint number of runs
+//	per run: uvarint funcID, uvarint runLength
+//
+// Run-length encoding pays off because call sequences are bursty: loops call
+// the same function back to back, so DaCapo-like traces compress well.
+
+var binaryMagic = [8]byte{'O', 'C', 'S', 'P', 'T', 'R', 'C', '1'}
+
+// run is one maximal stretch of identical calls.
+type run struct {
+	f FuncID
+	n int64
+}
+
+func runs(t *Trace) []run {
+	var rs []run
+	for i := 0; i < len(t.Calls); {
+		j := i + 1
+		for j < len(t.Calls) && t.Calls[j] == t.Calls[i] {
+			j++
+		}
+		rs = append(rs, run{t.Calls[i], int64(j - i)})
+		i = j
+	}
+	return rs
+}
+
+// WriteBinary encodes the trace in the run-length binary format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	rs := runs(t)
+	if err := putUvarint(uint64(len(rs))); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if err := putUvarint(uint64(r.f)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(r.n)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, errors.New("trace: bad magic, not an OCSP trace file")
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	nruns, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading run count: %w", err)
+	}
+	t := &Trace{Name: string(name)}
+	for i := uint64(0); i < nruns; i++ {
+		f, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: run %d: reading func: %w", i, err)
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: run %d: reading length: %w", i, err)
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("trace: run %d has zero length", i)
+		}
+		if uint64(len(t.Calls))+n > 1<<31 {
+			return nil, errors.New("trace: decoded trace exceeds 2^31 calls")
+		}
+		for k := uint64(0); k < n; k++ {
+			t.Calls = append(t.Calls, FuncID(f))
+		}
+	}
+	return t, nil
+}
+
+// WriteText encodes the trace in a human-editable line format:
+//
+//	# trace <name>
+//	<funcID>[*<count>] per line
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace %s\n", t.Name); err != nil {
+		return err
+	}
+	for _, r := range runs(t) {
+		var err error
+		if r.n == 1 {
+			_, err = fmt.Fprintf(bw, "%d\n", r.f)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d*%d\n", r.f, r.n)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes a trace written by WriteText. Blank lines and lines
+// starting with '#' (other than the header) are ignored.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if name, ok := strings.CutPrefix(line, "# trace "); ok && t.Name == "" {
+				t.Name = strings.TrimSpace(name)
+			}
+			continue
+		}
+		fs, ns, hasCount := strings.Cut(line, "*")
+		f, err := strconv.ParseInt(strings.TrimSpace(fs), 10, 32)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad function id %q", lineNo, fs)
+		}
+		n := int64(1)
+		if hasCount {
+			n, err = strconv.ParseInt(strings.TrimSpace(ns), 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("trace: line %d: bad run count %q", lineNo, ns)
+			}
+		}
+		for k := int64(0); k < n; k++ {
+			t.Calls = append(t.Calls, FuncID(f))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scanning: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,60 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// ExampleTrace_FirstCallOrder shows the Eseq1 extraction IAR builds on.
+func ExampleTrace_FirstCallOrder() {
+	tr := trace.New("demo", []trace.FuncID{2, 0, 2, 1, 0})
+	fmt.Println(tr.FirstCallOrder())
+	// Output:
+	// [2 0 1]
+}
+
+// ExampleGenerate synthesizes a deterministic workload trace.
+func ExampleGenerate() {
+	tr, err := trace.Generate(trace.GenConfig{
+		Name: "demo", NumFuncs: 100, Length: 10000, Seed: 42,
+		ZipfS: 1.5, Phases: 3, CoreFuncs: 10, CoreShare: 0.5, BurstMean: 2,
+		WarmupFrac: 0.1, WarmupCoverage: 0.8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	st := trace.ComputeStats(tr)
+	fmt.Printf("calls=%d unique=%d\n", st.Length, st.UniqueFuncs)
+	// Output:
+	// calls=10000 unique=100
+}
+
+// ExampleWriteText round-trips a trace through the human-editable format.
+func ExampleWriteText() {
+	tr := trace.New("tiny", []trace.FuncID{7, 7, 7, 3})
+	var buf bytes.Buffer
+	if err := trace.WriteText(&buf, tr); err != nil {
+		panic(err)
+	}
+	fmt.Print(buf.String())
+	// Output:
+	// # trace tiny
+	// 7*3
+	// 3
+}
+
+// ExampleInterleave flattens per-thread sequences the way the paper's
+// collection framework handles multithreaded benchmarks (§6.1).
+func ExampleInterleave() {
+	t1 := trace.New("t", []trace.FuncID{0, 0, 0})
+	t2 := trace.New("t", []trace.FuncID{1, 1, 1})
+	merged, err := trace.Interleave(1, t1, t2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(merged.Len(), merged.Counts())
+	// Output:
+	// 6 [3 3]
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadBinary checks the binary decoder never panics and that anything it
+// accepts re-encodes to an equivalent trace.
+func FuzzReadBinary(f *testing.F) {
+	tr := New("seed", []FuncID{0, 0, 3, 2, 2, 2})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("OCSPTRC1"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, got); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		again, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if got.Name != again.Name || !equalCalls(got.Calls, again.Calls) {
+			t.Fatalf("binary round trip unstable")
+		}
+	})
+}
+
+// FuzzReadText checks the text decoder never panics and round-trips what it
+// accepts.
+func FuzzReadText(f *testing.F) {
+	f.Add("# trace x\n1\n2*3\n")
+	f.Add("")
+	f.Add("1*99999999999999999999\n")
+	f.Add("# trace \n#\n\n0\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<16 {
+			return // keep run-length expansion bounded
+		}
+		got, err := ReadText(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		if got.Len() > 1<<24 {
+			return // decoded run lengths can amplify; skip giants
+		}
+		var out bytes.Buffer
+		if err := WriteText(&out, got); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := ReadText(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !equalCalls(got.Calls, again.Calls) {
+			t.Fatalf("text round trip unstable")
+		}
+	})
+}
+
+func equalCalls(a, b []FuncID) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Interleave flattens per-thread call sequences into one trace, preserving
+// each thread's internal order and alternating stochastically in proportion
+// to the threads' remaining work. This is the treatment the paper applies to
+// its multithreaded benchmarks (hsqldb, lusearch): "for a multithreaded
+// application, we still get a single sequence; the calls by different
+// threads are put into the sequence in order of the profiler's output",
+// which "roughly corresponds to the invocation timing order by those
+// threads" (§6.1).
+func Interleave(seed int64, threads ...*Trace) (*Trace, error) {
+	if len(threads) == 0 {
+		return nil, fmt.Errorf("trace: Interleave needs at least one thread")
+	}
+	name := threads[0].Name
+	if len(threads) == 1 {
+		return threads[0].Clone(), nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	pos := make([]int, len(threads))
+	remaining := make([]int, len(threads))
+	for i, t := range threads {
+		remaining[i] = t.Len()
+		total += t.Len()
+	}
+	out := &Trace{Name: name, Calls: make([]FuncID, 0, total)}
+	for total > 0 {
+		// Pick a thread with probability proportional to its remaining
+		// calls, so long threads do not all bunch at the end.
+		r := rng.Intn(total)
+		ti := 0
+		for i, rem := range remaining {
+			if r < rem {
+				ti = i
+				break
+			}
+			r -= rem
+		}
+		t := threads[ti]
+		// Emit a small burst from the chosen thread: threads run in slices,
+		// not single calls.
+		burst := 1 + rng.Intn(8)
+		for k := 0; k < burst && remaining[ti] > 0; k++ {
+			out.Calls = append(out.Calls, t.Calls[pos[ti]])
+			pos[ti]++
+			remaining[ti]--
+			total--
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+// Package trace models dynamic call sequences of a program run.
+//
+// A Trace is the first input of the Optimal Compilation Scheduling Problem
+// (OCSP, Definition 1 of the paper): an ordered sequence of function
+// invocations. Each element identifies the function invoked; a function can
+// appear once or many times. Traces are what the paper collects from Jikes RVM
+// executions of the DaCapo benchmarks; here they are either built by hand,
+// decoded from a file, or synthesized by a Generator.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FuncID identifies a function (a compilation unit). IDs are dense: a trace
+// over F functions uses IDs 0..F-1.
+type FuncID int32
+
+// Trace is an ordered sequence of function invocations.
+type Trace struct {
+	// Name labels the workload (e.g. a benchmark name). Optional.
+	Name string
+	// Calls is the invocation sequence, in execution order.
+	Calls []FuncID
+}
+
+// New returns a trace over the given calls.
+func New(name string, calls []FuncID) *Trace {
+	return &Trace{Name: name, Calls: calls}
+}
+
+// Len returns the number of invocations in the trace.
+func (t *Trace) Len() int { return len(t.Calls) }
+
+// NumFuncs returns one more than the largest FuncID present, i.e. the size of
+// the dense ID space. An empty trace has zero functions.
+func (t *Trace) NumFuncs() int {
+	max := FuncID(-1)
+	for _, f := range t.Calls {
+		if f > max {
+			max = f
+		}
+	}
+	return int(max) + 1
+}
+
+// Validate checks that all IDs are non-negative and, if nfuncs >= 0, within
+// [0, nfuncs).
+func (t *Trace) Validate(nfuncs int) error {
+	for i, f := range t.Calls {
+		if f < 0 {
+			return fmt.Errorf("trace %q: call %d has negative function id %d", t.Name, i, f)
+		}
+		if nfuncs >= 0 && int(f) >= nfuncs {
+			return fmt.Errorf("trace %q: call %d references function %d beyond %d", t.Name, i, f, nfuncs)
+		}
+	}
+	return nil
+}
+
+// Counts returns the number of invocations of each function, indexed by
+// FuncID, sized by NumFuncs.
+func (t *Trace) Counts() []int64 {
+	n := t.NumFuncs()
+	counts := make([]int64, n)
+	for _, f := range t.Calls {
+		counts[f]++
+	}
+	return counts
+}
+
+// FirstCalls returns, for each function, the index in Calls of its first
+// invocation, or -1 for functions that never appear.
+func (t *Trace) FirstCalls() []int {
+	n := t.NumFuncs()
+	first := make([]int, n)
+	for i := range first {
+		first[i] = -1
+	}
+	for i, f := range t.Calls {
+		if first[f] < 0 {
+			first[f] = i
+		}
+	}
+	return first
+}
+
+// FirstCallOrder returns the distinct functions of the trace in order of
+// first appearance. This is the paper's Eseq1 = getSeq1stCalls(Eseq), the
+// backbone of both the single-level schedules and IAR's initial schedule.
+func (t *Trace) FirstCallOrder() []FuncID {
+	seen := make([]bool, t.NumFuncs())
+	order := make([]FuncID, 0, 64)
+	for _, f := range t.Calls {
+		if !seen[f] {
+			seen[f] = true
+			order = append(order, f)
+		}
+	}
+	return order
+}
+
+// UniqueFuncs returns the number of distinct functions that actually appear.
+func (t *Trace) UniqueFuncs() int {
+	seen := make(map[FuncID]struct{}, 256)
+	for _, f := range t.Calls {
+		seen[f] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Slice returns a shallow sub-trace of calls [lo, hi).
+func (t *Trace) Slice(lo, hi int) *Trace {
+	return &Trace{Name: t.Name, Calls: t.Calls[lo:hi]}
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	calls := make([]FuncID, len(t.Calls))
+	copy(calls, t.Calls)
+	return &Trace{Name: t.Name, Calls: calls}
+}
+
+// Stats summarizes a trace: length, distinct function count, and the skew of
+// the invocation-frequency distribution. It mirrors the columns of Table 1.
+type Stats struct {
+	Name        string
+	Length      int
+	UniqueFuncs int
+	// MaxCount is the invocation count of the hottest function.
+	MaxCount int64
+	// Top10Share is the fraction of all calls going to the 10 hottest
+	// functions (1.0 if fewer than 10 functions exist).
+	Top10Share float64
+	// MedianCount is the median invocation count over appearing functions.
+	MedianCount int64
+}
+
+// ComputeStats derives Stats from the trace.
+func ComputeStats(t *Trace) Stats {
+	counts := t.Counts()
+	appearing := make([]int64, 0, len(counts))
+	for _, c := range counts {
+		if c > 0 {
+			appearing = append(appearing, c)
+		}
+	}
+	sort.Slice(appearing, func(i, j int) bool { return appearing[i] > appearing[j] })
+	s := Stats{Name: t.Name, Length: t.Len(), UniqueFuncs: len(appearing)}
+	if len(appearing) == 0 {
+		return s
+	}
+	s.MaxCount = appearing[0]
+	var top, total int64
+	for i, c := range appearing {
+		total += c
+		if i < 10 {
+			top += c
+		}
+	}
+	s.Top10Share = float64(top) / float64(total)
+	s.MedianCount = appearing[len(appearing)/2]
+	return s
+}

@@ -1,0 +1,363 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	tr := New("t", []FuncID{3, 1, 3, 3, 0, 1})
+	if got := tr.Len(); got != 6 {
+		t.Errorf("Len = %d, want 6", got)
+	}
+	if got := tr.NumFuncs(); got != 4 {
+		t.Errorf("NumFuncs = %d, want 4", got)
+	}
+	if got := tr.UniqueFuncs(); got != 3 {
+		t.Errorf("UniqueFuncs = %d, want 3", got)
+	}
+	wantCounts := []int64{1, 2, 0, 3}
+	if got := tr.Counts(); !reflect.DeepEqual(got, wantCounts) {
+		t.Errorf("Counts = %v, want %v", got, wantCounts)
+	}
+	wantFirst := []int{4, 1, -1, 0}
+	if got := tr.FirstCalls(); !reflect.DeepEqual(got, wantFirst) {
+		t.Errorf("FirstCalls = %v, want %v", got, wantFirst)
+	}
+	wantOrder := []FuncID{3, 1, 0}
+	if got := tr.FirstCallOrder(); !reflect.DeepEqual(got, wantOrder) {
+		t.Errorf("FirstCallOrder = %v, want %v", got, wantOrder)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := New("empty", nil)
+	if tr.NumFuncs() != 0 || tr.Len() != 0 || tr.UniqueFuncs() != 0 {
+		t.Error("empty trace should report zeros")
+	}
+	if got := tr.FirstCallOrder(); len(got) != 0 {
+		t.Errorf("FirstCallOrder = %v, want empty", got)
+	}
+	s := ComputeStats(tr)
+	if s.MaxCount != 0 || s.Top10Share != 0 {
+		t.Errorf("stats of empty trace = %+v", s)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := New("t", []FuncID{0, 2})
+	if err := tr.Validate(3); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	if err := tr.Validate(2); err == nil {
+		t.Error("want error for id beyond nfuncs")
+	}
+	bad := New("t", []FuncID{-1})
+	if err := bad.Validate(-1); err == nil {
+		t.Error("want error for negative id")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := New("t", []FuncID{1, 2, 3})
+	cl := tr.Clone()
+	cl.Calls[0] = 9
+	if tr.Calls[0] == 9 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := New("bench-α", []FuncID{0, 0, 0, 5, 5, 2, 0, 7, 7, 7, 7})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if got.Name != tr.Name || !reflect.DeepEqual(got.Calls, tr.Calls) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, tr)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("notatrace!!!"))); err == nil {
+		t.Error("want error for bad magic")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("want error for empty input")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := New("my bench", []FuncID{4, 4, 4, 1, 0, 0})
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if got.Name != tr.Name || !reflect.DeepEqual(got.Calls, tr.Calls) {
+		t.Errorf("round trip mismatch: got %+v want %+v", got, tr)
+	}
+}
+
+func TestTextRejectsBadLines(t *testing.T) {
+	for _, in := range []string{"x\n", "1*0\n", "-3\n", "2*-1\n"} {
+		if _, err := ReadText(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("input %q: want parse error", in)
+		}
+	}
+}
+
+// TestCodecQuick round-trips random traces through both codecs.
+func TestCodecQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		calls := make([]FuncID, len(raw))
+		for i, b := range raw {
+			calls[i] = FuncID(b % 16) // small id space encourages runs
+		}
+		tr := New("q", calls)
+		var b1, b2 bytes.Buffer
+		if err := WriteBinary(&b1, tr); err != nil {
+			return false
+		}
+		g1, err := ReadBinary(&b1)
+		if err != nil {
+			return false
+		}
+		if !(len(g1.Calls) == 0 && len(tr.Calls) == 0) && !reflect.DeepEqual(g1.Calls, tr.Calls) {
+			return false
+		}
+		if err := WriteText(&b2, tr); err != nil {
+			return false
+		}
+		g2, err := ReadText(&b2)
+		if err != nil {
+			return false
+		}
+		if len(g2.Calls) == 0 && len(tr.Calls) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(g2.Calls, tr.Calls)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Name: "g", NumFuncs: 50, Length: 5000, Seed: 42,
+		ZipfS: 1.5, Phases: 4, CoreFuncs: 10, CoreShare: 0.5, BurstMean: 2}
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	if !reflect.DeepEqual(a.Calls, b.Calls) {
+		t.Error("same seed produced different traces")
+	}
+	cfg.Seed = 43
+	c := MustGenerate(cfg)
+	if reflect.DeepEqual(a.Calls, c.Calls) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := GenConfig{Name: "g", NumFuncs: 200, Length: 50000, Seed: 1,
+		ZipfS: 1.4, Phases: 5, CoreFuncs: 20, CoreShare: 0.4, BurstMean: 3}
+	tr := MustGenerate(cfg)
+	if tr.Len() != cfg.Length {
+		t.Fatalf("length = %d, want %d", tr.Len(), cfg.Length)
+	}
+	if err := tr.Validate(cfg.NumFuncs); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	s := ComputeStats(tr)
+	if s.UniqueFuncs < 50 {
+		t.Errorf("only %d unique functions; generator too narrow", s.UniqueFuncs)
+	}
+	if s.Top10Share < 0.2 {
+		t.Errorf("top-10 share = %.2f; expected a skewed distribution", s.Top10Share)
+	}
+	// First appearances must spread across the run (phased working sets),
+	// not be front-loaded: at least one function should first appear in the
+	// second half.
+	late := 0
+	for _, idx := range tr.FirstCalls() {
+		if idx > tr.Len()/2 {
+			late++
+		}
+	}
+	if late == 0 {
+		t.Error("no function first appears in the second half of the trace")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenConfig{
+		{NumFuncs: 0, Length: 1, ZipfS: 2, Phases: 1, BurstMean: 1},
+		{NumFuncs: 1, Length: -1, ZipfS: 2, Phases: 1, BurstMean: 1},
+		{NumFuncs: 1, Length: 1, ZipfS: 1, Phases: 1, BurstMean: 1},
+		{NumFuncs: 1, Length: 1, ZipfS: 2, Phases: 0, BurstMean: 1},
+		{NumFuncs: 1, Length: 1, ZipfS: 2, Phases: 1, CoreFuncs: 2, BurstMean: 1},
+		{NumFuncs: 1, Length: 1, ZipfS: 2, Phases: 1, CoreShare: 1.5, BurstMean: 1},
+		{NumFuncs: 1, Length: 1, ZipfS: 2, Phases: 1, BurstMean: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d: want validation error", i)
+		}
+	}
+}
+
+func TestInterleavePreservesPerThreadOrder(t *testing.T) {
+	t1 := New("a", []FuncID{0, 1, 2, 3, 4})
+	t2 := New("b", []FuncID{10, 11, 12, 13, 14, 15, 16})
+	merged, err := Interleave(5, t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != t1.Len()+t2.Len() {
+		t.Fatalf("merged length %d, want %d", merged.Len(), t1.Len()+t2.Len())
+	}
+	var a, b []FuncID
+	for _, f := range merged.Calls {
+		if f < 10 {
+			a = append(a, f)
+		} else {
+			b = append(b, f)
+		}
+	}
+	if !reflect.DeepEqual(a, t1.Calls) {
+		t.Errorf("thread 1 order broken: %v", a)
+	}
+	if !reflect.DeepEqual(b, t2.Calls) {
+		t.Errorf("thread 2 order broken: %v", b)
+	}
+}
+
+func TestInterleaveMixes(t *testing.T) {
+	t1 := New("a", make([]FuncID, 500)) // all zeros
+	t2calls := make([]FuncID, 500)
+	for i := range t2calls {
+		t2calls[i] = 1
+	}
+	t2 := New("b", t2calls)
+	merged, err := Interleave(7, t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both threads must appear in the first quarter: no thread is saved up
+	// for the end.
+	quarter := merged.Slice(0, merged.Len()/4)
+	counts := quarter.Counts()
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Errorf("first quarter is single-threaded: %v", counts)
+	}
+}
+
+func TestInterleaveEdges(t *testing.T) {
+	if _, err := Interleave(1); err == nil {
+		t.Error("want error for no threads")
+	}
+	single := New("s", []FuncID{1, 2})
+	got, err := Interleave(1, single)
+	if err != nil || !reflect.DeepEqual(got.Calls, single.Calls) {
+		t.Errorf("single thread should round-trip: %v, %v", got, err)
+	}
+	got.Calls[0] = 9
+	if single.Calls[0] == 9 {
+		t.Error("single-thread interleave shares memory")
+	}
+	a := New("a", nil)
+	b := New("b", []FuncID{5})
+	merged, err := Interleave(2, a, b)
+	if err != nil || merged.Len() != 1 {
+		t.Errorf("empty+1: %v, %v", merged, err)
+	}
+}
+
+func TestInterleaveDeterministic(t *testing.T) {
+	t1 := MustGenerate(GenConfig{Name: "x", NumFuncs: 20, Length: 1000, Seed: 3,
+		ZipfS: 1.5, Phases: 2, BurstMean: 2})
+	t2 := MustGenerate(GenConfig{Name: "y", NumFuncs: 20, Length: 1200, Seed: 4,
+		ZipfS: 1.5, Phases: 2, BurstMean: 2})
+	a, err := Interleave(9, t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Interleave(9, t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Calls, b.Calls) {
+		t.Error("same seed interleaves differently")
+	}
+	c, err := Interleave(10, t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Calls, c.Calls) {
+		t.Error("different seeds interleave identically")
+	}
+}
+
+func TestGenerateDrawSeedSharesStructure(t *testing.T) {
+	base := GenConfig{Name: "p", NumFuncs: 200, Length: 20000, Seed: 11,
+		ZipfS: 1.6, Phases: 3, CoreFuncs: 20, CoreShare: 0.5, BurstMean: 2}
+	runA := MustGenerate(base)
+	alt := base
+	alt.DrawSeed = 999
+	runB := MustGenerate(alt)
+	if reflect.DeepEqual(runA.Calls, runB.Calls) {
+		t.Fatal("different draw seeds produced identical runs")
+	}
+	// Same structure: the hottest functions largely coincide.
+	top := func(tr *Trace) map[FuncID]bool {
+		counts := tr.Counts()
+		type fc struct {
+			f FuncID
+			n int64
+		}
+		var fcs []fc
+		for f, n := range counts {
+			fcs = append(fcs, fc{FuncID(f), n})
+		}
+		sort.Slice(fcs, func(i, j int) bool { return fcs[i].n > fcs[j].n })
+		out := map[FuncID]bool{}
+		for i := 0; i < 10 && i < len(fcs); i++ {
+			out[fcs[i].f] = true
+		}
+		return out
+	}
+	ta, tb := top(runA), top(runB)
+	overlap := 0
+	for f := range ta {
+		if tb[f] {
+			overlap++
+		}
+	}
+	if overlap < 7 {
+		t.Errorf("top-10 hot sets overlap only %d/10; structure not shared", overlap)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := New("s", []FuncID{0, 0, 0, 0, 1, 1, 2})
+	s := ComputeStats(tr)
+	if s.MaxCount != 4 {
+		t.Errorf("MaxCount = %d, want 4", s.MaxCount)
+	}
+	if s.Top10Share != 1.0 {
+		t.Errorf("Top10Share = %g, want 1.0", s.Top10Share)
+	}
+	if s.MedianCount != 2 {
+		t.Errorf("MedianCount = %d, want 2", s.MedianCount)
+	}
+}
