@@ -1,0 +1,46 @@
+# Build, test, and verification targets for the reproduction.
+#
+# `make ci` is the full gate: vet, build, the race-enabled test suite
+# (including the runner's differential tests under -cpu=1,4), and a short
+# fuzz smoke over the trace codec. It needs nothing beyond the Go toolchain.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race runner-race fuzz-smoke bench golden ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+# The determinism contract: serial vs parallel sweeps bit-identical, on one
+# and four simulated CPUs, race-clean.
+runner-race:
+	$(GO) test -race -cpu=1,4 -count=1 ./internal/runner/...
+
+# Short fuzz passes over both trace codecs (seed corpus in
+# internal/trace/testdata/fuzz/).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzReadText -fuzztime=$(FUZZTIME) ./internal/trace/
+
+# Serial vs parallel sweep benchmark (wall-clock wins need GOMAXPROCS > 1).
+bench:
+	$(GO) test -run='^$$' -bench=Fig5Sweep -cpu=4 ./internal/runner/
+
+# Regenerate the experiment golden files after an intentional output change.
+golden:
+	$(GO) test ./internal/experiments -run TestGolden -update
+
+ci: vet build race runner-race fuzz-smoke

@@ -6,9 +6,12 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 // cmdExp runs one (or all) of the paper's experiments and prints its table.
+// Every harness fans its per-benchmark simulations out over a shared
+// internal/runner pool; -par bounds the pool and -stats reports what it did.
 func cmdExp(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("exp: missing experiment name (fig5|fig6|fig7|fig8|table1|table2|astar|priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt|all)")
@@ -16,15 +19,21 @@ func cmdExp(args []string) error {
 	which := args[0]
 	fs, scale, bench := expFlags("exp " + which)
 	md := fs.Bool("md", false, "render tables as GitHub-flavoured markdown")
+	par := fs.Int("par", 0, "experiment-runner worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	stats := fs.Bool("stats", false, "print runner job/cache statistics to stderr after the run")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	opts := experiments.Options{Scale: *scale}
+	eng := runner.New(runner.Options{Workers: *par})
+	opts := experiments.Options{Scale: *scale, Runner: eng}
 	if *bench != "" {
 		opts.Benchmarks = []string{*bench}
 	}
 	if *md {
 		defer report.SetStyle(report.SetStyle(report.Markdown))
+	}
+	if *stats {
+		defer func() { fmt.Fprintln(os.Stderr, eng.Stats().Summary()) }()
 	}
 
 	run := func(name string) error {
@@ -66,7 +75,7 @@ func cmdExp(args []string) error {
 			}
 			return experiments.RenderTable2(rows, os.Stdout)
 		case "astar":
-			rows, err := experiments.AStarStudy(experiments.AStarOptions{})
+			rows, err := experiments.AStarStudy(experiments.AStarOptions{Runner: eng})
 			if err != nil {
 				return err
 			}

@@ -3,14 +3,17 @@
 //
 // Usage:
 //
-//	jitsched exp fig5|fig6|fig7|fig8|table1|table2|astar|all [-scale F] [-bench NAME] [-md]
+//	jitsched exp fig5|fig6|fig7|fig8|table1|table2|astar|all [-scale F] [-bench NAME] [-md] [-par N] [-stats]
 //	jitsched exp priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt
 //	jitsched gen -bench NAME [-scale F] [-o FILE] [-format binary|text]
 //	jitsched stats -i FILE
 //	jitsched schedule -bench NAME [-scale F] [-algo iar|base|opt] [-model default|oracle]
 //	jitsched simulate -bench NAME [-scale F] [-algo ...] [-workers N]
 //
-// All experiments are deterministic: same flags, same numbers.
+// Experiments fan their independent simulations out over an internal/runner
+// worker pool (-par bounds it; -par 1 forces the serial path). All
+// experiments are deterministic regardless of the pool size: same flags,
+// same numbers. -stats summarizes jobs run, cache hits, and wall time.
 package main
 
 import (

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/astar"
 	"repro/internal/profile"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -37,12 +38,18 @@ type AStarOptions struct {
 	MaxNodes int
 	// Seed drives instance generation.
 	Seed int64
+	// Runner receives the per-size search jobs (runner.Shared() if nil).
+	Runner *runner.Runner
 }
 
 // AStarStudy reproduces the §6.2.5 feasibility experiment: A*-search finds
 // optimal schedules for tiny instances by visiting a vanishing fraction of
 // the tree, but the storage requirement explodes with the number of unique
 // methods; past roughly six, the budget (memory) runs out.
+//
+// Each unique-function count is one runner job (the searches dominate the
+// cost and are independent across sizes); the three rows a size produces
+// stay together so the A*/IDA* cross-check runs inside the job.
 func AStarStudy(opts AStarOptions) ([]AStarRow, error) {
 	if opts.MinFuncs == 0 {
 		opts.MinFuncs = 3
@@ -57,8 +64,37 @@ func AStarStudy(opts AStarOptions) ([]AStarRow, error) {
 		return nil, errors.New("experiments: invalid A* study function range")
 	}
 
-	var rows []AStarRow
+	jobs := make([]runner.Job[[]AStarRow], 0, opts.MaxFuncs-opts.MinFuncs+1)
 	for nf := opts.MinFuncs; nf <= opts.MaxFuncs; nf++ {
+		nf := nf
+		jobs = append(jobs, runner.Job[[]AStarRow]{
+			Key: runner.Key{
+				Experiment: "astar feasibility",
+				Seed:       opts.Seed,
+				Detail:     fmt.Sprintf("nf=%d calls=%d maxnodes=%d", nf, opts.Calls, opts.MaxNodes),
+			},
+			Fn: func(_ runner.Ctx) ([]AStarRow, error) { return aStarSize(opts, nf) },
+		})
+	}
+	eng := opts.Runner
+	if eng == nil {
+		eng = runner.Shared()
+	}
+	perSize, err := runner.Map(eng, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AStarRow
+	for _, rs := range perSize {
+		rows = append(rows, rs...)
+	}
+	return rows, nil
+}
+
+// aStarSize runs the three search variants on one instance size.
+func aStarSize(opts AStarOptions, nf int) ([]AStarRow, error) {
+	var rows []AStarRow
+	{
 		tr, p := AStarInstance(nf, opts.Calls, opts.Seed+int64(nf))
 
 		res, err := astar.Search(tr, p, astar.Options{MaxNodes: opts.MaxNodes})

@@ -9,6 +9,23 @@
 // cost-benefit model would ever build for its function (so the lower-bound
 // bar is 1.0 by construction, and an oracle model lowers the bound as §6.2.2
 // describes).
+//
+// # Parallel evaluation
+//
+// Every harness submits its per-benchmark work as jobs to an internal/runner
+// pool (Options.Runner, or the process-wide runner.Shared() by default).
+// Results are collected by submission index and each job is a pure function
+// of its inputs, so the output — including row order — is byte-identical to a
+// serial run; internal/runner's differential tests hold the package to that.
+//
+// # Golden files
+//
+// The package's golden tests compare rendered tables against
+// testdata/*.txt. Never hand-edit those files; regenerate them with
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// and review the diff like any other code change.
 package experiments
 
 import (
@@ -18,6 +35,7 @@ import (
 	"repro/internal/dacapo"
 	"repro/internal/policy"
 	"repro/internal/profile"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -30,6 +48,58 @@ type Options struct {
 	Benchmarks []string
 	// IARK overrides the IAR K constant (5 if zero).
 	IARK int64
+	// Runner receives the harness's simulation jobs (runner.Shared() if
+	// nil). Handing several harnesses one Runner shares its result cache
+	// across them.
+	Runner *runner.Runner
+}
+
+func (o Options) runner() *runner.Runner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return runner.Shared()
+}
+
+// jobKey builds the runner key for one benchmark's slice of an experiment.
+// Scale and the IAR K constant are part of the fingerprint because both
+// change every simulated number; extra carries any further
+// harness-specific parameters (thread counts, sweep values).
+func (o Options) jobKey(experiment, benchmark, extra string) runner.Key {
+	detail := fmt.Sprintf("K=%d", o.IARK)
+	if extra != "" {
+		detail += " " + extra
+	}
+	return runner.Key{
+		Experiment: experiment,
+		Benchmark:  benchmark,
+		Scale:      o.scale(),
+		Detail:     detail,
+	}
+}
+
+// perBench fans fn out over the selected benchmarks — one runner job per
+// benchmark — and returns the per-benchmark results in suite order.
+func perBench[T any](opts Options, experiment string, fn func(b dacapo.Benchmark, ctx runner.Ctx) (T, error)) ([]T, error) {
+	return perBenchDetail(opts, experiment, "", fn)
+}
+
+// perBenchDetail is perBench with extra key detail folded into every job's
+// fingerprint.
+func perBenchDetail[T any](opts Options, experiment, extra string, fn func(b dacapo.Benchmark, ctx runner.Ctx) (T, error)) ([]T, error) {
+	bs, err := opts.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]runner.Job[T], len(bs))
+	for i, b := range bs {
+		b := b
+		jobs[i] = runner.Job[T]{
+			Key: opts.jobKey(experiment, b.Name, extra),
+			Fn:  func(ctx runner.Ctx) (T, error) { return fn(b, ctx) },
+		}
+	}
+	return runner.Map(opts.runner(), jobs)
 }
 
 func (o Options) scale() float64 {
@@ -181,26 +251,21 @@ func Fig6(opts Options) (*FigResult, error) {
 }
 
 func figureStudy(name string, opts Options, modelOf func(*dacapo.Workload) profile.CostModel) (*FigResult, error) {
-	bs, err := opts.benchmarks()
+	rows, err := perBench(opts, name, func(b dacapo.Benchmark, _ runner.Ctx) (BenchResult, error) {
+		w, err := b.Load(opts.scale())
+		if err != nil {
+			return BenchResult{}, err
+		}
+		return runSchemes(w, modelOf(w), opts.IARK)
+	})
 	if err != nil {
 		return nil, err
 	}
-	res := &FigResult{
+	return &FigResult{
 		Name:    name,
 		Schemes: []string{SchemeLowerBound, SchemeIAR, SchemeDefault, SchemeBaseOnly, SchemeOptOnly},
-	}
-	for _, b := range bs {
-		w, err := b.Load(opts.scale())
-		if err != nil {
-			return nil, err
-		}
-		row, err := runSchemes(w, modelOf(w), opts.IARK)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	return res, nil
+		Rows:    rows,
+	}, nil
 }
 
 // Fig8 reproduces Figure 8: the V8 scheduling scheme applied to the Java
@@ -208,22 +273,15 @@ func figureStudy(name string, opts Options, modelOf func(*dacapo.Workload) profi
 // (V8's low/high pair), compared against IAR, the bounds, and the
 // single-level schemes on the same two-level profile.
 func Fig8(opts Options) (*FigResult, error) {
-	bs, err := opts.benchmarks()
-	if err != nil {
-		return nil, err
-	}
-	res := &FigResult{
-		Name:    "Figure 8: normalized make-span vs the V8 scheduling scheme (two levels)",
-		Schemes: []string{SchemeLowerBound, SchemeIAR, SchemeV8, SchemeBaseOnly, SchemeOptOnly},
-	}
-	for _, b := range bs {
+	const name = "Figure 8: normalized make-span vs the V8 scheduling scheme (two levels)"
+	rows, err := perBench(opts, name, func(b dacapo.Benchmark, _ runner.Ctx) (BenchResult, error) {
 		w, err := b.Load(opts.scale())
 		if err != nil {
-			return nil, err
+			return BenchResult{}, err
 		}
 		p2, err := w.Profile.Restrict(0, 1)
 		if err != nil {
-			return nil, err
+			return BenchResult{}, err
 		}
 		tr := w.Trace
 		model := profile.NewEstimated(p2, profile.DefaultEstimatedConfig(int64(len(b.Name))*37+11))
@@ -242,39 +300,45 @@ func Fig8(opts Options) (*FigResult, error) {
 
 		iarSched, err := core.IAR(tr, p2, core.IAROptions{Model: model, K: opts.IARK})
 		if err != nil {
-			return nil, err
+			return BenchResult{}, err
 		}
 		iarRes, err := sim.Run(tr, p2, iarSched, cfg, sim.Options{})
 		if err != nil {
-			return nil, err
+			return BenchResult{}, err
 		}
 		row.Schemes[SchemeIAR] = norm(iarRes.MakeSpan, iarRes.TotalBubble)
 
 		v8, err := policy.NewV8(1)
 		if err != nil {
-			return nil, err
+			return BenchResult{}, err
 		}
 		v8Res, err := sim.RunPolicy(tr, p2, v8, cfg, sim.Options{})
 		if err != nil {
-			return nil, err
+			return BenchResult{}, err
 		}
 		row.Schemes[SchemeV8] = norm(v8Res.MakeSpan, v8Res.TotalBubble)
 
 		baseRes, err := sim.Run(tr, p2, core.SingleLevelBase(tr), cfg, sim.Options{})
 		if err != nil {
-			return nil, err
+			return BenchResult{}, err
 		}
 		row.Schemes[SchemeBaseOnly] = norm(baseRes.MakeSpan, baseRes.TotalBubble)
 
 		optRes, err := sim.Run(tr, p2, core.SingleLevelOptimizing(tr, model), cfg, sim.Options{})
 		if err != nil {
-			return nil, err
+			return BenchResult{}, err
 		}
 		row.Schemes[SchemeOptOnly] = norm(optRes.MakeSpan, optRes.TotalBubble)
-
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &FigResult{
+		Name:    name,
+		Schemes: []string{SchemeLowerBound, SchemeIAR, SchemeV8, SchemeBaseOnly, SchemeOptOnly},
+		Rows:    rows,
+	}, nil
 }
 
 // Fig7Row is one benchmark's concurrent-JIT speedups under the IAR schedule.
@@ -315,36 +379,37 @@ func (r *Fig7Result) Averages() map[int]float64 {
 // default cost-benefit model. The paper's conclusion — gains stay minor once
 // the schedule is good — is the expected shape.
 func Fig7(opts Options) (*Fig7Result, error) {
-	bs, err := opts.benchmarks()
-	if err != nil {
-		return nil, err
-	}
-	res := &Fig7Result{Workers: []int{1, 2, 4, 8, 16}}
-	for _, b := range bs {
+	workerCounts := []int{1, 2, 4, 8, 16}
+	rows, err := perBench(opts, "Figure 7", func(b dacapo.Benchmark, _ runner.Ctx) (Fig7Row, error) {
 		w, err := b.Load(opts.scale())
 		if err != nil {
-			return nil, err
+			return Fig7Row{}, err
 		}
 		model := w.DefaultModel()
 		sched, err := core.IAR(w.Trace, w.Profile, core.IAROptions{Model: model, K: opts.IARK})
 		if err != nil {
-			return nil, err
+			return Fig7Row{}, err
 		}
-		row := Fig7Row{Benchmark: b.Name, SpeedupByWorkers: make(map[int]float64, len(res.Workers))}
+		row := Fig7Row{Benchmark: b.Name, SpeedupByWorkers: make(map[int]float64, len(workerCounts))}
+		// The worker counts stay serial inside the job: each speedup is
+		// relative to the same benchmark's 1-worker base.
 		var base int64
-		for _, workers := range res.Workers {
+		for _, workers := range workerCounts {
 			r, err := sim.Run(w.Trace, w.Profile, sched, sim.Config{CompileWorkers: workers}, sim.Options{})
 			if err != nil {
-				return nil, err
+				return Fig7Row{}, err
 			}
 			if workers == 1 {
 				base = r.MakeSpan
 			}
 			row.SpeedupByWorkers[workers] = float64(base) / float64(r.MakeSpan)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig7Result{Workers: workerCounts, Rows: rows}, nil
 }
 
 // Table1Row is one benchmark's characteristics (Table 1), for both the
@@ -365,26 +430,21 @@ type Table1Row struct {
 // Table1 reproduces Table 1, reporting the paper's numbers alongside the
 // generated traces' actual shapes.
 func Table1(opts Options) ([]Table1Row, error) {
-	bs, err := opts.benchmarks()
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]Table1Row, 0, len(bs))
-	for _, b := range bs {
+	return perBench(opts, "Table 1", func(b dacapo.Benchmark, _ runner.Ctx) (Table1Row, error) {
 		w, err := b.Load(opts.scale())
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		st := trace.ComputeStats(w.Trace)
 		jikes, err := policy.NewJikes(w.DefaultModel(), w.Profile.NumFuncs(), b.SamplePeriod)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		defRes, err := sim.RunPolicy(w.Trace, w.Profile, jikes, sim.DefaultConfig(), sim.Options{})
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			Benchmark:      b.Name,
 			Parallel:       b.Parallel,
 			Funcs:          b.Funcs,
@@ -394,7 +454,6 @@ func Table1(opts Options) ([]Table1Row, error) {
 			GenUnique:      st.UniqueFuncs,
 			GenTop10Pct:    st.Top10Share * 100,
 			SimDefaultMs:   float64(defRes.MakeSpan) / 1000,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

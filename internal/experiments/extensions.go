@@ -9,6 +9,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/profile"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -60,12 +61,11 @@ type PriorityRow struct {
 // paper's own wording is "generally"). SaturationStudy constructs the burst
 // regime where the win is clear.
 func PriorityStudy(opts Options) ([]PriorityRow, error) {
-	ws, err := loadBenchmarks(opts)
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]PriorityRow, 0, len(ws))
-	for _, w := range ws {
+	return perBench(opts, "queue discipline", func(b dacapo.Benchmark, _ runner.Ctx) (PriorityRow, error) {
+		w, err := b.Load(opts.scale())
+		if err != nil {
+			return PriorityRow{}, err
+		}
 		model := w.DefaultModel()
 		lb := float64(core.ModelLowerBound(w.Trace, w.Profile, model))
 		run := func(d sim.QueueDiscipline) (*sim.Result, error) {
@@ -79,13 +79,13 @@ func PriorityStudy(opts Options) ([]PriorityRow, error) {
 		}
 		fifo, err := run(sim.FIFO)
 		if err != nil {
-			return nil, err
+			return PriorityRow{}, err
 		}
 		prio, err := run(sim.FirstCompileFirst)
 		if err != nil {
-			return nil, err
+			return PriorityRow{}, err
 		}
-		rows = append(rows, PriorityRow{
+		return PriorityRow{
 			Benchmark:      w.Bench.Name,
 			FIFO:           float64(fifo.MakeSpan) / lb,
 			Priority:       float64(prio.MakeSpan) / lb,
@@ -93,9 +93,8 @@ func PriorityStudy(opts Options) ([]PriorityRow, error) {
 			FirstBehind:    fifo.FirstBehindRecompiles,
 			FIFOBubble:     fifo.TotalBubble,
 			PriorityBubble: prio.TotalBubble,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // SaturationStudy pushes toward the regime where the §7 discipline should
@@ -110,34 +109,41 @@ func PriorityStudy(opts Options) ([]PriorityRow, error) {
 // presupposes request sources beyond one execution thread — more
 // application threads, or eager batch loading.
 func SaturationStudy() ([]PriorityRow, error) {
-	tr, p := saturationWorkload()
-	model := profile.NewOracle(p)
-	lb := float64(core.ModelLowerBound(tr, p, model))
-	var rows []PriorityRow
-	for _, organizer := range []int64{200000, 800000} {
-		row := PriorityRow{Benchmark: fmt.Sprintf("flat-hot/organizer=%dk", organizer/1000)}
-		for _, d := range []sim.QueueDiscipline{sim.FIFO, sim.FirstCompileFirst} {
-			pol, err := policy.NewJikesOrganizer(model, p.NumFuncs(), 3000, organizer)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.RunPolicy(tr, p, pol, sim.Config{CompileWorkers: 1, Discipline: d}, sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			if d == sim.FIFO {
-				row.FIFO = float64(res.MakeSpan) / lb
-				row.MaxPending = res.MaxPending
-				row.FirstBehind = res.FirstBehindRecompiles
-				row.FIFOBubble = res.TotalBubble
-			} else {
-				row.Priority = float64(res.MakeSpan) / lb
-				row.PriorityBubble = res.TotalBubble
-			}
+	organizers := []int64{200000, 800000}
+	jobs := make([]runner.Job[PriorityRow], len(organizers))
+	for i, organizer := range organizers {
+		organizer := organizer
+		jobs[i] = runner.Job[PriorityRow]{
+			Key: runner.Key{Experiment: "saturation", Detail: fmt.Sprintf("organizer=%d", organizer)},
+			Fn: func(_ runner.Ctx) (PriorityRow, error) {
+				tr, p := saturationWorkload()
+				model := profile.NewOracle(p)
+				lb := float64(core.ModelLowerBound(tr, p, model))
+				row := PriorityRow{Benchmark: fmt.Sprintf("flat-hot/organizer=%dk", organizer/1000)}
+				for _, d := range []sim.QueueDiscipline{sim.FIFO, sim.FirstCompileFirst} {
+					pol, err := policy.NewJikesOrganizer(model, p.NumFuncs(), 3000, organizer)
+					if err != nil {
+						return PriorityRow{}, err
+					}
+					res, err := sim.RunPolicy(tr, p, pol, sim.Config{CompileWorkers: 1, Discipline: d}, sim.Options{})
+					if err != nil {
+						return PriorityRow{}, err
+					}
+					if d == sim.FIFO {
+						row.FIFO = float64(res.MakeSpan) / lb
+						row.MaxPending = res.MaxPending
+						row.FirstBehind = res.FirstBehindRecompiles
+						row.FIFOBubble = res.TotalBubble
+					} else {
+						row.Priority = float64(res.MakeSpan) / lb
+						row.PriorityBubble = res.TotalBubble
+					}
+				}
+				return row, nil
+			},
 		}
-		rows = append(rows, row)
 	}
-	return rows, nil
+	return runner.Map(runner.Shared(), jobs)
 }
 
 // saturationWorkload builds the flat-hotness, compile-heavy instance used
@@ -213,20 +219,15 @@ var VariationMagnitudes = []float64{0, 0.2, 0.4, 0.6}
 // survive such variation; the study quantifies it: the normalized make-span
 // should degrade only mildly with the variation magnitude.
 func VariationStudy(opts Options) ([]VariationRow, error) {
-	bs, err := opts.benchmarks()
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]VariationRow, 0, len(bs))
-	for _, b := range bs {
+	return perBench(opts, "execution-time variation", func(b dacapo.Benchmark, _ runner.Ctx) (VariationRow, error) {
 		w, err := b.Load(opts.scale())
 		if err != nil {
-			return nil, err
+			return VariationRow{}, err
 		}
 		model := w.DefaultModel()
 		sched, err := core.IAR(w.Trace, w.Profile, core.IAROptions{Model: model, K: opts.IARK})
 		if err != nil {
-			return nil, err
+			return VariationRow{}, err
 		}
 		levels := core.SingleCoreLevels(w.Trace, model)
 		row := VariationRow{Benchmark: b.Name, ByMagnitude: make(map[float64]float64, len(VariationMagnitudes))}
@@ -234,17 +235,16 @@ func VariationStudy(opts Options) ([]VariationRow, error) {
 			res, err := sim.Run(w.Trace, w.Profile, sched, sim.DefaultConfig(),
 				sim.Options{ExecVariation: m, ExecVariationSeed: 99})
 			if err != nil {
-				return nil, err
+				return VariationRow{}, err
 			}
 			lb, err := core.VariedLowerBound(w.Trace, w.Profile, levels, m, 99)
 			if err != nil {
-				return nil, err
+				return VariationRow{}, err
 			}
 			row.ByMagnitude[m] = float64(res.MakeSpan) / float64(lb)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderVariation writes the execution-time-variation study.
@@ -285,33 +285,28 @@ func KSweep(opts Options, ks []int64) ([]SweepRow, error) {
 	if len(ks) == 0 {
 		ks = []int64{1, 3, 5, 8, 10, 20}
 	}
-	bs, err := opts.benchmarks()
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]SweepRow, 0, len(bs))
-	for _, b := range bs {
-		w, err := b.Load(opts.scale())
-		if err != nil {
-			return nil, err
-		}
-		model := w.DefaultModel()
-		lb := float64(core.ModelLowerBound(w.Trace, w.Profile, model))
-		row := SweepRow{Benchmark: b.Name, ByValue: make(map[int64]float64, len(ks))}
-		for _, k := range ks {
-			sched, err := core.IAR(w.Trace, w.Profile, core.IAROptions{Model: model, K: k})
+	return perBenchDetail(opts, "K sweep", fmt.Sprintf("ks=%v", ks),
+		func(b dacapo.Benchmark, _ runner.Ctx) (SweepRow, error) {
+			w, err := b.Load(opts.scale())
 			if err != nil {
-				return nil, err
+				return SweepRow{}, err
 			}
-			res, err := sim.Run(w.Trace, w.Profile, sched, sim.DefaultConfig(), sim.Options{})
-			if err != nil {
-				return nil, err
+			model := w.DefaultModel()
+			lb := float64(core.ModelLowerBound(w.Trace, w.Profile, model))
+			row := SweepRow{Benchmark: b.Name, ByValue: make(map[int64]float64, len(ks))}
+			for _, k := range ks {
+				sched, err := core.IAR(w.Trace, w.Profile, core.IAROptions{Model: model, K: k})
+				if err != nil {
+					return SweepRow{}, err
+				}
+				res, err := sim.Run(w.Trace, w.Profile, sched, sim.DefaultConfig(), sim.Options{})
+				if err != nil {
+					return SweepRow{}, err
+				}
+				row.ByValue[k] = float64(res.MakeSpan) / lb
 			}
-			row.ByValue[k] = float64(res.MakeSpan) / lb
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+			return row, nil
+		})
 }
 
 // PeriodSweep runs the default Jikes scheme across sampling periods.
@@ -319,33 +314,28 @@ func PeriodSweep(opts Options, periods []int64) ([]SweepRow, error) {
 	if len(periods) == 0 {
 		periods = []int64{50000, 200000, 500000, 2000000}
 	}
-	bs, err := opts.benchmarks()
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]SweepRow, 0, len(bs))
-	for _, b := range bs {
-		w, err := b.Load(opts.scale())
-		if err != nil {
-			return nil, err
-		}
-		model := w.DefaultModel()
-		lb := float64(core.ModelLowerBound(w.Trace, w.Profile, model))
-		row := SweepRow{Benchmark: b.Name, ByValue: make(map[int64]float64, len(periods))}
-		for _, s := range periods {
-			pol, err := policy.NewJikes(model, w.Profile.NumFuncs(), s)
+	return perBenchDetail(opts, "period sweep", fmt.Sprintf("periods=%v", periods),
+		func(b dacapo.Benchmark, _ runner.Ctx) (SweepRow, error) {
+			w, err := b.Load(opts.scale())
 			if err != nil {
-				return nil, err
+				return SweepRow{}, err
 			}
-			res, err := sim.RunPolicy(w.Trace, w.Profile, pol, sim.DefaultConfig(), sim.Options{})
-			if err != nil {
-				return nil, err
+			model := w.DefaultModel()
+			lb := float64(core.ModelLowerBound(w.Trace, w.Profile, model))
+			row := SweepRow{Benchmark: b.Name, ByValue: make(map[int64]float64, len(periods))}
+			for _, s := range periods {
+				pol, err := policy.NewJikes(model, w.Profile.NumFuncs(), s)
+				if err != nil {
+					return SweepRow{}, err
+				}
+				res, err := sim.RunPolicy(w.Trace, w.Profile, pol, sim.DefaultConfig(), sim.Options{})
+				if err != nil {
+					return SweepRow{}, err
+				}
+				row.ByValue[s] = float64(res.MakeSpan) / lb
 			}
-			row.ByValue[s] = float64(res.MakeSpan) / lb
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+			return row, nil
+		})
 }
 
 // RenderSweep writes a parameter sweep with the given title and column
@@ -364,21 +354,4 @@ func RenderSweep(title string, values []int64, format func(int64) string, rows [
 		t.AddRow(cells...)
 	}
 	return t.Render(w)
-}
-
-// loadBenchmarks is a convenience for callers iterating workloads directly.
-func loadBenchmarks(opts Options) ([]*dacapo.Workload, error) {
-	bs, err := opts.benchmarks()
-	if err != nil {
-		return nil, err
-	}
-	ws := make([]*dacapo.Workload, 0, len(bs))
-	for _, b := range bs {
-		w, err := b.Load(opts.scale())
-		if err != nil {
-			return nil, err
-		}
-		ws = append(ws, w)
-	}
-	return ws, nil
 }

@@ -5,10 +5,12 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/dacapo"
 	"repro/internal/policy"
 	"repro/internal/profile"
 	"repro/internal/program"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -37,47 +39,44 @@ type InterpRow struct {
 // first calls a cheaper entry point.
 func InterpreterStudy(opts Options) ([]InterpRow, error) {
 	const slowdown = 6 // interpreters run several-fold slower than baseline-compiled code
-	ws, err := loadBenchmarks(opts)
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]InterpRow, 0, len(ws))
-	for _, w := range ws {
+	return perBench(opts, "interpreter tier", func(b dacapo.Benchmark, _ runner.Ctx) (InterpRow, error) {
+		w, err := b.Load(opts.scale())
+		if err != nil {
+			return InterpRow{}, err
+		}
 		row := InterpRow{Benchmark: w.Bench.Name}
 		// Plain setting.
 		model := w.DefaultModel()
-		var err error
 		row.CompiledIAR, row.DefaultCompiled, err = runIARAndDefault(
 			w.Trace, w.Profile, model, w.Bench.SamplePeriod, opts.IARK)
 		if err != nil {
-			return nil, err
+			return InterpRow{}, err
 		}
 		// Interpreter tier added.
 		pi, err := w.Profile.WithInterpreter(slowdown)
 		if err != nil {
-			return nil, err
+			return InterpRow{}, err
 		}
 		modelI := profile.NewEstimated(pi, profile.DefaultEstimatedConfig(int64(len(w.Bench.Name))*31+7))
 		row.InterpIAR, row.DefaultInterp, err = runIARAndDefault(
 			w.Trace, pi, modelI, w.Bench.SamplePeriod, opts.IARK)
 		if err != nil {
-			return nil, err
+			return InterpRow{}, err
 		}
 		// The §8 fix: initialize at the baseline compiler, not the
 		// interpreter.
 		lbI := float64(core.ModelLowerBound(w.Trace, pi, modelI))
 		baseSched, err := core.IAR(w.Trace, pi, core.IAROptions{Model: modelI, K: opts.IARK, LowLevel: 1})
 		if err != nil {
-			return nil, err
+			return InterpRow{}, err
 		}
 		baseRes, err := sim.Run(w.Trace, pi, baseSched, sim.DefaultConfig(), sim.Options{})
 		if err != nil {
-			return nil, err
+			return InterpRow{}, err
 		}
 		row.BaseIAR = float64(baseRes.MakeSpan) / lbI
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // runIARAndDefault evaluates IAR (replay) and the Jikes policy on one
@@ -152,27 +151,34 @@ func InlineStudy(victims int) ([]InlineRow, error) {
 		return nil, err
 	}
 
-	rows := make([]InlineRow, 0, 2)
-	for _, v := range []struct {
+	variants := []struct {
 		label string
 		p     *program.Program
-	}{{"original", prog}, {fmt.Sprintf("inlined top %d leaves", victims), inlined}} {
-		tr, err := program.Collect(v.p, program.CollectOptions{MaxCalls: 200000, Seed: 78})
-		if err != nil {
-			return nil, err
+	}{{"original", prog}, {fmt.Sprintf("inlined top %d leaves", victims), inlined}}
+	jobs := make([]runner.Job[InlineRow], len(variants))
+	for i, v := range variants {
+		v := v
+		jobs[i] = runner.Job[InlineRow]{
+			Key: runner.Key{Experiment: "inline study", Detail: fmt.Sprintf("%s victims=%d", v.label, victims)},
+			Fn: func(_ runner.Ctx) (InlineRow, error) {
+				tr, err := program.Collect(v.p, program.CollectOptions{MaxCalls: 200000, Seed: 78})
+				if err != nil {
+					return InlineRow{}, err
+				}
+				prof, err := profile.SynthesizeWithSizes(v.p.Sizes(), profile.DefaultTiming(4, 79))
+				if err != nil {
+					return InlineRow{}, err
+				}
+				model := profile.NewEstimated(prof, profile.DefaultEstimatedConfig(80))
+				iar, def, err := runIARAndDefault(tr, prof, model, 300000, 0)
+				if err != nil {
+					return InlineRow{}, err
+				}
+				return InlineRow{Label: v.label, Calls: tr.Len(), IAR: iar, Default: def}, nil
+			},
 		}
-		prof, err := profile.SynthesizeWithSizes(v.p.Sizes(), profile.DefaultTiming(4, 79))
-		if err != nil {
-			return nil, err
-		}
-		model := profile.NewEstimated(prof, profile.DefaultEstimatedConfig(80))
-		iar, def, err := runIARAndDefault(tr, prof, model, 300000, 0)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, InlineRow{Label: v.label, Calls: tr.Len(), IAR: iar, Default: def})
 	}
-	return rows, nil
+	return runner.Map(runner.Shared(), jobs)
 }
 
 // RenderInline writes the inlining study.

@@ -5,9 +5,11 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/dacapo"
 	"repro/internal/policy"
 	"repro/internal/profile"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -41,45 +43,40 @@ func MTStudy(opts Options, threads int) ([]MTRow, error) {
 	if threads == 0 {
 		threads = 4
 	}
-	bs, err := opts.benchmarks()
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]MTRow, 0, len(bs))
-	for _, b := range bs {
-		per, p, err := b.LoadThreads(opts.scale(), threads)
-		if err != nil {
-			return nil, err
-		}
-		model := profile.NewEstimated(p, profile.DefaultEstimatedConfig(int64(len(b.Name))*41+3))
-		lb, err := mtLowerBound(per, p, model)
-		if err != nil {
-			return nil, err
-		}
-		row := MTRow{Benchmark: b.Name, Threads: threads}
-		for _, d := range []sim.QueueDiscipline{sim.FIFO, sim.FirstCompileFirst} {
-			pol, err := policy.NewJikesOrganizer(model, p.NumFuncs(),
-				b.SamplePeriod/int64(threads), b.SamplePeriod)
+	return perBenchDetail(opts, "multi-threaded execution", fmt.Sprintf("threads=%d", threads),
+		func(b dacapo.Benchmark, _ runner.Ctx) (MTRow, error) {
+			per, p, err := b.LoadThreads(opts.scale(), threads)
 			if err != nil {
-				return nil, err
+				return MTRow{}, err
 			}
-			res, _, err := sim.RunPolicyMT(per, p, pol,
-				sim.Config{CompileWorkers: 1, Discipline: d}, sim.Options{})
+			model := profile.NewEstimated(p, profile.DefaultEstimatedConfig(int64(len(b.Name))*41+3))
+			lb, err := mtLowerBound(per, p, model)
 			if err != nil {
-				return nil, err
+				return MTRow{}, err
 			}
-			norm := float64(res.MakeSpan) / lb
-			if d == sim.FIFO {
-				row.FIFO = norm
-				row.MaxPending = res.MaxPending
-				row.FirstBehind = res.FirstBehindRecompiles
-			} else {
-				row.Priority = norm
+			row := MTRow{Benchmark: b.Name, Threads: threads}
+			for _, d := range []sim.QueueDiscipline{sim.FIFO, sim.FirstCompileFirst} {
+				pol, err := policy.NewJikesOrganizer(model, p.NumFuncs(),
+					b.SamplePeriod/int64(threads), b.SamplePeriod)
+				if err != nil {
+					return MTRow{}, err
+				}
+				res, _, err := sim.RunPolicyMT(per, p, pol,
+					sim.Config{CompileWorkers: 1, Discipline: d}, sim.Options{})
+				if err != nil {
+					return MTRow{}, err
+				}
+				norm := float64(res.MakeSpan) / lb
+				if d == sim.FIFO {
+					row.FIFO = norm
+					row.MaxPending = res.MaxPending
+					row.FirstBehind = res.FirstBehindRecompiles
+				} else {
+					row.Priority = norm
+				}
 			}
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+			return row, nil
+		})
 }
 
 // mtLowerBound is the busiest-thread execution floor under the model's

@@ -5,9 +5,11 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/dacapo"
 	"repro/internal/policy"
 	"repro/internal/predict"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -39,23 +41,18 @@ var TrainRunCounts = []int{1, 3, 5}
 // run. The question is how much of IAR's benefit survives imperfect
 // knowledge of the future.
 func PredictStudy(opts Options) ([]PredictRow, error) {
-	bs, err := opts.benchmarks()
-	if err != nil {
-		return nil, err
-	}
 	maxTrain := 0
 	for _, k := range TrainRunCounts {
 		if k > maxTrain {
 			maxTrain = k
 		}
 	}
-	rows := make([]PredictRow, 0, len(bs))
-	for _, b := range bs {
+	return perBench(opts, "cross-run prediction", func(b dacapo.Benchmark, _ runner.Ctx) (PredictRow, error) {
 		// The held-out evaluation run is run 0 (the default workload);
 		// training runs are 1..maxTrain.
 		actual, err := b.Load(opts.scale())
 		if err != nil {
-			return nil, err
+			return PredictRow{}, err
 		}
 		model := actual.DefaultModel()
 		lb := float64(core.ModelLowerBound(actual.Trace, actual.Profile, model))
@@ -65,21 +62,21 @@ func PredictStudy(opts Options) ([]PredictRow, error) {
 
 		perfectSched, err := core.IAR(actual.Trace, actual.Profile, core.IAROptions{Model: model, K: opts.IARK})
 		if err != nil {
-			return nil, err
+			return PredictRow{}, err
 		}
 		perfectRes, err := sim.Run(actual.Trace, actual.Profile, perfectSched, cfg, sim.Options{})
 		if err != nil {
-			return nil, err
+			return PredictRow{}, err
 		}
 		row.PerfectIAR = float64(perfectRes.MakeSpan) / lb
 
 		jikes, err := policy.NewJikes(model, actual.Profile.NumFuncs(), b.SamplePeriod)
 		if err != nil {
-			return nil, err
+			return PredictRow{}, err
 		}
 		defRes, err := sim.RunPolicy(actual.Trace, actual.Profile, jikes, cfg, sim.Options{})
 		if err != nil {
-			return nil, err
+			return PredictRow{}, err
 		}
 		row.Default = float64(defRes.MakeSpan) / lb
 
@@ -87,7 +84,7 @@ func PredictStudy(opts Options) ([]PredictRow, error) {
 		for k := 1; k <= maxTrain; k++ {
 			train, err := b.LoadRun(opts.scale(), k)
 			if err != nil {
-				return nil, err
+				return PredictRow{}, err
 			}
 			repo.Add(train.Trace)
 			if !containsInt(TrainRunCounts, k) {
@@ -95,24 +92,23 @@ func PredictStudy(opts Options) ([]PredictRow, error) {
 			}
 			predicted, err := repo.Predict()
 			if err != nil {
-				return nil, err
+				return PredictRow{}, err
 			}
 			sched, err := core.IAR(predicted, actual.Profile, core.IAROptions{Model: model, K: opts.IARK})
 			if err != nil {
-				return nil, err
+				return PredictRow{}, err
 			}
 			res, err := sim.RunPolicy(actual.Trace, actual.Profile, policy.NewPlanned(sched), cfg, sim.Options{})
 			if err != nil {
-				return nil, err
+				return PredictRow{}, err
 			}
 			row.ByTrainRuns[k] = float64(res.MakeSpan) / lb
 			if k == maxTrain {
 				row.Accuracy = predict.Evaluate(predicted, actual.Trace)
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 func containsInt(xs []int, x int) bool {

@@ -19,6 +19,11 @@ type ScaleRow struct {
 // checking that the reproduction's conclusions are not artifacts of the
 // scaled-down traces: the default scheme's gap and IAR's near-optimality
 // must persist as the sequences grow toward the paper's full lengths.
+//
+// The scales run in sequence but each Fig5 call fans its benchmarks out on
+// opts.Runner; because the scale is part of every job's fingerprint, a
+// scale-1 pass reuses (and seeds) the cache of any plain Fig5 run sharing
+// the same runner.
 func ScaleStudy(opts Options, scales []float64) ([]ScaleRow, error) {
 	if len(scales) == 0 {
 		scales = []float64{0.5, 1, 2, 4}

@@ -4,6 +4,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dacapo"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -25,36 +27,35 @@ type Table2Row struct {
 // Table2 reproduces Table 2: the IAR algorithm's time overhead relative to
 // program execution time. The paper reports sub-1% overheads for most
 // benchmarks; the linear-time algorithm should land in the same regime here.
+//
+// Unlike the other harnesses, Table 2 measures host wall time, so when the
+// runner fans the benchmarks out its timings reflect concurrent load; the
+// reported percentages stay indicative, not golden-testable.
 func Table2(opts Options) ([]Table2Row, error) {
-	bs, err := opts.benchmarks()
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]Table2Row, 0, len(bs))
-	for _, b := range bs {
+	return perBench(opts, "Table 2", func(b dacapo.Benchmark, _ runner.Ctx) (Table2Row, error) {
 		w, err := b.Load(opts.scale())
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		model := w.DefaultModel()
 
 		// Warm once (page in code paths), then time a small number of runs.
 		sched, err := core.IAR(w.Trace, w.Profile, core.IAROptions{Model: model, K: opts.IARK})
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		const reps = 3
 		start := time.Now()
 		for i := 0; i < reps; i++ {
 			if _, err := core.IAR(w.Trace, w.Profile, core.IAROptions{Model: model, K: opts.IARK}); err != nil {
-				return nil, err
+				return Table2Row{}, err
 			}
 		}
 		iarSec := time.Since(start).Seconds() / reps
 
 		res, err := sim.Run(w.Trace, w.Profile, sched, sim.DefaultConfig(), sim.Options{})
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		progSec := float64(res.MakeSpan) / 1e6
 		row := Table2Row{
@@ -65,7 +66,6 @@ func Table2(opts Options) ([]Table2Row, error) {
 		if progSec > 0 {
 			row.Percent = iarSec / progSec * 100
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

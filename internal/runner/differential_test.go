@@ -1,0 +1,176 @@
+package runner_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+// These differential tests hold the parallel runner to the determinism
+// contract the scheduling literature demands before a parallel evaluation
+// can be trusted: the full figure sweeps must be bit-identical between the
+// serial path (one worker), the parallel path (many workers), and repeated
+// runs. Run them under -race and -cpu=1,4 (the Makefile's `race` target
+// does) to also prove the pool is race-clean.
+
+// renderAll runs the Fig. 5–8 sweeps through a fresh, cache-disabled runner
+// with the given worker bound and returns the concatenated rendered tables.
+// Disabling the cache forces every job to genuinely recompute, so equality
+// across calls is equality of computation, not of memoized bytes.
+func renderAll(t *testing.T, workers int) []byte {
+	t.Helper()
+	opts := experiments.Options{
+		Runner: runner.New(runner.Options{Workers: workers, DisableCache: true}),
+	}
+	var buf bytes.Buffer
+	for _, fig := range []struct {
+		name string
+		run  func(experiments.Options) (*experiments.FigResult, error)
+	}{
+		{"fig5", experiments.Fig5},
+		{"fig6", experiments.Fig6},
+		{"fig8", experiments.Fig8},
+	} {
+		res, err := fig.run(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", fig.name, err)
+		}
+		if err := res.Render(&buf); err != nil {
+			t.Fatalf("%s: render: %v", fig.name, err)
+		}
+	}
+	res7, err := experiments.Fig7(opts)
+	if err != nil {
+		t.Fatalf("fig7: %v", err)
+	}
+	if err := res7.Render(&buf); err != nil {
+		t.Fatalf("fig7: render: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestFigSweepSerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	serial := renderAll(t, 1)
+	parallel := renderAll(t, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("parallel sweep diverged from serial path.\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+func TestFigSweepRepeatable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	first := renderAll(t, 8)
+	second := renderAll(t, 8)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeated parallel sweeps disagree.\n--- first ---\n%s\n--- second ---\n%s",
+			first, second)
+	}
+}
+
+// TestFig5CachedRerunIdentical re-runs Fig. 5 on one runner and checks the
+// cache-served pass renders the same bytes while executing zero new jobs.
+func TestFig5CachedRerunIdentical(t *testing.T) {
+	eng := runner.New(runner.Options{Workers: 4})
+	opts := experiments.Options{Runner: eng}
+	render := func() []byte {
+		res, err := experiments.Fig5(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := render()
+	ran := eng.Stats().JobsRun
+	second := render()
+	if !bytes.Equal(first, second) {
+		t.Fatal("cached Fig. 5 rerun rendered different bytes")
+	}
+	st := eng.Stats()
+	if st.JobsRun != ran {
+		t.Fatalf("cached rerun executed %d new jobs", st.JobsRun-ran)
+	}
+	if st.CacheHits != ran {
+		t.Fatalf("cached rerun hit %d of %d jobs", st.CacheHits, ran)
+	}
+}
+
+// TestSingleBenchmarkRowMatchesFullSweep pins the job decomposition: one
+// benchmark simulated alone must produce the same row as inside the full
+// fan-out, i.e. jobs really are independent.
+func TestSingleBenchmarkRowMatchesFullSweep(t *testing.T) {
+	full, err := experiments.Fig5(experiments.Options{
+		Runner: runner.New(runner.Options{Workers: 8, DisableCache: true}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range full.Rows[:3] {
+		solo, err := experiments.Fig5(experiments.Options{
+			Benchmarks: []string{row.Benchmark},
+			Runner:     runner.New(runner.Options{Workers: 1, DisableCache: true}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(solo.Rows) != 1 {
+			t.Fatalf("%s: got %d rows", row.Benchmark, len(solo.Rows))
+		}
+		got, want := solo.Rows[0], row
+		if got.LowerBound != want.LowerBound {
+			t.Fatalf("%s: solo lower bound %d != sweep %d", row.Benchmark, got.LowerBound, want.LowerBound)
+		}
+		for scheme, sr := range want.Schemes {
+			if got.Schemes[scheme] != sr {
+				t.Fatalf("%s/%s: solo %+v != sweep %+v", row.Benchmark, scheme, got.Schemes[scheme], sr)
+			}
+		}
+	}
+}
+
+func fig5Jobs(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		opts := experiments.Options{
+			Runner: runner.New(runner.Options{Workers: workers, DisableCache: true}),
+		}
+		if _, err := experiments.Fig5(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The wall-clock claim of the tentpole: with GOMAXPROCS >= 4 the parallel
+// sweep must beat the serial one. Compare with
+//
+//	go test -bench 'Fig5Sweep' -cpu 4 ./internal/runner
+func BenchmarkFig5SweepSerial(b *testing.B)   { fig5Jobs(b, 1) }
+func BenchmarkFig5SweepParallel(b *testing.B) { fig5Jobs(b, 0) }
+
+// Example of the failure isolation the runner guarantees: a crashed job
+// surfaces as a structured error naming the job, not a dead process.
+func ExamplePanicError() {
+	eng := runner.New(runner.Options{Workers: 2})
+	_, err := runner.Map(eng, []runner.Job[int]{{
+		Key: runner.Key{Experiment: "demo", Benchmark: "crashy"},
+		Fn:  func(runner.Ctx) (int, error) { panic("simulated crash") },
+	}})
+	var pe *runner.PanicError
+	if errors.As(err, &pe) {
+		fmt.Println("recovered:", pe.Key.Benchmark, "-", pe.Value)
+	}
+	// Output: recovered: crashy - simulated crash
+}

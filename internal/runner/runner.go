@@ -1,0 +1,358 @@
+// Package runner is the concurrent batch-evaluation engine behind the
+// experiment harnesses: it fans independent simulation jobs (benchmark ×
+// scheme × scale × seed) out across a bounded worker pool while keeping every
+// observable output deterministic.
+//
+// # Determinism contract
+//
+// A job is identified by its Key. The engine guarantees:
+//
+//   - results are collected by submission index, never by completion order,
+//     so a batch's result slice is identical no matter how the scheduler
+//     interleaves workers;
+//   - each job receives a private seed derived by hashing its fingerprint
+//     (Key.DerivedSeed); no RNG state is ever shared between jobs;
+//   - when several jobs fail, Map reports the error of the lowest-index
+//     failed job, so even the error path is deterministic.
+//
+// In exchange, a job's Fn must be a pure function of its Key and Ctx: same
+// fingerprint, same result. The cache (below) and the batch-level
+// deduplication both rely on this.
+//
+// # Caching
+//
+// Results are memoized by fingerprint in the Runner, so repeated sweeps (a
+// scale study re-running Figure 5 at scale 1, `exp all` visiting the same
+// benchmark twice) skip already-computed make-spans. Cached values are shared
+// structure — treat every job result as immutable after return.
+//
+// # Failure isolation
+//
+// A panicking job does not kill the sweep: the panic is recovered on the
+// worker and converted into a *PanicError carrying the job key and stack,
+// reported like any other job error.
+//
+// Each Map call runs on its own pool of Workers goroutines, so nested Map
+// calls (a study that fans out per scale, each scale fanning out per
+// benchmark) cannot deadlock on a shared semaphore.
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Key identifies one simulation job. Fields left at their zero value simply
+// do not contribute to the identity; Detail is a free-form slot for
+// harness-specific parameters (IAR K, thread counts, sweep values).
+type Key struct {
+	Experiment string
+	Benchmark  string
+	Scheme     string
+	Scale      float64
+	Seed       int64
+	Detail     string
+}
+
+// Fingerprint renders the key as a canonical string: equal keys, equal
+// strings, and distinct keys cannot collide because fields are
+// length-delimited by quoting.
+func (k Key) Fingerprint() string {
+	return fmt.Sprintf("exp=%q bench=%q scheme=%q scale=%s seed=%d detail=%q",
+		k.Experiment, k.Benchmark, k.Scheme,
+		strconv.FormatFloat(k.Scale, 'g', -1, 64), k.Seed, k.Detail)
+}
+
+// DerivedSeed hashes the fingerprint into a non-negative per-job seed. Jobs
+// that need randomness must draw it from this seed (via their Ctx) instead of
+// any shared RNG, so a job's random stream depends only on its identity —
+// not on which worker ran it or what ran before.
+func (k Key) DerivedSeed() int64 {
+	h := fnv.New64a()
+	h.Write([]byte(k.Fingerprint()))
+	return int64(h.Sum64() &^ (1 << 63))
+}
+
+// Ctx is what a running job sees of the engine.
+type Ctx struct {
+	// Key is the job's own key.
+	Key Key
+	// Seed is Key.DerivedSeed(), precomputed.
+	Seed int64
+}
+
+// Job pairs a key with the function computing its result.
+type Job[T any] struct {
+	Key Key
+	Fn  func(ctx Ctx) (T, error)
+}
+
+// PanicError is a job panic converted into an error.
+type PanicError struct {
+	Key   Key
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %s panicked: %v", e.Key.Fingerprint(), e.Value)
+}
+
+// Stats aggregates what a Runner has done so far.
+type Stats struct {
+	// JobsRun counts job functions actually executed; CacheHits counts jobs
+	// answered from the result cache; Deduped counts jobs that shared a
+	// batch-mate's in-flight computation. Every submitted job lands in
+	// exactly one of the three (or in Failures).
+	JobsRun   int64
+	CacheHits int64
+	Deduped   int64
+	// Failures counts executed jobs that returned an error or panicked;
+	// Panics counts the panicked subset.
+	Failures int64
+	Panics   int64
+	// WallTime accumulates the wall-clock duration of every Map call.
+	WallTime time.Duration
+	// PerScheme counts executed jobs by Key.Scheme (Key.Experiment when the
+	// scheme is empty).
+	PerScheme map[string]int64
+}
+
+// Summary renders the stats as one line, with per-scheme totals in sorted
+// order.
+func (s Stats) Summary() string {
+	out := fmt.Sprintf("runner: %d jobs run, %d cache hits, %d deduped, %d failed, wall %v",
+		s.JobsRun, s.CacheHits, s.Deduped, s.Failures, s.WallTime.Round(time.Millisecond))
+	if len(s.PerScheme) > 0 {
+		names := make([]string, 0, len(s.PerScheme))
+		for n := range s.PerScheme {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		out += " ["
+		for i, n := range names {
+			if i > 0 {
+				out += ", "
+			}
+			out += fmt.Sprintf("%s: %d", n, s.PerScheme[n])
+		}
+		out += "]"
+	}
+	return out
+}
+
+// Options configures a Runner.
+type Options struct {
+	// Workers bounds per-batch concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// DisableCache turns result memoization off (differential tests use this
+	// to force genuine recomputation).
+	DisableCache bool
+}
+
+// Runner owns the worker bound, the result cache, and the stats. It is safe
+// for concurrent use.
+type Runner struct {
+	workers int
+	noCache bool
+
+	mu    sync.Mutex
+	cache map[string]any
+	stats Stats
+}
+
+// New builds a Runner.
+func New(opts Options) *Runner {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		workers: w,
+		noCache: opts.DisableCache,
+		cache:   make(map[string]any),
+		stats:   Stats{PerScheme: make(map[string]int64)},
+	}
+}
+
+// Workers reports the configured per-batch concurrency bound.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.PerScheme = make(map[string]int64, len(r.stats.PerScheme))
+	for k, v := range r.stats.PerScheme {
+		s.PerScheme[k] = v
+	}
+	return s
+}
+
+// ResetCache drops all memoized results (the counters stay).
+func (r *Runner) ResetCache() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache = make(map[string]any)
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Runner
+)
+
+// Shared returns the process-wide default Runner (GOMAXPROCS workers,
+// caching on), created on first use. Harnesses that are not handed an
+// explicit Runner submit here, so a multi-study session (`jitsched exp all`,
+// the test suite) shares one cache.
+func Shared() *Runner {
+	sharedOnce.Do(func() { shared = New(Options{}) })
+	return shared
+}
+
+// jobState tracks one submitted job through a Map call.
+type jobState[T any] struct {
+	result T
+	err    error
+}
+
+// Map runs the batch on r's pool and returns the results in submission
+// order. Jobs with equal fingerprints are computed once per batch (the rest
+// share the leader's result); previously computed fingerprints are answered
+// from the cache. If any job fails, Map returns the lowest-index failure
+// after all jobs have settled — partial results are never returned.
+func Map[T any](r *Runner, jobs []Job[T]) ([]T, error) {
+	start := time.Now()
+	states := make([]jobState[T], len(jobs))
+
+	// Resolve cache hits and batch-level duplicates up front so the
+	// dispatch below only sees work that genuinely has to run.
+	var (
+		leaders     []int           // indices that execute
+		followers   = map[int]int{} // follower index -> leader index
+		hits, dedup int64
+	)
+	leaderOf := make(map[string]int, len(jobs))
+	r.mu.Lock()
+	for i, j := range jobs {
+		fp := j.Key.Fingerprint()
+		if !r.noCache {
+			if v, ok := r.cache[fp]; ok {
+				if tv, ok := v.(T); ok {
+					states[i].result = tv
+					hits++
+					continue
+				}
+			}
+		}
+		if li, ok := leaderOf[fp]; ok {
+			followers[i] = li
+			dedup++
+			continue
+		}
+		leaderOf[fp] = i
+		leaders = append(leaders, i)
+	}
+	r.mu.Unlock()
+
+	// Dispatch the leaders to a bounded pool. Each Map call gets its own
+	// goroutines so nested calls cannot starve each other.
+	if len(leaders) > 0 {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		workers := r.workers
+		if workers > len(leaders) {
+			workers = len(leaders)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					j := jobs[i]
+					states[i].result, states[i].err = runJob(j)
+				}
+			}()
+		}
+		for _, i := range leaders {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	// Propagate leader outcomes to their batch-mates.
+	for f, l := range followers {
+		states[f] = states[l]
+	}
+
+	// Fill the cache and the counters.
+	var failures, panics int64
+	r.mu.Lock()
+	for _, i := range leaders {
+		if states[i].err != nil {
+			failures++
+			if _, ok := states[i].err.(*PanicError); ok {
+				panics++
+			}
+			continue
+		}
+		if !r.noCache {
+			r.cache[jobs[i].Key.Fingerprint()] = states[i].result
+		}
+	}
+	r.stats.JobsRun += int64(len(leaders))
+	r.stats.CacheHits += hits
+	r.stats.Deduped += dedup
+	r.stats.Failures += failures
+	r.stats.Panics += panics
+	r.stats.WallTime += time.Since(start)
+	for _, i := range leaders {
+		name := jobs[i].Key.Scheme
+		if name == "" {
+			name = jobs[i].Key.Experiment
+		}
+		r.stats.PerScheme[name]++
+	}
+	r.mu.Unlock()
+
+	for i := range states {
+		if states[i].err != nil {
+			return nil, fmt.Errorf("runner: job %d (%s): %w",
+				i, jobs[i].Key.Fingerprint(), states[i].err)
+		}
+	}
+	out := make([]T, len(jobs))
+	for i := range states {
+		out[i] = states[i].result
+	}
+	return out, nil
+}
+
+// runJob executes one job with panic isolation.
+func runJob[T any](j Job[T]) (result T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			buf := make([]byte, 16*1024)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PanicError{Key: j.Key, Value: v, Stack: buf}
+		}
+	}()
+	return j.Fn(Ctx{Key: j.Key, Seed: j.Key.DerivedSeed()})
+}
+
+// One runs a single job through the runner (a one-element Map).
+func One[T any](r *Runner, j Job[T]) (T, error) {
+	res, err := Map(r, []Job[T]{j})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return res[0], nil
+}

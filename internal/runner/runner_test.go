@@ -1,0 +1,302 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	r := New(Options{Workers: 8})
+	jobs := make([]Job[int], 100)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: Key{Experiment: "order", Detail: fmt.Sprint(i)},
+			Fn: func(Ctx) (int, error) {
+				// Let later jobs finish first now and then.
+				if i%7 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+				return i * i, nil
+			},
+		}
+	}
+	got, err := Map(r, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d (completion order leaked)", i, v, i*i)
+		}
+	}
+}
+
+func TestDerivedSeedIsStableAndPerJob(t *testing.T) {
+	a := Key{Experiment: "x", Benchmark: "antlr", Scale: 1}
+	b := Key{Experiment: "x", Benchmark: "bloat", Scale: 1}
+	if a.DerivedSeed() != a.DerivedSeed() {
+		t.Fatal("seed not stable across calls")
+	}
+	if a.DerivedSeed() == b.DerivedSeed() {
+		t.Fatal("distinct keys got the same seed")
+	}
+	if a.DerivedSeed() < 0 {
+		t.Fatal("seed must be non-negative")
+	}
+}
+
+func TestFingerprintDistinguishesFields(t *testing.T) {
+	keys := []Key{
+		{},
+		{Experiment: "a"},
+		{Benchmark: "a"},
+		{Scheme: "a"},
+		{Detail: "a"},
+		{Scale: 1},
+		{Seed: 1},
+		{Experiment: "a", Benchmark: "b"},
+		{Experiment: "a b", Benchmark: ""},
+	}
+	seen := map[string]Key{}
+	for _, k := range keys {
+		fp := k.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("keys %+v and %+v share fingerprint %q", prev, k, fp)
+		}
+		seen[fp] = k
+	}
+}
+
+func TestCacheHitsSkipRecomputation(t *testing.T) {
+	r := New(Options{Workers: 4})
+	var calls atomic.Int64
+	job := func(name string) Job[string] {
+		return Job[string]{
+			Key: Key{Experiment: "cache", Benchmark: name},
+			Fn: func(Ctx) (string, error) {
+				calls.Add(1)
+				return "result-" + name, nil
+			},
+		}
+	}
+	first, err := Map(r, []Job[string]{job("a"), job("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Map(r, []Job[string]{job("a"), job("b"), job("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("executed %d jobs, want 3 (a and b should be cached)", calls.Load())
+	}
+	if first[0] != second[0] || first[1] != second[1] || second[2] != "result-c" {
+		t.Fatalf("cached results differ: %v vs %v", first, second)
+	}
+	st := r.Stats()
+	if st.JobsRun != 3 || st.CacheHits != 2 {
+		t.Fatalf("stats = %+v, want 3 run / 2 hits", st)
+	}
+}
+
+func TestBatchDeduplication(t *testing.T) {
+	r := New(Options{Workers: 4, DisableCache: true})
+	var calls atomic.Int64
+	k := Key{Experiment: "dup"}
+	jobs := make([]Job[int], 5)
+	for i := range jobs {
+		jobs[i] = Job[int]{Key: k, Fn: func(Ctx) (int, error) {
+			calls.Add(1)
+			return 42, nil
+		}}
+	}
+	got, err := Map(r, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("executed %d times, want 1 (same fingerprint)", calls.Load())
+	}
+	for _, v := range got {
+		if v != 42 {
+			t.Fatalf("follower missed leader result: %v", got)
+		}
+	}
+	if st := r.Stats(); st.Deduped != 4 {
+		t.Fatalf("Deduped = %d, want 4", st.Deduped)
+	}
+}
+
+func TestDisableCacheRecomputes(t *testing.T) {
+	r := New(Options{Workers: 2, DisableCache: true})
+	var calls atomic.Int64
+	j := Job[int]{Key: Key{Experiment: "nocache"}, Fn: func(Ctx) (int, error) {
+		calls.Add(1)
+		return 0, nil
+	}}
+	for i := 0; i < 3; i++ {
+		if _, err := Map(r, []Job[int]{j}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("executed %d times, want 3 with caching off", calls.Load())
+	}
+}
+
+func TestPanicBecomesStructuredError(t *testing.T) {
+	r := New(Options{Workers: 4})
+	jobs := []Job[int]{
+		{Key: Key{Experiment: "ok"}, Fn: func(Ctx) (int, error) { return 1, nil }},
+		{Key: Key{Experiment: "boom"}, Fn: func(Ctx) (int, error) { panic("kaboom") }},
+		{Key: Key{Experiment: "ok2"}, Fn: func(Ctx) (int, error) { return 2, nil }},
+	}
+	_, err := Map(r, jobs)
+	if err == nil {
+		t.Fatal("want error from panicking job")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PanicError", err)
+	}
+	if pe.Key.Experiment != "boom" || pe.Value != "kaboom" {
+		t.Fatalf("panic error carries wrong job: %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error lost the stack")
+	}
+	if st := r.Stats(); st.Panics != 1 || st.Failures != 1 {
+		t.Fatalf("stats = %+v, want 1 panic / 1 failure", st)
+	}
+}
+
+func TestLowestIndexErrorWins(t *testing.T) {
+	r := New(Options{Workers: 8, DisableCache: true})
+	mk := func(i int) Job[int] {
+		return Job[int]{
+			Key: Key{Experiment: "err", Detail: fmt.Sprint(i)},
+			Fn: func(Ctx) (int, error) {
+				if i%2 == 1 {
+					return 0, fmt.Errorf("job-%d failed", i)
+				}
+				return i, nil
+			},
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		jobs := make([]Job[int], 16)
+		for i := range jobs {
+			jobs[i] = mk(i)
+		}
+		_, err := Map(r, jobs)
+		if err == nil || !strings.Contains(err.Error(), "job-1 failed") {
+			t.Fatalf("trial %d: error = %v, want the index-1 failure", trial, err)
+		}
+	}
+}
+
+func TestNestedMapDoesNotDeadlock(t *testing.T) {
+	r := New(Options{Workers: 2})
+	outer := make([]Job[int], 4)
+	for i := range outer {
+		i := i
+		outer[i] = Job[int]{
+			Key: Key{Experiment: "outer", Detail: fmt.Sprint(i)},
+			Fn: func(Ctx) (int, error) {
+				inner := make([]Job[int], 4)
+				for j := range inner {
+					j := j
+					inner[j] = Job[int]{
+						Key: Key{Experiment: "inner", Detail: fmt.Sprintf("%d-%d", i, j)},
+						Fn:  func(Ctx) (int, error) { return i*10 + j, nil },
+					}
+				}
+				got, err := Map(r, inner)
+				if err != nil {
+					return 0, err
+				}
+				sum := 0
+				for _, v := range got {
+					sum += v
+				}
+				return sum, nil
+			},
+		}
+	}
+	done := make(chan struct{})
+	var got []int
+	var err error
+	go func() {
+		got, err = Map(r, outer)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested Map deadlocked")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		want := i*40 + 6
+		if v != want {
+			t.Fatalf("outer[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestCacheTypeMismatchFallsThrough(t *testing.T) {
+	// Two result types behind one fingerprint: the second Map must not
+	// return the first type's cached value, it must recompute.
+	r := New(Options{Workers: 1})
+	k := Key{Experiment: "typed"}
+	if _, err := Map(r, []Job[int]{{Key: k, Fn: func(Ctx) (int, error) { return 7, nil }}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Map(r, []Job[string]{{Key: k, Fn: func(Ctx) (string, error) { return "seven", nil }}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "seven" {
+		t.Fatalf("got %q, want recomputed string result", got[0])
+	}
+}
+
+func TestOne(t *testing.T) {
+	r := New(Options{Workers: 1})
+	v, err := One(r, Job[int]{Key: Key{Experiment: "one"}, Fn: func(ctx Ctx) (int, error) {
+		if ctx.Seed != ctx.Key.DerivedSeed() {
+			return 0, errors.New("ctx seed mismatch")
+		}
+		return 9, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 9 {
+		t.Fatalf("One = %d, want 9", v)
+	}
+}
+
+func TestSummaryMentionsTotals(t *testing.T) {
+	r := New(Options{Workers: 1})
+	_, err := Map(r, []Job[int]{
+		{Key: Key{Experiment: "exp-a", Scheme: "scheme-x"}, Fn: func(Ctx) (int, error) { return 0, nil }},
+		{Key: Key{Experiment: "exp-b"}, Fn: func(Ctx) (int, error) { return 0, nil }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats().Summary()
+	for _, want := range []string{"2 jobs run", "scheme-x: 1", "exp-b: 1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
