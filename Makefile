@@ -1,13 +1,14 @@
 # Build, test, and verification targets for the reproduction.
 #
-# `make ci` is the full gate: vet, build, the race-enabled test suite
-# (including the runner's differential tests under -cpu=1,4), and a short
-# fuzz smoke over the trace codec. It needs nothing beyond the Go toolchain.
+# `make ci` is the full gate: formatting, vet, build, the race-enabled test
+# suite (including the runner's differential tests under -cpu=1,4), a short
+# fuzz smoke over the trace codec, and the observability overhead guard. It
+# needs nothing beyond the Go toolchain.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race runner-race fuzz-smoke bench golden ci
+.PHONY: all build vet fmt-check test race runner-race fuzz-smoke bench bench-guard golden ci
 
 all: build
 
@@ -16,6 +17,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Fails listing the offending files if anything is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -39,8 +45,16 @@ fuzz-smoke:
 bench:
 	$(GO) test -run='^$$' -bench=Fig5Sweep -cpu=4 ./internal/runner/
 
+# The observability overhead contract: with the recorder disabled, the
+# simulator's execution loop must not allocate at all. The tests assert 0
+# allocs/op; the benchmark run prints the numbers for the log.
+bench-guard:
+	$(GO) test -run='TestDisabledRecorderZeroAlloc|TestRecorderDisabledZeroAlloc' -count=1 \
+		./internal/obs/ ./internal/sim/
+	$(GO) test -run='^$$' -bench=BenchmarkRunCallsRecorder -benchtime=100x ./internal/sim/
+
 # Regenerate the experiment golden files after an intentional output change.
 golden:
 	$(GO) test ./internal/experiments -run TestGolden -update
 
-ci: vet build race runner-race fuzz-smoke
+ci: fmt-check vet build race runner-race fuzz-smoke bench-guard

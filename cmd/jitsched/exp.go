@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runner"
 )
@@ -21,8 +22,20 @@ func cmdExp(args []string) error {
 	md := fs.Bool("md", false, "render tables as GitHub-flavoured markdown")
 	par := fs.Int("par", 0, "experiment-runner worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	stats := fs.Bool("stats", false, "print runner job/cache statistics to stderr after the run")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run lasts")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	if *par < 0 {
+		return fmt.Errorf("exp: -par must be non-negative (0 = GOMAXPROCS), got %d", *par)
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr)
+		if err != nil {
+			return fmt.Errorf("exp: -obs-addr: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving metrics on http://%s/metrics\n", srv.Addr())
 	}
 	eng := runner.New(runner.Options{Workers: *par})
 	opts := experiments.Options{Scale: *scale, Runner: eng}
@@ -33,7 +46,10 @@ func cmdExp(args []string) error {
 		defer report.SetStyle(report.SetStyle(report.Markdown))
 	}
 	if *stats {
-		defer func() { fmt.Fprintln(os.Stderr, eng.Stats().Summary()) }()
+		defer func() {
+			fmt.Fprintln(os.Stderr, eng.Stats().Summary())
+			fmt.Fprintln(os.Stderr, eng.Snapshot())
+		}()
 	}
 
 	run := func(name string) error {

@@ -3,17 +3,24 @@
 //
 // Usage:
 //
-//	jitsched exp fig5|fig6|fig7|fig8|table1|table2|astar|all [-scale F] [-bench NAME] [-md] [-par N] [-stats]
+//	jitsched exp fig5|fig6|fig7|fig8|table1|table2|astar|all [-scale F] [-bench NAME] [-md] [-par N] [-stats] [-obs-addr HOST:PORT]
 //	jitsched exp priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt
 //	jitsched gen -bench NAME [-scale F] [-o FILE] [-format binary|text]
 //	jitsched stats -i FILE
 //	jitsched schedule -bench NAME [-scale F] [-algo iar|base|opt] [-model default|oracle]
-//	jitsched simulate -bench NAME [-scale F] [-algo ...] [-workers N]
+//	jitsched simulate -bench NAME [-scale F] [-algo ...] [-workers N] [-timeline] [-trace-out FILE]
 //
 // Experiments fan their independent simulations out over an internal/runner
 // worker pool (-par bounds it; -par 1 forces the serial path). All
 // experiments are deterministic regardless of the pool size: same flags,
-// same numbers. -stats summarizes jobs run, cache hits, and wall time.
+// same numbers. -stats summarizes jobs run, cache hits, and wall time;
+// -obs-addr additionally serves the live counters (plus expvar and pprof)
+// over HTTP for the duration of the run.
+//
+// simulate can replay its recorded schedule as an ASCII timeline on stdout
+// (-timeline) or as Chrome trace_event JSON (-trace-out FILE, loadable in
+// chrome://tracing or ui.perfetto.dev). Recording is off unless requested
+// and does not change any reported number.
 package main
 
 import (
@@ -63,6 +70,7 @@ commands:
   stats      summarize a trace file
   schedule   print a compilation schedule for a workload
   simulate   simulate a schedule/policy and report the make-span
+             (-timeline for an ASCII schedule, -trace-out for Chrome tracing)
 
 run 'jitsched <command> -h' for flags.
 `)

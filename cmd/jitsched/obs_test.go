@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCmdSimulateTimeline checks that -timeline renders the lane chart after
+// the usual summary.
+func TestCmdSimulateTimeline(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdSimulate([]string{"-bench", "fop", "-scale", "0.02", "-timeline"})
+	})
+	for _, want := range []string{"make-span:", "compile[0]", "execute", "legend: digits = optimization level"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCmdSimulateTraceOut validates the -trace-out file against the Chrome
+// trace_event schema: a traceEvents array of complete ("X") and metadata
+// ("M") events with integral microsecond timestamps.
+func TestCmdSimulateTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	out := captureStdout(t, func() error {
+		return cmdSimulate([]string{"-bench", "fop", "-scale", "0.02", "-algo", "jikes", "-trace-out", path})
+	})
+	if !strings.Contains(out, "wrote "+path) {
+		t.Errorf("simulate did not report the trace file:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *int64         `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", file.DisplayTimeUnit)
+	}
+	var complete, meta int
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Ts == nil || *ev.Ts < 0 || ev.Dur < 0 || ev.Pid != 1 {
+				t.Fatalf("malformed complete event %+v", ev)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if complete == 0 || meta == 0 {
+		t.Errorf("trace has %d complete and %d metadata events, want both > 0", complete, meta)
+	}
+}
+
+// TestCmdExpRejectsNegativePar pins the -par validation.
+func TestCmdExpRejectsNegativePar(t *testing.T) {
+	err := cmdExp([]string{"fig5", "-bench", "luindex", "-scale", "0.4", "-par", "-2"})
+	if err == nil || !strings.Contains(err.Error(), "-par") {
+		t.Errorf("negative -par not rejected: %v", err)
+	}
+}
+
+// TestCmdExpObsAddr runs an experiment with the metrics endpoint enabled on
+// an ephemeral port; the server must come up and shut down with the run.
+func TestCmdExpObsAddr(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdExp([]string{"fig5", "-bench", "luindex", "-scale", "0.4",
+			"-obs-addr", "127.0.0.1:0", "-stats"})
+	})
+	if !strings.Contains(out, "luindex") {
+		t.Errorf("experiment output missing benchmark:\n%s", out)
+	}
+	if err := cmdExp([]string{"fig5", "-bench", "luindex", "-scale", "0.4",
+		"-obs-addr", "256.0.0.1:bad"}); err == nil {
+		t.Error("unusable -obs-addr not rejected")
+	}
+}

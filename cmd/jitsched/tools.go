@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dacapo"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/profile"
 	"repro/internal/report"
@@ -253,6 +254,8 @@ func cmdSimulate(args []string) error {
 	advice := fs.String("advice", "", "replay a schedule from an advice file instead of -algo")
 	tracePath := fs.String("trace", "", "custom input: trace file (with -profile)")
 	profilePath := fs.String("profile", "", "custom input: profile file (with -trace)")
+	timeline := fs.Bool("timeline", false, "print an ASCII timeline of the run (compile lanes + execution)")
+	traceOut := fs.String("trace-out", "", "write the run as Chrome trace_event JSON (load in chrome://tracing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -261,6 +264,44 @@ func cmdSimulate(args []string) error {
 		return err
 	}
 	cfg := sim.Config{CompileWorkers: *workers}
+
+	// Both exporters replay the same recorded event stream; recording is off
+	// unless one of them asked for it.
+	opts := sim.Options{}
+	var rec *obs.Recorder
+	if *timeline || *traceOut != "" {
+		rec = obs.NewRecorder()
+		opts.Recorder = rec
+	}
+	funcName := func(f int32) string { return w.Profile.Funcs[f].Name }
+	emitObs := func(res *sim.Result) error {
+		obs.Default().SimRun(res.MakeSpan)
+		if rec == nil {
+			return nil
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			err = obs.WriteChromeTrace(f, rec.Events(), obs.ChromeOptions{
+				FuncName: funcName, Process: "jitsched " + w.Bench.Name,
+			})
+			if err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s: %d events (open in chrome://tracing or ui.perfetto.dev)\n",
+				*traceOut, rec.Len())
+		}
+		if *timeline {
+			return obs.WriteTimeline(os.Stdout, rec.Events(), obs.TimelineOptions{FuncName: funcName})
+		}
+		return nil
+	}
 
 	if *advice != "" {
 		f, err := os.Open(*advice)
@@ -272,13 +313,13 @@ func cmdSimulate(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := sim.Run(w.Trace, w.Profile, sched, cfg, sim.Options{})
+		res, err := sim.Run(w.Trace, w.Profile, sched, cfg, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("replayed advice %q (%d events)\nmake-span: %d ticks (bubbles %d)\n",
 			label, len(sched), res.MakeSpan, res.TotalBubble)
-		return nil
+		return emitObs(res)
 	}
 
 	var res *sim.Result
@@ -294,7 +335,7 @@ func cmdSimulate(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err = sim.RunPolicy(w.Trace, w.Profile, pol, cfg, sim.Options{})
+		res, err = sim.RunPolicy(w.Trace, w.Profile, pol, cfg, opts)
 		if err != nil {
 			return err
 		}
@@ -307,7 +348,7 @@ func cmdSimulate(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err = sim.RunPolicy(w.Trace, p2, pol, cfg, sim.Options{})
+		res, err = sim.RunPolicy(w.Trace, p2, pol, cfg, opts)
 		if err != nil {
 			return err
 		}
@@ -318,7 +359,7 @@ func cmdSimulate(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err = sim.Run(w.Trace, w.Profile, sched, cfg, sim.Options{})
+		res, err = sim.Run(w.Trace, w.Profile, sched, cfg, opts)
 		if err != nil {
 			return err
 		}
@@ -329,5 +370,5 @@ func cmdSimulate(args []string) error {
 	fmt.Printf("make-span: %d ticks\nexecution: %d ticks\nbubbles:   %d ticks over %d stalls\ncompiles:  %d events, busy %d ticks, done at %d\n",
 		res.MakeSpan, res.TotalExec, res.TotalBubble, res.BubbleCount,
 		len(res.Compiles), res.CompileBusy, res.CompileEnd)
-	return nil
+	return emitObs(res)
 }

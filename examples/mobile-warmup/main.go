@@ -33,12 +33,18 @@ const (
 func main() {
 	// An app-launch trace: heavy warmup (class loading, view inflation),
 	// then phases standing in for user interactions.
-	tr := trace.MustGenerate(trace.GenConfig{
+	tr, err := trace.Generate(trace.GenConfig{
 		Name: "app-launch", NumFuncs: numFuncs, Length: launchCalls, Seed: 42,
 		ZipfS: 1.6, Phases: interactions, CoreFuncs: 80, CoreShare: 0.6,
 		BurstMean: 4, WarmupFrac: 0.25, WarmupCoverage: 0.9,
 	})
-	p := profile.MustSynthesize(numFuncs, profile.DefaultTiming(4, 43))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := profile.Synthesize(numFuncs, profile.DefaultTiming(4, 43))
+	if err != nil {
+		log.Fatal(err)
+	}
 	model := profile.NewEstimated(p, profile.DefaultEstimatedConfig(44))
 	cfg := sim.DefaultConfig()
 

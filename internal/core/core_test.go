@@ -6,17 +6,18 @@ import (
 
 	"repro/internal/profile"
 	"repro/internal/sim"
+	"repro/internal/testkit"
 	"repro/internal/trace"
 )
 
 func testWorkload(seed int64) (*trace.Trace, *profile.Profile) {
 	// A realistic regime: many functions, most of them cold, a hot core —
 	// the shape of the paper's DaCapo traces (Table 1).
-	tr := trace.MustGenerate(trace.GenConfig{
+	tr := testkit.Gen(trace.GenConfig{
 		Name: "wl", NumFuncs: 400, Length: 100000, Seed: seed,
 		ZipfS: 1.5, Phases: 4, CoreFuncs: 40, CoreShare: 0.45, BurstMean: 3,
 	})
-	p := profile.MustSynthesize(400, profile.DefaultTiming(4, seed+1))
+	p := testkit.Synth(400, profile.DefaultTiming(4, seed+1))
 	return tr, p
 }
 
@@ -272,7 +273,7 @@ func TestIARKInsensitive(t *testing.T) {
 }
 
 func TestIAREdgeCases(t *testing.T) {
-	p := profile.MustSynthesize(4, profile.DefaultTiming(4, 2))
+	p := testkit.Synth(4, profile.DefaultTiming(4, 2))
 
 	s, err := IAR(trace.New("empty", nil), p, IAROptions{})
 	if err != nil {

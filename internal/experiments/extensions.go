@@ -116,7 +116,10 @@ func SaturationStudy() ([]PriorityRow, error) {
 		jobs[i] = runner.Job[PriorityRow]{
 			Key: runner.Key{Experiment: "saturation", Detail: fmt.Sprintf("organizer=%d", organizer)},
 			Fn: func(_ runner.Ctx) (PriorityRow, error) {
-				tr, p := saturationWorkload()
+				tr, p, err := saturationWorkload()
+				if err != nil {
+					return PriorityRow{}, err
+				}
 				model := profile.NewOracle(p)
 				lb := float64(core.ModelLowerBound(tr, p, model))
 				row := PriorityRow{Benchmark: fmt.Sprintf("flat-hot/organizer=%dk", organizer/1000)}
@@ -153,7 +156,7 @@ func SaturationStudy() ([]PriorityRow, error) {
 // arrive as one burst — plus a steady drip of new cold functions whose
 // first compilations land behind that burst. All compilation costs are
 // scaled 8x (a slow-to-compile configuration).
-func saturationWorkload() (*trace.Trace, *profile.Profile) {
+func saturationWorkload() (*trace.Trace, *profile.Profile, error) {
 	const hot, cold, calls, intro = 24, 4000, 100000, 25
 	seq := make([]trace.FuncID, 0, calls)
 	nextCold := trace.FuncID(hot)
@@ -168,7 +171,10 @@ func saturationWorkload() (*trace.Trace, *profile.Profile) {
 			seq = append(seq, trace.FuncID(i%hot))
 		}
 	}
-	p := profile.MustSynthesize(hot+cold, profile.DefaultTiming(4, 77))
+	p, err := profile.Synthesize(hot+cold, profile.DefaultTiming(4, 77))
+	if err != nil {
+		return nil, nil, err
+	}
 	for i := range p.Funcs {
 		for l := range p.Funcs[i].Compile {
 			p.Funcs[i].Compile[l] *= 8
@@ -181,7 +187,7 @@ func saturationWorkload() (*trace.Trace, *profile.Profile) {
 		copy(p.Funcs[i].Compile, proto.Compile)
 		copy(p.Funcs[i].Exec, proto.Exec)
 	}
-	return trace.New("flat-hot", seq), p
+	return trace.New("flat-hot", seq), p, nil
 }
 
 // RenderPriority writes a queue-discipline study (PriorityStudy or

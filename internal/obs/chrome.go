@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeOptions configures WriteChromeTrace.
+type ChromeOptions struct {
+	// FuncName maps a function id to a display name; nil falls back to
+	// "f<id>".
+	FuncName func(f int32) string
+	// Process labels the run in the trace viewer (default "jitsched").
+	Process string
+}
+
+// chromeEvent is one trace_event record. The field set follows the Chrome
+// Trace Event Format's "complete event" (ph "X"): a name, timestamp and
+// duration in microseconds, and a pid/tid pair selecting the lane. One
+// simulator tick is exported as one microsecond.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeMeta is a metadata record ("M" phase) naming a process or thread.
+type chromeMeta struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+// chromeFile is the JSON object form of a trace file, loadable by
+// chrome://tracing and by Perfetto.
+type chromeFile struct {
+	TraceEvents     []any  `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// Execution-side lanes share the compile workers' pid but use tids above any
+// worker index, so the viewer shows one process with one row per lane.
+const (
+	chromePID    = 1
+	execTID      = 0 // execution lane
+	workerTIDOff = 1 // compile worker w renders as tid w+1
+)
+
+// WriteChromeTrace renders recorded events as a Chrome trace_event JSON file.
+// Compile spans land on one thread lane per worker, calls and stalls on the
+// execution lane, so the viewer reproduces the paper's Fig. 1/2 Gantt view.
+func WriteChromeTrace(w io.Writer, events []Event, opts ChromeOptions) error {
+	spans, err := Spans(events)
+	if err != nil {
+		return err
+	}
+	name := opts.FuncName
+	if name == nil {
+		name = func(f int32) string { return fmt.Sprintf("f%d", f) }
+	}
+	process := opts.Process
+	if process == "" {
+		process = "jitsched"
+	}
+
+	_, workers := spanExtent(spans)
+	out := make([]any, 0, len(spans)+workers+2)
+	out = append(out, chromeMeta{Name: "process_name", Phase: "M", PID: chromePID,
+		Args: map[string]any{"name": process}})
+	out = append(out, chromeMeta{Name: "thread_name", Phase: "M", PID: chromePID, TID: execTID,
+		Args: map[string]any{"name": "execute"}})
+	for wk := 0; wk < workers; wk++ {
+		out = append(out, chromeMeta{Name: "thread_name", Phase: "M", PID: chromePID, TID: wk + workerTIDOff,
+			Args: map[string]any{"name": fmt.Sprintf("compile[%d]", wk)}})
+	}
+	for _, s := range spans {
+		ev := chromeEvent{Phase: "X", TS: s.Start, Dur: s.End - s.Start, PID: chromePID}
+		switch s.Kind {
+		case SpanCompile:
+			ev.Name = fmt.Sprintf("C%d(%s)", s.Level, name(s.Func))
+			ev.Cat = "compile"
+			ev.TID = int(s.Worker) + workerTIDOff
+			ev.Args = map[string]any{"func": s.Func, "level": s.Level, "event": s.Seq}
+		case SpanExec:
+			ev.Name = name(s.Func)
+			ev.Cat = "exec"
+			ev.TID = execTID
+			ev.Args = map[string]any{"func": s.Func, "level": s.Level, "call": s.Seq}
+		case SpanStall:
+			ev.Name = fmt.Sprintf("stall(%s)", name(s.Func))
+			ev.Cat = "stall"
+			ev.TID = execTID
+			ev.Args = map[string]any{"func": s.Func, "call": s.Seq}
+		}
+		out = append(out, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

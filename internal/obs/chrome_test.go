@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChromeTraceSchema validates the exporter against the trace_event
+// format: a top-level traceEvents array whose entries each carry a name, a
+// known phase, integer ts/pid/tid, and (for complete events) a non-negative
+// dur — the invariants chrome://tracing and Perfetto rely on to load a file.
+func TestChromeTraceSchema(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteChromeTrace(&buf, twoWorkerRun(), ChromeOptions{
+		FuncName: func(f int32) string { return []string{"alpha", "beta"}[f] },
+		Process:  "test-run",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("exporter produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if file.DisplayUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", file.DisplayUnit)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+
+	var complete, meta int
+	for i, ev := range file.TraceEvents {
+		name, _ := ev["name"].(string)
+		if name == "" {
+			t.Errorf("event %d has no name: %v", i, ev)
+		}
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			complete++
+			for _, field := range []string{"ts", "dur", "pid", "tid"} {
+				v, ok := ev[field].(float64)
+				if !ok {
+					t.Errorf("event %d missing numeric %q: %v", i, field, ev)
+					continue
+				}
+				if v != float64(int64(v)) {
+					t.Errorf("event %d field %q = %v is not integral", i, field, v)
+				}
+				if field == "dur" && v < 0 {
+					t.Errorf("event %d has negative dur %v", i, v)
+				}
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("event %d has unknown phase %q", i, ph)
+		}
+	}
+	if complete != 6 {
+		t.Errorf("got %d complete events, want 6 (2 compiles + 2 calls + 2 stalls)", complete)
+	}
+	// Process + execute lane + two worker lanes.
+	if meta != 4 {
+		t.Errorf("got %d metadata events, want 4", meta)
+	}
+
+	out := buf.String()
+	for _, want := range []string{"C0(alpha)", "C2(beta)", "stall(alpha)", "test-run", "compile[1]", `"execute"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q", want)
+		}
+	}
+}
+
+func TestChromeTraceDefaultsAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, ChromeOptions{}); err != nil {
+		t.Fatalf("empty event stream: %v", err)
+	}
+	var file map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("empty trace invalid JSON: %v", err)
+	}
+
+	buf.Reset()
+	r := NewRecorder()
+	r.ExecStart(3, 0, 0, 0)
+	r.ExecEnd(9, 0, 0, 0)
+	if err := WriteChromeTrace(&buf, r.Events(), ChromeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "f0") {
+		t.Errorf("default FuncName not applied:\n%s", buf.String())
+	}
+
+	bad := []Event{{Kind: KindCompileEnd, Worker: 0}}
+	if err := WriteChromeTrace(&buf, bad, ChromeOptions{}); err == nil {
+		t.Error("inconsistent stream accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	Default().SimRun(42)
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts.URL, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics is not a snapshot: %v\n%s", err, body)
+	}
+	if snap.SimRuns < 1 {
+		t.Errorf("/metrics lost the recorded sim run: %+v", snap)
+	}
+
+	code, body = get(t, ts.URL, "/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, `"obs"`) {
+		t.Errorf("/debug/vars status %d, obs key present: %v", code, strings.Contains(body, `"obs"`))
+	}
+
+	code, body = get(t, ts.URL, "/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, _ = get(t, ts.URL, "/debug/pprof/")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if !strings.Contains(addr, ":") {
+		t.Fatalf("bad bound address %q", addr)
+	}
+	code, _ := get(t, "http://"+addr, "/healthz")
+	if code != http.StatusOK {
+		t.Errorf("/healthz over Serve = %d", code)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The port should stop answering shortly after Close.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := http.Get("http://" + addr + "/healthz"); err != nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Error("server still answering after Close")
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:99999"); err == nil {
+		t.Error("Serve accepted a nonsense address")
+	}
+}

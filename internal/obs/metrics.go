@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is a set of process-wide counters the runner (and any other
+// subsystem) reports into. All methods are nil-safe and lock-free, so a
+// disabled metrics sink costs one predictable branch.
+type Metrics struct {
+	jobsStarted   atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsPanicked  atomic.Int64
+	cacheHits     atomic.Int64
+	deduped       atomic.Int64
+	queueWaitNS   atomic.Int64
+	jobWallNS     atomic.Int64
+	maxJobWallNS  atomic.Int64
+	simRuns       atomic.Int64
+	simTicks      atomic.Int64
+}
+
+var (
+	defaultMetrics Metrics
+	publishOnce    sync.Once
+)
+
+// Default returns the process-wide Metrics instance — the one the shared
+// runner reports into and Serve exposes.
+func Default() *Metrics { return &defaultMetrics }
+
+// JobStarted records that a job left the queue after waiting queueWait.
+func (m *Metrics) JobStarted(queueWait time.Duration) {
+	if m == nil {
+		return
+	}
+	m.jobsStarted.Add(1)
+	m.queueWaitNS.Add(int64(queueWait))
+}
+
+// JobCompleted records one finished job and its wall time.
+func (m *Metrics) JobCompleted(wall time.Duration, failed, panicked bool) {
+	if m == nil {
+		return
+	}
+	m.jobsCompleted.Add(1)
+	m.jobWallNS.Add(int64(wall))
+	for {
+		cur := m.maxJobWallNS.Load()
+		if int64(wall) <= cur || m.maxJobWallNS.CompareAndSwap(cur, int64(wall)) {
+			break
+		}
+	}
+	if failed {
+		m.jobsFailed.Add(1)
+	}
+	if panicked {
+		m.jobsPanicked.Add(1)
+	}
+}
+
+// CacheHit records jobs answered from the runner's result cache.
+func (m *Metrics) CacheHit(n int64) {
+	if m == nil {
+		return
+	}
+	m.cacheHits.Add(n)
+}
+
+// Deduped records jobs that shared a batch-mate's in-flight computation.
+func (m *Metrics) Deduped(n int64) {
+	if m == nil {
+		return
+	}
+	m.deduped.Add(n)
+}
+
+// SimRun records one completed simulation of ticks simulated make-span.
+func (m *Metrics) SimRun(ticks int64) {
+	if m == nil {
+		return
+	}
+	m.simRuns.Add(1)
+	m.simTicks.Add(ticks)
+}
+
+// Snapshot is a point-in-time copy of the counters, safe to marshal.
+type Snapshot struct {
+	JobsStarted   int64 `json:"jobs_started"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsPanicked  int64 `json:"jobs_panicked"`
+	CacheHits     int64 `json:"cache_hits"`
+	Deduped       int64 `json:"deduped"`
+	// QueueWait is the summed time jobs spent waiting for a worker;
+	// JobWall the summed job wall time; MaxJobWall the slowest single job.
+	QueueWait  time.Duration `json:"queue_wait_ns"`
+	JobWall    time.Duration `json:"job_wall_ns"`
+	MaxJobWall time.Duration `json:"max_job_wall_ns"`
+	// SimRuns counts completed simulations; SimTicks sums their make-spans.
+	SimRuns  int64 `json:"sim_runs"`
+	SimTicks int64 `json:"sim_ticks"`
+}
+
+// Snapshot returns a consistent-enough copy of the counters (each counter is
+// read atomically; the set is not a transaction).
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		JobsStarted:   m.jobsStarted.Load(),
+		JobsCompleted: m.jobsCompleted.Load(),
+		JobsFailed:    m.jobsFailed.Load(),
+		JobsPanicked:  m.jobsPanicked.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		Deduped:       m.deduped.Load(),
+		QueueWait:     time.Duration(m.queueWaitNS.Load()),
+		JobWall:       time.Duration(m.jobWallNS.Load()),
+		MaxJobWall:    time.Duration(m.maxJobWallNS.Load()),
+		SimRuns:       m.simRuns.Load(),
+		SimTicks:      m.simTicks.Load(),
+	}
+}
+
+// String renders the snapshot as one log-friendly line.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"obs: %d jobs started, %d completed (%d failed, %d panicked), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks)",
+		s.JobsStarted, s.JobsCompleted, s.JobsFailed, s.JobsPanicked,
+		s.CacheHits, s.Deduped,
+		s.QueueWait.Round(time.Microsecond), s.JobWall.Round(time.Microsecond),
+		s.MaxJobWall.Round(time.Microsecond), s.SimRuns, s.SimTicks)
+}

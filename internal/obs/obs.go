@@ -1,0 +1,170 @@
+// Package obs is the observability layer of the reproduction: typed span
+// events recorded by the simulator, exporters that render a recorded run as
+// a Chrome trace_event file or an ASCII timeline, and process-wide metrics
+// with an optional expvar/pprof HTTP endpoint.
+//
+// The package sits below internal/sim and internal/runner in the dependency
+// order (it imports nothing from the repository), so every subsystem can
+// report through it without cycles. Function and level identifiers are plain
+// integers here; callers that know the workload attach names at export time
+// via the exporters' name callbacks.
+//
+// # Overhead contract
+//
+// Recording is opt-in per simulation and must never tax runs that do not ask
+// for it. A nil *Recorder is the disabled recorder: every Emit method is
+// nil-safe, takes only scalar arguments, and performs zero heap allocations
+// when disabled. TestDisabledRecorderZeroAlloc and the sim package's
+// recorder-off benchmark hold the layer to that contract, and the Makefile's
+// bench-guard target runs both in CI.
+package obs
+
+import "fmt"
+
+// Kind discriminates the event types a simulated run produces.
+type Kind uint8
+
+const (
+	// KindCompileStart and KindCompileEnd bracket one compilation event
+	// occupying one compile worker.
+	KindCompileStart Kind = iota
+	KindCompileEnd
+	// KindExecStart and KindExecEnd bracket one call on the execution
+	// worker.
+	KindExecStart
+	KindExecEnd
+	// KindStall is a span during which the execution worker sat waiting for
+	// a compilation to finish (a "bubble" in the paper's terms). Its
+	// duration is carried in Event.Dur.
+	KindStall
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCompileStart:
+		return "compile-start"
+	case KindCompileEnd:
+		return "compile-end"
+	case KindExecStart:
+		return "exec-start"
+	case KindExecEnd:
+		return "exec-end"
+	case KindStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded simulator event. All fields are scalars so that
+// emitting an event never allocates.
+type Event struct {
+	// Kind is the event type.
+	Kind Kind
+	// Time is the simulated tick the event happened at.
+	Time int64
+	// Dur is the span length for KindStall events and zero otherwise
+	// (start/end pairs carry their extent in their two timestamps).
+	Dur int64
+	// Func is the function the event concerns.
+	Func int32
+	// Level is the compilation level involved, or -1 when not applicable
+	// (stalls wait for whatever level arrives first).
+	Level int32
+	// Worker is the compile-worker lane for compile events and -1 for
+	// execution-side events.
+	Worker int32
+	// Seq is the schedule-event index for compile events and the call index
+	// for execution-side events.
+	Seq int32
+}
+
+// Recorder accumulates events of one simulated run in emission order. The
+// zero value is ready to use; a nil Recorder is the disabled recorder and
+// drops everything without allocating.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an enabled recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Enabled reports whether events are being kept.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Record appends one event (no-op on the disabled recorder).
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// CompileStart records that worker started compiling f at level l as
+// schedule event seq.
+func (r *Recorder) CompileStart(t int64, f, l, worker, seq int32) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{Kind: KindCompileStart, Time: t, Func: f, Level: l, Worker: worker, Seq: seq})
+}
+
+// CompileEnd records that worker finished compiling f at level l.
+func (r *Recorder) CompileEnd(t int64, f, l, worker, seq int32) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{Kind: KindCompileEnd, Time: t, Func: f, Level: l, Worker: worker, Seq: seq})
+}
+
+// ExecStart records that call number seq to f began at level l.
+func (r *Recorder) ExecStart(t int64, f, l, seq int32) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{Kind: KindExecStart, Time: t, Func: f, Level: l, Worker: -1, Seq: seq})
+}
+
+// ExecEnd records that call number seq to f finished.
+func (r *Recorder) ExecEnd(t int64, f, l, seq int32) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{Kind: KindExecEnd, Time: t, Func: f, Level: l, Worker: -1, Seq: seq})
+}
+
+// Stall records that the execution worker waited dur ticks for a version of
+// f before call number seq could start.
+func (r *Recorder) Stall(t, dur int64, f, seq int32) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{Kind: KindStall, Time: t, Dur: dur, Func: f, Level: -1, Worker: -1, Seq: seq})
+}
+
+// Events returns the recorded events in emission order. The slice is owned
+// by the recorder; callers must not retain it across a Reset.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Len reports the number of recorded events (0 when disabled).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Reset drops all events but keeps the backing storage, so a recorder can be
+// reused across runs without reallocating.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.events = r.events[:0]
+}

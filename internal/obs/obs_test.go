@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestDisabledRecorderDropsEverything(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder reports enabled")
+	}
+	r.CompileStart(0, 1, 2, 0, 0)
+	r.CompileEnd(5, 1, 2, 0, 0)
+	r.ExecStart(5, 1, 2, 0)
+	r.ExecEnd(9, 1, 2, 0)
+	r.Stall(0, 5, 1, 0)
+	r.Record(Event{Kind: KindStall})
+	r.Reset()
+	if r.Len() != 0 || r.Events() != nil {
+		t.Errorf("nil recorder kept events: len=%d", r.Len())
+	}
+}
+
+// TestDisabledRecorderZeroAlloc is the overhead contract of the package doc:
+// the disabled recorder must not allocate. The Makefile bench-guard target
+// runs this in CI.
+func TestDisabledRecorderZeroAlloc(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.CompileStart(0, 1, 2, 0, 0)
+		r.CompileEnd(5, 1, 2, 0, 0)
+		r.Stall(5, 3, 1, 0)
+		r.ExecStart(8, 1, 2, 0)
+		r.ExecEnd(12, 1, 2, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recorder allocates %v times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkRecorderDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.ExecStart(int64(i), 1, 2, int32(i))
+		r.ExecEnd(int64(i)+4, 1, 2, int32(i))
+	}
+}
+
+func BenchmarkRecorderEnabled(b *testing.B) {
+	r := NewRecorder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r.Len() > 1<<16 {
+			r.Reset()
+		}
+		r.ExecStart(int64(i), 1, 2, int32(i))
+		r.ExecEnd(int64(i)+4, 1, 2, int32(i))
+	}
+}
+
+func TestRecorderRecordsInOrder(t *testing.T) {
+	r := NewRecorder()
+	r.CompileStart(0, 7, 2, 0, 0)
+	r.CompileEnd(10, 7, 2, 0, 0)
+	r.Stall(0, 10, 7, 0)
+	r.ExecStart(10, 7, 2, 0)
+	r.ExecEnd(14, 7, 2, 0)
+	if !r.Enabled() {
+		t.Fatal("recorder not enabled")
+	}
+	evs := r.Events()
+	if len(evs) != 5 || r.Len() != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	wantKinds := []Kind{KindCompileStart, KindCompileEnd, KindStall, KindExecStart, KindExecEnd}
+	for i, k := range wantKinds {
+		if evs[i].Kind != k {
+			t.Errorf("event %d kind = %v, want %v", i, evs[i].Kind, k)
+		}
+	}
+	if evs[2].Dur != 10 {
+		t.Errorf("stall dur = %d, want 10", evs[2].Dur)
+	}
+	if evs[3].Worker != -1 || evs[0].Worker != 0 {
+		t.Errorf("lane assignment wrong: exec worker %d, compile worker %d", evs[3].Worker, evs[0].Worker)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Errorf("reset left %d events", r.Len())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindCompileStart: "compile-start",
+		KindCompileEnd:   "compile-end",
+		KindExecStart:    "exec-start",
+		KindExecEnd:      "exec-end",
+		KindStall:        "stall",
+		Kind(99):         "Kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	for k, want := range map[SpanKind]string{
+		SpanCompile:  "compile",
+		SpanExec:     "exec",
+		SpanStall:    "stall",
+		SpanKind(99): "SpanKind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("SpanKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SpanKind classifies a paired span.
+type SpanKind uint8
+
+const (
+	// SpanCompile is one compilation occupying a compile-worker lane.
+	SpanCompile SpanKind = iota
+	// SpanExec is one call on the execution lane.
+	SpanExec
+	// SpanStall is an execution-lane wait for a compilation.
+	SpanStall
+)
+
+// String implements fmt.Stringer.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanCompile:
+		return "compile"
+	case SpanExec:
+		return "exec"
+	case SpanStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("SpanKind(%d)", uint8(k))
+	}
+}
+
+// Span is a start/end event pair (or a stall) resolved into one interval.
+type Span struct {
+	Kind       SpanKind
+	Start, End int64
+	Func       int32
+	Level      int32 // -1 for stalls
+	Worker     int32 // compile lane; -1 for execution-side spans
+	Seq        int32
+}
+
+// Spans pairs a recorded event stream into intervals: each compile-start
+// with the matching compile-end on the same worker, each exec-start with the
+// matching exec-end, and each stall as-is. The result is sorted by start
+// time (lane, then sequence, breaking ties). An unmatched start or end event
+// is a recording bug and yields an error.
+func Spans(events []Event) ([]Span, error) {
+	spans := make([]Span, 0, len(events)/2+1)
+	openCompile := make(map[int32]int) // worker -> index into spans
+	openExec := -1
+	for i, ev := range events {
+		switch ev.Kind {
+		case KindCompileStart:
+			if j, ok := openCompile[ev.Worker]; ok {
+				return nil, fmt.Errorf("obs: event %d: compile-start on worker %d while event at %d is still open", i, ev.Worker, spans[j].Start)
+			}
+			openCompile[ev.Worker] = len(spans)
+			spans = append(spans, Span{Kind: SpanCompile, Start: ev.Time, End: ev.Time,
+				Func: ev.Func, Level: ev.Level, Worker: ev.Worker, Seq: ev.Seq})
+		case KindCompileEnd:
+			j, ok := openCompile[ev.Worker]
+			if !ok {
+				return nil, fmt.Errorf("obs: event %d: compile-end on worker %d without a matching start", i, ev.Worker)
+			}
+			delete(openCompile, ev.Worker)
+			if ev.Time < spans[j].Start {
+				return nil, fmt.Errorf("obs: event %d: compile-end at %d before its start %d", i, ev.Time, spans[j].Start)
+			}
+			spans[j].End = ev.Time
+		case KindExecStart:
+			if openExec >= 0 {
+				return nil, fmt.Errorf("obs: event %d: exec-start while call %d is still open", i, spans[openExec].Seq)
+			}
+			openExec = len(spans)
+			spans = append(spans, Span{Kind: SpanExec, Start: ev.Time, End: ev.Time,
+				Func: ev.Func, Level: ev.Level, Worker: -1, Seq: ev.Seq})
+		case KindExecEnd:
+			if openExec < 0 {
+				return nil, fmt.Errorf("obs: event %d: exec-end without a matching start", i)
+			}
+			if ev.Time < spans[openExec].Start {
+				return nil, fmt.Errorf("obs: event %d: exec-end at %d before its start %d", i, ev.Time, spans[openExec].Start)
+			}
+			spans[openExec].End = ev.Time
+			openExec = -1
+		case KindStall:
+			if ev.Dur < 0 {
+				return nil, fmt.Errorf("obs: event %d: negative stall duration %d", i, ev.Dur)
+			}
+			spans = append(spans, Span{Kind: SpanStall, Start: ev.Time, End: ev.Time + ev.Dur,
+				Func: ev.Func, Level: -1, Worker: -1, Seq: ev.Seq})
+		default:
+			return nil, fmt.Errorf("obs: event %d: unknown kind %d", i, ev.Kind)
+		}
+	}
+	if len(openCompile) > 0 {
+		for w, j := range openCompile {
+			return nil, fmt.Errorf("obs: compile span on worker %d starting at %d never ended", w, spans[j].Start)
+		}
+	}
+	if openExec >= 0 {
+		return nil, fmt.Errorf("obs: exec span for call %d starting at %d never ended", spans[openExec].Seq, spans[openExec].Start)
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		if spans[i].Worker != spans[j].Worker {
+			return spans[i].Worker < spans[j].Worker
+		}
+		return spans[i].Seq < spans[j].Seq
+	})
+	return spans, nil
+}
+
+// spanExtent returns the overall [0, end] extent of the spans and the number
+// of compile-worker lanes.
+func spanExtent(spans []Span) (end int64, workers int) {
+	for _, s := range spans {
+		if s.End > end {
+			end = s.End
+		}
+		if s.Kind == SpanCompile && int(s.Worker)+1 > workers {
+			workers = int(s.Worker) + 1
+		}
+	}
+	return end, workers
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoWorkerRun is a small consistent event stream: two compile workers, two
+// calls, one stall.
+func twoWorkerRun() []Event {
+	r := NewRecorder()
+	r.CompileStart(0, 0, 0, 0, 0)
+	r.CompileEnd(10, 0, 0, 0, 0)
+	r.CompileStart(0, 1, 2, 1, 1)
+	r.CompileEnd(40, 1, 2, 1, 1)
+	r.Stall(0, 10, 0, 0)
+	r.ExecStart(10, 0, 0, 0)
+	r.ExecEnd(25, 0, 0, 0)
+	r.Stall(25, 15, 1, 1)
+	r.ExecStart(40, 1, 2, 1)
+	r.ExecEnd(55, 1, 2, 1)
+	return r.Events()
+}
+
+func TestSpansPairsLanes(t *testing.T) {
+	spans, err := Spans(twoWorkerRun())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 6 {
+		t.Fatalf("got %d spans, want 6", len(spans))
+	}
+	end, workers := spanExtent(spans)
+	if end != 55 || workers != 2 {
+		t.Errorf("extent = (%d, %d workers), want (55, 2)", end, workers)
+	}
+	var compiles, execs, stalls int
+	for _, s := range spans {
+		switch s.Kind {
+		case SpanCompile:
+			compiles++
+		case SpanExec:
+			execs++
+		case SpanStall:
+			stalls++
+			if s.Level != -1 {
+				t.Errorf("stall span carries level %d", s.Level)
+			}
+		}
+		if s.End < s.Start {
+			t.Errorf("span %+v ends before it starts", s)
+		}
+	}
+	if compiles != 2 || execs != 2 || stalls != 2 {
+		t.Errorf("span mix = %d/%d/%d compiles/execs/stalls, want 2/2/2", compiles, execs, stalls)
+	}
+	// Sorted by start time.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Errorf("spans unsorted at %d: %d after %d", i, spans[i].Start, spans[i-1].Start)
+		}
+	}
+}
+
+func TestSpansRejectsInconsistentStreams(t *testing.T) {
+	cases := []struct {
+		name string
+		evs  []Event
+		want string
+	}{
+		{"dangling compile start", []Event{{Kind: KindCompileStart, Time: 3, Worker: 0}}, "never ended"},
+		{"compile end without start", []Event{{Kind: KindCompileEnd, Time: 3, Worker: 1}}, "without a matching start"},
+		{"double compile start", []Event{
+			{Kind: KindCompileStart, Time: 0, Worker: 0},
+			{Kind: KindCompileStart, Time: 1, Worker: 0},
+		}, "still open"},
+		{"exec end without start", []Event{{Kind: KindExecEnd, Time: 3}}, "without a matching start"},
+		{"dangling exec start", []Event{{Kind: KindExecStart, Time: 3}}, "never ended"},
+		{"exec end before start", []Event{
+			{Kind: KindExecStart, Time: 5},
+			{Kind: KindExecEnd, Time: 2},
+		}, "before its start"},
+		{"compile end before start", []Event{
+			{Kind: KindCompileStart, Time: 5, Worker: 0},
+			{Kind: KindCompileEnd, Time: 2, Worker: 0},
+		}, "before its start"},
+		{"negative stall", []Event{{Kind: KindStall, Time: 3, Dur: -1}}, "negative stall"},
+		{"unknown kind", []Event{{Kind: Kind(42)}}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Spans(tc.evs)
+			if err == nil {
+				t.Fatalf("Spans accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSpansEmpty(t *testing.T) {
+	spans, err := Spans(nil)
+	if err != nil || len(spans) != 0 {
+		t.Fatalf("Spans(nil) = %v, %v; want empty, nil", spans, err)
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TimelineOptions configures WriteTimeline.
+type TimelineOptions struct {
+	// Width is the chart width in columns (default 100, minimum 20).
+	Width int
+	// FuncName maps a function id to a display name; nil falls back to
+	// "f<id>". Only used by the per-event listing of small runs.
+	FuncName func(f int32) string
+	// MaxListed bounds the per-event listing appended under the chart; runs
+	// with more spans than this render the chart only (default 24).
+	MaxListed int
+}
+
+// WriteTimeline renders recorded events as an ASCII Gantt chart in the style
+// of the paper's Figs. 1-2: one lane per compile worker and one execution
+// lane, time flowing left to right, levels drawn as digits, stalls as '_'.
+// Small runs additionally get a per-span listing with exact tick intervals,
+// so a schedule can be diffed against IAR or the lower bound by eye.
+func WriteTimeline(w io.Writer, events []Event, opts TimelineOptions) error {
+	spans, err := Spans(events)
+	if err != nil {
+		return err
+	}
+	width := opts.Width
+	if width == 0 {
+		width = 100
+	}
+	if width < 20 {
+		width = 20
+	}
+	name := opts.FuncName
+	if name == nil {
+		name = func(f int32) string { return fmt.Sprintf("f%d", f) }
+	}
+	maxListed := opts.MaxListed
+	if maxListed == 0 {
+		maxListed = 24
+	}
+
+	span, workers := spanExtent(spans)
+	if span == 0 {
+		_, err := fmt.Fprintln(w, "(empty run)")
+		return err
+	}
+	scale := func(t int64) int {
+		x := int(t * int64(width) / span)
+		if x >= width {
+			x = width - 1
+		}
+		return x
+	}
+	paint := func(lane []byte, from, to int64, glyph byte) {
+		a, b := scale(from), scale(to)
+		if b <= a {
+			b = a + 1
+		}
+		for x := a; x < b && x < len(lane); x++ {
+			lane[x] = glyph
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %d ticks, %d columns (~%d ticks each)\n", span, width, span/int64(width))
+	for wk := 0; wk < workers; wk++ {
+		lane := []byte(strings.Repeat(".", width))
+		for _, s := range spans {
+			if s.Kind == SpanCompile && int(s.Worker) == wk {
+				paint(lane, s.Start, s.End, byte('0'+int(s.Level)%10))
+			}
+		}
+		fmt.Fprintf(&b, "compile[%d] |%s|\n", wk, lane)
+	}
+	lane := []byte(strings.Repeat(".", width))
+	for _, s := range spans {
+		switch s.Kind {
+		case SpanStall:
+			paint(lane, s.Start, s.End, '_')
+		case SpanExec:
+			paint(lane, s.Start, s.End, byte('0'+int(s.Level)%10))
+		}
+	}
+	fmt.Fprintf(&b, "execute    |%s|\n", lane)
+	b.WriteString("legend: digits = optimization level, _ = execution stall, . = idle\n")
+
+	if len(spans) <= maxListed {
+		for _, s := range spans {
+			switch s.Kind {
+			case SpanCompile:
+				fmt.Fprintf(&b, "  compile[%d] C%d(%s) [%d,%d)\n",
+					s.Worker, s.Level, name(s.Func), s.Start, s.End)
+			case SpanExec:
+				fmt.Fprintf(&b, "  call #%d %s level %d [%d,%d)\n",
+					s.Seq, name(s.Func), s.Level, s.Start, s.End)
+			case SpanStall:
+				fmt.Fprintf(&b, "  stall for %s [%d,%d)\n", name(s.Func), s.Start, s.End)
+			}
+		}
+	}
+	_, err = io.WriteString(w, b.String())
+	return err
+}

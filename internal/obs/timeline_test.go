@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTimelineGolden locks the ASCII exporter's format. Regenerate with
+//
+//	go test ./internal/obs -run TestTimelineGolden -update
+func TestTimelineGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTimeline(&buf, twoWorkerRun(), TimelineOptions{
+		Width:    55,
+		FuncName: func(f int32) string { return []string{"hot", "cold"}[f] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "timeline.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("timeline drifted from golden.\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestTimelineEmptyAndWidths(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, nil, TimelineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "(empty run)\n" {
+		t.Errorf("empty run rendered %q", got)
+	}
+
+	// A degenerate width is clamped, not a crash.
+	buf.Reset()
+	if err := WriteTimeline(&buf, twoWorkerRun(), TimelineOptions{Width: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "execute    |") {
+		t.Errorf("narrow timeline missing execute lane:\n%s", buf.String())
+	}
+
+	// Large runs skip the per-span listing.
+	r := NewRecorder()
+	for i := int32(0); i < 40; i++ {
+		r.ExecStart(int64(i)*10, 0, 0, i)
+		r.ExecEnd(int64(i)*10+5, 0, 0, i)
+	}
+	buf.Reset()
+	if err := WriteTimeline(&buf, r.Events(), TimelineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "call #") {
+		t.Errorf("large run still lists individual spans:\n%s", buf.String())
+	}
+
+	if err := WriteTimeline(&buf, []Event{{Kind: KindExecEnd}}, TimelineOptions{}); err == nil {
+		t.Error("inconsistent stream accepted")
+	}
+}

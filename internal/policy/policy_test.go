@@ -6,21 +6,22 @@ import (
 	"repro/internal/core"
 	"repro/internal/profile"
 	"repro/internal/sim"
+	"repro/internal/testkit"
 	"repro/internal/trace"
 )
 
 func workload(seed int64) (*trace.Trace, *profile.Profile) {
-	tr := trace.MustGenerate(trace.GenConfig{
+	tr := testkit.Gen(trace.GenConfig{
 		Name: "wl", NumFuncs: 300, Length: 60000, Seed: seed,
 		ZipfS: 1.5, Phases: 3, CoreFuncs: 30, CoreShare: 0.5, BurstMean: 3,
 		WarmupFrac: 0.1, WarmupCoverage: 0.7,
 	})
-	p := profile.MustSynthesize(300, profile.DefaultTiming(4, seed+1))
+	p := testkit.Synth(300, profile.DefaultTiming(4, seed+1))
 	return tr, p
 }
 
 func TestNewJikesValidation(t *testing.T) {
-	p := profile.MustSynthesize(3, profile.DefaultTiming(4, 1))
+	p := testkit.Synth(3, profile.DefaultTiming(4, 1))
 	o := profile.NewOracle(p)
 	if _, err := NewJikes(nil, 3, 100); err == nil {
 		t.Error("want error for nil model")

@@ -3,6 +3,7 @@ package predict
 import (
 	"testing"
 
+	"repro/internal/testkit"
 	"repro/internal/trace"
 )
 
@@ -103,13 +104,13 @@ func TestPredictOnGeneratedRuns(t *testing.T) {
 		WarmupFrac: 0.1, WarmupCoverage: 0.8,
 	}
 	actualCfg := cfg
-	actual := trace.MustGenerate(actualCfg)
+	actual := testkit.Gen(actualCfg)
 
 	r := NewRepository()
 	for i := 1; i <= 4; i++ {
 		c := cfg
 		c.DrawSeed = int64(1000 + i)
-		r.Add(trace.MustGenerate(c))
+		r.Add(testkit.Gen(c))
 	}
 	pred, err := r.Predict()
 	if err != nil {
@@ -129,7 +130,7 @@ func TestPredictOnGeneratedRuns(t *testing.T) {
 	// An unrelated program predicts badly in comparison.
 	other := cfg
 	other.Seed = 4242
-	unrelated := trace.MustGenerate(other)
+	unrelated := testkit.Gen(other)
 	worse := Evaluate(pred, unrelated)
 	if worse.FirstOrderAgreement >= acc.FirstOrderAgreement {
 		t.Errorf("unrelated program predicted as well as the real one (%.2f vs %.2f)",

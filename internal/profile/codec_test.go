@@ -8,7 +8,7 @@ import (
 )
 
 func TestProfileTextRoundTrip(t *testing.T) {
-	p := MustSynthesize(50, DefaultTiming(4, 7))
+	p := mustSynth(50, DefaultTiming(4, 7))
 	var buf bytes.Buffer
 	if err := WriteText(&buf, p); err != nil {
 		t.Fatal(err)
@@ -98,7 +98,7 @@ func TestProfileTextDefaultNames(t *testing.T) {
 // it accepts.
 func FuzzProfileReadText(f *testing.F) {
 	var buf bytes.Buffer
-	_ = WriteText(&buf, MustSynthesize(3, DefaultTiming(2, 1)))
+	_ = WriteText(&buf, mustSynth(3, DefaultTiming(2, 1)))
 	f.Add(buf.String())
 	f.Add("# jitsched profile v1 levels=2\n0 a 1 c:1,2 e:2,1\n")
 	f.Add("")

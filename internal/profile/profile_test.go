@@ -7,6 +7,16 @@ import (
 	"repro/internal/trace"
 )
 
+// mustSynth is the test-local stand-in for the removed MustSynthesize: the
+// configurations below are static, so a failure is a programmer mistake.
+func mustSynth(nfuncs int, cfg TimingConfig) *Profile {
+	p, err := Synthesize(nfuncs, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
 func twoFuncProfile() *Profile {
 	return &Profile{
 		Levels: 3,
@@ -136,7 +146,7 @@ func TestOracleMatchesProfile(t *testing.T) {
 }
 
 func TestEstimatedIsMonotoneAndDeterministic(t *testing.T) {
-	p := MustSynthesize(60, DefaultTiming(4, 3))
+	p := mustSynth(60, DefaultTiming(4, 3))
 	m1 := NewEstimated(p, DefaultEstimatedConfig(99))
 	m2 := NewEstimated(p, DefaultEstimatedConfig(99))
 	different := false
@@ -180,7 +190,7 @@ func TestEstimatedZeroNoiseCompile(t *testing.T) {
 // speedups, so its predicted deep-level execution times are no smaller than
 // an unbiased model's.
 func TestEstimatedConservatism(t *testing.T) {
-	p := MustSynthesize(40, DefaultTiming(4, 4))
+	p := mustSynth(40, DefaultTiming(4, 4))
 	unbiased := NewEstimated(p, EstimatedConfig{Noise: 0, Conservatism: 1, Seed: 2})
 	conservative := NewEstimated(p, EstimatedConfig{Noise: 0, Conservatism: 0.5, Seed: 2})
 	for f := 0; f < p.NumFuncs(); f++ {
@@ -220,7 +230,7 @@ func TestResponsiveLevel(t *testing.T) {
 // TestCostEffectiveMonotoneInCalls: with more invocations, the chosen level
 // never decreases — a direct consequence of the monotonicity assumptions.
 func TestCostEffectiveMonotoneInCalls(t *testing.T) {
-	p := MustSynthesize(30, DefaultTiming(4, 5))
+	p := mustSynth(30, DefaultTiming(4, 5))
 	o := NewOracle(p)
 	f := func(fRaw uint8, n1, n2 uint16) bool {
 		fid := trace.FuncID(int(fRaw) % p.NumFuncs())
@@ -244,7 +254,7 @@ func TestSynthesizeValidAndDeterministic(t *testing.T) {
 		if err := p.Validate(); err != nil {
 			t.Errorf("levels=%d: synthesized profile invalid: %v", levels, err)
 		}
-		q := MustSynthesize(80, DefaultTiming(levels, 7))
+		q := mustSynth(80, DefaultTiming(levels, 7))
 		for i := range p.Funcs {
 			if p.Funcs[i].Compile[0] != q.Funcs[i].Compile[0] || p.Funcs[i].Exec[0] != q.Funcs[i].Exec[0] {
 				t.Fatalf("levels=%d: synthesis not deterministic", levels)

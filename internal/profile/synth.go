@@ -184,13 +184,3 @@ func makeFuncTimes(i int, sz int64, cfg TimingConfig, rng *rand.Rand) FuncTimes 
 	}
 	return ft
 }
-
-// MustSynthesize is Synthesize for static configurations; it panics on
-// configuration errors.
-func MustSynthesize(nfuncs int, cfg TimingConfig) *Profile {
-	p, err := Synthesize(nfuncs, cfg)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestStatHelpersDegenerateInputs drives the shared statistics helpers
+// through the degenerate shapes an empty benchmark run produces — no
+// samples, all-zero samples, zero scale — and checks none of them divides by
+// zero or leaks NaN/Inf into a rendered cell.
+func TestStatHelpersDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"mean of nothing", Mean(nil), 0},
+		{"mean of empty slice", Mean([]float64{}), 0},
+		{"mean of zeros", Mean([]float64{0, 0, 0}), 0},
+		{"geomean of nothing", Geomean(nil), 0},
+		{"geomean of empty slice", Geomean([]float64{}), 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.got != c.want {
+				t.Errorf("got %v, want %v", c.got, c.want)
+			}
+			for _, cell := range []string{F2(c.got), F3(c.got)} {
+				if strings.Contains(cell, "NaN") || strings.Contains(cell, "Inf") {
+					t.Errorf("formatted cell %q is not a number", cell)
+				}
+			}
+		})
+	}
+	// Geomean of a run containing a zero make-span is documented to be NaN —
+	// callers must filter — so pin that contract rather than hide it.
+	if !math.IsNaN(Geomean([]float64{1, 0, 2})) {
+		t.Error("Geomean accepted a non-positive sample")
+	}
+}
+
+// TestBarDegenerateInputs: bars of empty runs must render as empty strings,
+// never panic or divide by zero.
+func TestBarDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name       string
+		value, max float64
+		width      int
+		want       string
+	}{
+		{"zero max", 5, 0, 10, ""},
+		{"negative max", 5, -1, 10, ""},
+		{"zero value", 0, 10, 10, ""},
+		{"zero width", 5, 10, 0, ""},
+		{"value beyond max clamps", 100, 10, 4, "####"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Bar(c.value, c.max, c.width); got != c.want {
+				t.Errorf("Bar(%v, %v, %d) = %q, want %q", c.value, c.max, c.width, got, c.want)
+			}
+		})
+	}
+}
+
+// TestEmptyTableRenders: a harness that found nothing to report still
+// renders headers in both styles.
+func TestEmptyTableRenders(t *testing.T) {
+	for _, style := range []Style{Text, Markdown} {
+		var b strings.Builder
+		tab := NewTable("empty study", "bench", "make-span")
+		if err := tab.RenderTo(&b, style); err != nil {
+			t.Fatalf("style %v: %v", style, err)
+		}
+		if !strings.Contains(b.String(), "bench") {
+			t.Errorf("style %v output lost the header:\n%s", style, b.String())
+		}
+	}
+}
+
+// TestZeroCallProgramStats runs a zero-call trace through the stats
+// pipeline and formats every derived number the experiment tables print;
+// none may be NaN or infinite.
+func TestZeroCallProgramStats(t *testing.T) {
+	st := trace.ComputeStats(trace.New("empty", nil))
+	if st.Length != 0 || st.UniqueFuncs != 0 {
+		t.Fatalf("empty trace has stats %+v", st)
+	}
+	cells := []string{
+		F2(st.Top10Share * 100),
+		F3(Mean([]float64{})),
+		F3(Geomean(nil)),
+		Bar(float64(st.MaxCount), float64(st.Length), 20),
+	}
+	for _, cell := range cells {
+		if strings.Contains(cell, "NaN") || strings.Contains(cell, "Inf") {
+			t.Errorf("zero-call program produced non-numeric cell %q", cell)
+		}
+	}
+}

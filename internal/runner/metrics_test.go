@@ -1,0 +1,81 @@
+package runner
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsCountJobs wires a private sink into a Runner and checks that a
+// batch with executed jobs, a cache hit, a duplicate, a failure and a panic
+// lands each job in the right counter, and that wall/queue times accumulate.
+func TestMetricsCountJobs(t *testing.T) {
+	var m obs.Metrics
+	r := New(Options{Workers: 2, Metrics: &m})
+
+	ok := func(Ctx) (int, error) {
+		time.Sleep(time.Millisecond)
+		return 7, nil
+	}
+	if _, err := Map(r, []Job[int]{
+		{Key: Key{Experiment: "m", Detail: "a"}, Fn: ok},
+		{Key: Key{Experiment: "m", Detail: "a"}, Fn: ok}, // deduped
+		{Key: Key{Experiment: "m", Detail: "b"}, Fn: ok},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Same batch again: both distinct fingerprints answer from the cache.
+	if _, err := Map(r, []Job[int]{
+		{Key: Key{Experiment: "m", Detail: "a"}, Fn: ok},
+		{Key: Key{Experiment: "m", Detail: "b"}, Fn: ok},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A failing and a panicking job.
+	_, err := Map(r, []Job[int]{
+		{Key: Key{Experiment: "m", Detail: "fail"}, Fn: func(Ctx) (int, error) {
+			return 0, errors.New("boom")
+		}},
+		{Key: Key{Experiment: "m", Detail: "panic"}, Fn: func(Ctx) (int, error) {
+			panic("kaboom")
+		}},
+	})
+	if err == nil {
+		t.Fatal("Map swallowed the failing batch")
+	}
+
+	s := r.Snapshot()
+	if s.JobsStarted != 4 || s.JobsCompleted != 4 {
+		t.Errorf("started/completed = %d/%d, want 4/4", s.JobsStarted, s.JobsCompleted)
+	}
+	if s.JobsFailed != 2 || s.JobsPanicked != 1 {
+		t.Errorf("failed/panicked = %d/%d, want 2/1", s.JobsFailed, s.JobsPanicked)
+	}
+	if s.CacheHits != 2 || s.Deduped != 1 {
+		t.Errorf("cacheHits/deduped = %d/%d, want 2/1", s.CacheHits, s.Deduped)
+	}
+	if s.JobWall <= 0 || s.MaxJobWall <= 0 || s.JobWall < s.MaxJobWall {
+		t.Errorf("job wall %v / max %v not accumulated sensibly", s.JobWall, s.MaxJobWall)
+	}
+	if s.QueueWait < 0 {
+		t.Errorf("negative queue wait %v", s.QueueWait)
+	}
+}
+
+// TestDefaultMetricsSink checks that a Runner built without an explicit sink
+// reports into obs.Default(), the sink the HTTP endpoint serves.
+func TestDefaultMetricsSink(t *testing.T) {
+	before := obs.Default().Snapshot().JobsCompleted
+	r := New(Options{Workers: 1})
+	if _, err := One(r, Job[int]{
+		Key: Key{Experiment: "default-sink"},
+		Fn:  func(Ctx) (int, error) { return 1, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if after := obs.Default().Snapshot().JobsCompleted; after <= before {
+		t.Errorf("obs.Default() jobsCompleted did not advance: %d -> %d", before, after)
+	}
+}

@@ -45,6 +45,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Key identifies one simulation job. Fields left at their zero value simply
@@ -153,6 +155,9 @@ type Options struct {
 	// DisableCache turns result memoization off (differential tests use this
 	// to force genuine recomputation).
 	DisableCache bool
+	// Metrics receives job/cache/latency counters; nil means obs.Default(),
+	// the process-wide sink that `jitsched -obs-addr` serves over HTTP.
+	Metrics *obs.Metrics
 }
 
 // Runner owns the worker bound, the result cache, and the stats. It is safe
@@ -160,6 +165,7 @@ type Options struct {
 type Runner struct {
 	workers int
 	noCache bool
+	metrics *obs.Metrics
 
 	mu    sync.Mutex
 	cache map[string]any
@@ -172,9 +178,14 @@ func New(opts Options) *Runner {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	m := opts.Metrics
+	if m == nil {
+		m = obs.Default()
+	}
 	return &Runner{
 		workers: w,
 		noCache: opts.DisableCache,
+		metrics: m,
 		cache:   make(map[string]any),
 		stats:   Stats{PerScheme: make(map[string]int64)},
 	}
@@ -182,6 +193,13 @@ func New(opts Options) *Runner {
 
 // Workers reports the configured per-batch concurrency bound.
 func (r *Runner) Workers() int { return r.workers }
+
+// Snapshot returns the current state of the runner's metrics sink — the
+// latency-aware counterpart of Stats (queue wait, per-job wall time, max job
+// wall time), shared with whatever else reports into the same sink.
+func (r *Runner) Snapshot() obs.Snapshot {
+	return r.metrics.Snapshot()
+}
 
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Stats {
@@ -261,6 +279,9 @@ func Map[T any](r *Runner, jobs []Job[T]) ([]T, error) {
 	}
 	r.mu.Unlock()
 
+	r.metrics.CacheHit(hits)
+	r.metrics.Deduped(dedup)
+
 	// Dispatch the leaders to a bounded pool. Each Map call gets its own
 	// goroutines so nested calls cannot starve each other.
 	if len(leaders) > 0 {
@@ -270,13 +291,18 @@ func Map[T any](r *Runner, jobs []Job[T]) ([]T, error) {
 		if workers > len(leaders) {
 			workers = len(leaders)
 		}
+		enqueued := time.Now()
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for i := range idx {
 					j := jobs[i]
+					r.metrics.JobStarted(time.Since(enqueued))
+					jobStart := time.Now()
 					states[i].result, states[i].err = runJob(j)
+					_, panicked := states[i].err.(*PanicError)
+					r.metrics.JobCompleted(time.Since(jobStart), states[i].err != nil, panicked)
 				}
 			}()
 		}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/trace"
 )
@@ -173,6 +174,7 @@ type engine struct {
 	queue    compileQueue
 	versions []versionList
 	res      *Result
+	rec      *obs.Recorder
 }
 
 // drainOne materializes the next assignment if any request is pending.
@@ -193,6 +195,8 @@ func (e *engine) drainOne() bool {
 	e.res.Compiles = append(e.res.Compiles, CompileRecord{
 		Event: CompileEvent{Func: r.f, Level: r.level}, Start: start, Done: done, Worker: w,
 	})
+	e.rec.CompileStart(start, int32(r.f), int32(r.level), int32(w), int32(len(e.res.Compiles)-1))
+	e.rec.CompileEnd(done, int32(r.f), int32(r.level), int32(w), int32(len(e.res.Compiles)-1))
 	e.versions[r.f].insert(done, r.level)
 	e.res.CompileBusy += done - start
 	if done > e.res.CompileEnd {
@@ -204,13 +208,30 @@ func (e *engine) drainOne() bool {
 // drainUntilReady materializes assignments until function f has at least one
 // finished-or-in-flight version, i.e. a known ready time. Sound while the
 // execution side is blocked on f: a blocked executor generates no further
-// arrivals, so the pending set is complete.
-func (e *engine) drainUntilReady(f trace.FuncID) {
+// arrivals, so the pending set is complete. If the queue runs dry before f
+// has a version the simulated machine would hang forever; that inconsistency
+// is reported as a *DeadlockError naming the blocked function and the queue
+// state instead of crashing the worker.
+func (e *engine) drainUntilReady(f trace.FuncID, now int64) error {
 	for e.versions[f].firstReady() < 0 {
 		if !e.drainOne() {
-			panic("sim: executor blocked on a function with no pending compilation")
+			return &DeadlockError{Func: f, Time: now, Pending: e.pendingRequests()}
 		}
 	}
+	return nil
+}
+
+// pendingRequests snapshots the queue's outstanding requests for error
+// reports.
+func (e *engine) pendingRequests() []Request {
+	if len(e.queue.pending) == 0 {
+		return nil
+	}
+	out := make([]Request, len(e.queue.pending))
+	for i, r := range e.queue.pending {
+		out[i] = Request{Func: r.f, Level: r.level}
+	}
+	return out
 }
 
 // drainArrived materializes every assignment that can start at or before t,
@@ -288,6 +309,7 @@ func RunPolicy(tr *trace.Trace, p *profile.Profile, pol Policy, cfg Config, opts
 		queue:    compileQueue{discipline: cfg.Discipline, pool: newWorkerPool(cfg.CompileWorkers)},
 		versions: make([]versionList, nf),
 		res:      res,
+		rec:      opts.Recorder,
 	}
 	maxRequested := make([]profile.Level, nf)
 	requested := make([]bool, nf)
@@ -343,7 +365,9 @@ func RunPolicy(tr *trace.Trace, p *profile.Profile, pol Policy, cfg Config, opts
 			}
 		}
 		if eng.versions[f].firstReady() < 0 {
-			eng.drainUntilReady(f)
+			if err := eng.drainUntilReady(f, execT); err != nil {
+				return nil, err
+			}
 		}
 		start := execT
 		if ready := eng.versions[f].firstReady(); ready > start {
@@ -352,16 +376,22 @@ func RunPolicy(tr *trace.Trace, p *profile.Profile, pol Policy, cfg Config, opts
 		if start > execT {
 			res.TotalBubble += start - execT
 			res.BubbleCount++
+			eng.rec.Stall(execT, start-execT, int32(f), int32(i))
 		}
 		// Make sure every compilation that finishes by the call's start is
 		// materialized, then pick the latest finished version.
 		eng.drainArrived(start)
-		level := eng.versions[f].latestAt(start)
+		level, ok := eng.versions[f].latestAt(start)
+		if !ok {
+			return nil, &ErrNoReadyVersion{Func: f, Time: start}
+		}
 		dur := p.ExecTime(f, level)
 		if opts.ExecVariation > 0 {
 			dur = scaleDuration(dur, CallFactor(opts.ExecVariationSeed, i, opts.ExecVariation))
 		}
 		end := start + dur
+		eng.rec.ExecStart(start, int32(f), int32(level), int32(i))
+		eng.rec.ExecEnd(end, int32(f), int32(level), int32(i))
 		if period > 0 {
 			// Sampling ticks that land during this call observe f on the
 			// stack; ticks that land in a bubble observe nothing and pass.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/profile"
+	"repro/internal/testkit"
 	"repro/internal/trace"
 )
 
@@ -173,11 +174,11 @@ func TestPriorityTrueOvertake(t *testing.T) {
 // TestDisciplinesAgreeWithoutContention: when the queue never holds more
 // than one request, the disciplines are indistinguishable.
 func TestDisciplinesAgreeWithoutContention(t *testing.T) {
-	tr := trace.MustGenerate(trace.GenConfig{
+	tr := testkit.Gen(trace.GenConfig{
 		Name: "t", NumFuncs: 50, Length: 4000, Seed: 5,
 		ZipfS: 1.6, Phases: 2, CoreFuncs: 10, CoreShare: 0.5, BurstMean: 2,
 	})
-	p := profile.MustSynthesize(50, profile.DefaultTiming(4, 6))
+	p := testkit.Synth(50, profile.DefaultTiming(4, 6))
 	a, err := RunPolicy(tr, p, levelZero{}, Config{CompileWorkers: 1, Discipline: FIFO}, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -194,12 +195,12 @@ func TestDisciplinesAgreeWithoutContention(t *testing.T) {
 // TestOnlineMakeSpanIdentity: the accounting identity holds for the online
 // engine under both disciplines and several worker counts.
 func TestOnlineMakeSpanIdentity(t *testing.T) {
-	tr := trace.MustGenerate(trace.GenConfig{
+	tr := testkit.Gen(trace.GenConfig{
 		Name: "t", NumFuncs: 120, Length: 20000, Seed: 9,
 		ZipfS: 1.5, Phases: 3, CoreFuncs: 20, CoreShare: 0.5, BurstMean: 3,
 		WarmupFrac: 0.1, WarmupCoverage: 0.8,
 	})
-	p := profile.MustSynthesize(120, profile.DefaultTiming(4, 10))
+	p := testkit.Synth(120, profile.DefaultTiming(4, 10))
 	for _, d := range []QueueDiscipline{FIFO, FirstCompileFirst} {
 		for _, workers := range []int{1, 3} {
 			res, err := RunPolicy(tr, p, multiSampler{period: 5000},

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// ErrNoReadyVersion reports that execution reached a call at a time when no
+// compiled version of the function existed — a schedule that executes before
+// any compile finishes. The simulator's entry points validate their inputs,
+// so seeing this error from Run or RunPolicy means the run's internal
+// bookkeeping was handed an inconsistent state; it is returned (never
+// panicked) so batch sweeps degrade to one failed job instead of crashing.
+type ErrNoReadyVersion struct {
+	// Func is the function the call needed.
+	Func trace.FuncID
+	// Time is the simulated tick at which the call tried to start.
+	Time int64
+}
+
+// Error implements the error interface.
+func (e *ErrNoReadyVersion) Error() string {
+	return fmt.Sprintf("sim: no compiled version of function %d was ready at time %d", e.Func, e.Time)
+}
+
+// DeadlockError reports that the execution worker blocked waiting for a
+// function while no pending compilation could ever produce a version of it:
+// the simulated machine would hang forever. It carries the queue state at
+// the moment of the deadlock for debugging.
+type DeadlockError struct {
+	// Func is the function the executor blocked on.
+	Func trace.FuncID
+	// Time is the simulated tick at which the executor blocked.
+	Time int64
+	// Pending is the compile queue's remaining requests (typically empty:
+	// a non-empty queue can always drain).
+	Pending []Request
+}
+
+// Error implements the error interface.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: executor blocked on function %d at time %d with no pending compilation of it", e.Func, e.Time)
+	if len(e.Pending) == 0 {
+		b.WriteString(" (compile queue empty)")
+	} else {
+		fmt.Fprintf(&b, " (%d queued:", len(e.Pending))
+		for i, r := range e.Pending {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, " C%d(f%d)", r.Level, r.Func)
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}

@@ -63,6 +63,11 @@ func RunPolicyMT(threads []*trace.Trace, p *profile.Profile, pol Policy, cfg Con
 	if opts.RecordCalls {
 		return nil, nil, fmt.Errorf("sim: RecordCalls is not supported for multi-threaded runs")
 	}
+	if opts.Recorder != nil {
+		// Event recording assumes a single execution lane; the MT engine's
+		// interleaved threads would produce overlapping exec spans.
+		return nil, nil, fmt.Errorf("sim: Options.Recorder is not supported for multi-threaded runs")
+	}
 	nf := p.NumFuncs()
 	period := pol.SamplePeriod()
 	if period < 0 {
@@ -182,7 +187,10 @@ func RunPolicyMT(threads []*trace.Trace, p *profile.Profile, pol Policy, cfg Con
 			t.res.Bubble += start - t.clock
 		}
 		eng.drainArrived(start)
-		level := eng.versions[f].latestAt(start)
+		level, ok := eng.versions[f].latestAt(start)
+		if !ok {
+			return nil, nil, &ErrNoReadyVersion{Func: f, Time: start}
+		}
 		dur := p.ExecTime(f, level)
 		if opts.ExecVariation > 0 {
 			// Per-call factors key on a global, order-independent index:

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/profile"
+	"repro/internal/testkit"
 	"repro/internal/trace"
 )
 
@@ -30,12 +31,12 @@ func TestMTValidation(t *testing.T) {
 // TestMTSingleThreadMatchesRunPolicy: with one thread, the MT engine and the
 // single-threaded engine agree on the make-span.
 func TestMTSingleThreadMatchesRunPolicy(t *testing.T) {
-	tr := trace.MustGenerate(trace.GenConfig{
+	tr := testkit.Gen(trace.GenConfig{
 		Name: "t", NumFuncs: 80, Length: 12000, Seed: 4,
 		ZipfS: 1.5, Phases: 2, CoreFuncs: 12, CoreShare: 0.5, BurstMean: 2,
 		WarmupFrac: 0.1, WarmupCoverage: 0.8,
 	})
-	p := profile.MustSynthesize(80, profile.DefaultTiming(4, 5))
+	p := testkit.Synth(80, profile.DefaultTiming(4, 5))
 	for _, d := range []QueueDiscipline{FIFO, FirstCompileFirst} {
 		for _, pol := range []func() Policy{
 			func() Policy { return levelZero{} },
@@ -104,11 +105,11 @@ func TestMTTwoThreadsShareCode(t *testing.T) {
 // than one thread running it all, but never faster than the exec-bound
 // limit.
 func TestMTParallelismHelps(t *testing.T) {
-	full := trace.MustGenerate(trace.GenConfig{
+	full := testkit.Gen(trace.GenConfig{
 		Name: "t", NumFuncs: 60, Length: 10000, Seed: 8,
 		ZipfS: 1.6, Phases: 2, CoreFuncs: 10, CoreShare: 0.5, BurstMean: 2,
 	})
-	p := profile.MustSynthesize(60, profile.DefaultTiming(4, 9))
+	p := testkit.Synth(60, profile.DefaultTiming(4, 9))
 	half1 := trace.New("h1", full.Calls[:full.Len()/2])
 	half2 := trace.New("h2", full.Calls[full.Len()/2:])
 
@@ -135,10 +136,10 @@ func TestMTParallelismHelps(t *testing.T) {
 
 // TestMTDeterministic: repeated runs agree exactly.
 func TestMTDeterministic(t *testing.T) {
-	p := profile.MustSynthesize(50, profile.DefaultTiming(4, 11))
+	p := testkit.Synth(50, profile.DefaultTiming(4, 11))
 	var threads []*trace.Trace
 	for i := 0; i < 4; i++ {
-		threads = append(threads, trace.MustGenerate(trace.GenConfig{
+		threads = append(threads, testkit.Gen(trace.GenConfig{
 			Name: "t", NumFuncs: 50, Length: 3000, Seed: 20, DrawSeed: int64(21 + i),
 			ZipfS: 1.5, Phases: 2, CoreFuncs: 10, CoreShare: 0.5, BurstMean: 2,
 		}))
@@ -160,10 +161,10 @@ func TestMTDeterministic(t *testing.T) {
 // TestMTCompileRecordsConsistent: shared compile stream never overlaps per
 // worker and respects durations, under contention from four threads.
 func TestMTCompileRecordsConsistent(t *testing.T) {
-	p := profile.MustSynthesize(120, profile.DefaultTiming(4, 13))
+	p := testkit.Synth(120, profile.DefaultTiming(4, 13))
 	var threads []*trace.Trace
 	for i := 0; i < 4; i++ {
-		threads = append(threads, trace.MustGenerate(trace.GenConfig{
+		threads = append(threads, testkit.Gen(trace.GenConfig{
 			Name: "t", NumFuncs: 120, Length: 6000, Seed: 30, DrawSeed: int64(31 + i),
 			ZipfS: 1.4, Phases: 2, CoreFuncs: 15, CoreShare: 0.5, BurstMean: 2,
 			WarmupFrac: 0.15, WarmupCoverage: 0.7,

@@ -27,6 +27,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/trace"
 )
@@ -102,6 +103,12 @@ type Options struct {
 	ExecVariation float64
 	// ExecVariationSeed selects the variation realization.
 	ExecVariationSeed int64
+	// Recorder, when non-nil, receives every compile-start/compile-end/
+	// exec-start/exec-end/stall event of the run as a typed span event
+	// (see internal/obs). A nil recorder costs nothing: the emit path is
+	// allocation-free, held to by BenchmarkRunCallsRecorderOff and
+	// TestRecorderDisabledZeroAlloc.
+	Recorder *obs.Recorder
 }
 
 // validate reports the first Options error, or nil.
@@ -180,14 +187,15 @@ func (v *versionList) insert(done int64, l profile.Level) {
 }
 
 // latestAt returns the level of the latest compilation finished at or before
-// t. It requires at least one entry with done <= t.
-func (v *versionList) latestAt(t int64) profile.Level {
+// t, and whether any such version exists. Callers turn ok == false into a
+// structured *ErrNoReadyVersion instead of crashing the run.
+func (v *versionList) latestAt(t int64) (profile.Level, bool) {
 	for i := len(v.done) - 1; i >= 0; i-- {
 		if v.done[i] <= t {
-			return v.levels[i]
+			return v.levels[i], true
 		}
 	}
-	panic("sim: latestAt called before any version was ready")
+	return 0, false
 }
 
 func (v *versionList) firstReady() int64 {
@@ -252,9 +260,12 @@ func Run(tr *trace.Trace, p *profile.Profile, sched Schedule, cfg Config, opts O
 	}
 	versions := make([]versionList, p.NumFuncs())
 	pool := newWorkerPool(cfg.CompileWorkers)
-	for _, ev := range sched {
+	rec := opts.Recorder
+	for si, ev := range sched {
 		w, start, done := pool.assign(0, p.CompileTime(ev.Func, ev.Level))
 		res.Compiles = append(res.Compiles, CompileRecord{Event: ev, Start: start, Done: done, Worker: w})
+		rec.CompileStart(start, int32(ev.Func), int32(ev.Level), int32(w), int32(si))
+		rec.CompileEnd(done, int32(ev.Func), int32(ev.Level), int32(w), int32(si))
 		versions[ev.Func].insert(done, ev.Level)
 		res.CompileBusy += done - start
 		if done > res.CompileEnd {
@@ -265,17 +276,21 @@ func Run(tr *trace.Trace, p *profile.Profile, sched Schedule, cfg Config, opts O
 		res.FirstReady[f] = versions[f].firstReady()
 	}
 
-	runCalls(tr, p, versions, res, opts)
+	if err := runCalls(tr, p, versions, res, opts); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 // runCalls executes the trace against the prepared version lists, filling the
-// execution-side fields of res.
-func runCalls(tr *trace.Trace, p *profile.Profile, versions []versionList, res *Result, opts Options) {
+// execution-side fields of res. A call reached before any version of its
+// function exists yields a *ErrNoReadyVersion.
+func runCalls(tr *trace.Trace, p *profile.Profile, versions []versionList, res *Result, opts Options) error {
 	if opts.RecordCalls {
 		res.CallStarts = make([]int64, 0, tr.Len())
 		res.CallLevels = make([]profile.Level, 0, tr.Len())
 	}
+	rec := opts.Recorder
 	var execT int64
 	for i, f := range tr.Calls {
 		start := execT
@@ -285,8 +300,12 @@ func runCalls(tr *trace.Trace, p *profile.Profile, versions []versionList, res *
 		if start > execT {
 			res.TotalBubble += start - execT
 			res.BubbleCount++
+			rec.Stall(execT, start-execT, int32(f), int32(i))
 		}
-		level := versions[f].latestAt(start)
+		level, ok := versions[f].latestAt(start)
+		if !ok {
+			return &ErrNoReadyVersion{Func: f, Time: start}
+		}
 		dur := p.ExecTime(f, level)
 		if opts.ExecVariation > 0 {
 			dur = scaleDuration(dur, CallFactor(opts.ExecVariationSeed, i, opts.ExecVariation))
@@ -295,8 +314,11 @@ func runCalls(tr *trace.Trace, p *profile.Profile, versions []versionList, res *
 			res.CallStarts = append(res.CallStarts, start)
 			res.CallLevels = append(res.CallLevels, level)
 		}
+		rec.ExecStart(start, int32(f), int32(level), int32(i))
+		rec.ExecEnd(start+dur, int32(f), int32(level), int32(i))
 		res.TotalExec += dur
 		execT = start + dur
 	}
 	res.MakeSpan = execT
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/profile"
+	"repro/internal/testkit"
 	"repro/internal/trace"
 )
 
@@ -196,11 +197,11 @@ func TestConcurrentCompileWorkers(t *testing.T) {
 // identity MakeSpan == TotalExec + TotalBubble and that versions only come
 // from finished compilations.
 func TestMakeSpanIdentity(t *testing.T) {
-	tr := trace.MustGenerate(trace.GenConfig{
+	tr := testkit.Gen(trace.GenConfig{
 		Name: "fuzz", NumFuncs: 40, Length: 3000, Seed: 7,
 		ZipfS: 1.6, Phases: 3, CoreFuncs: 8, CoreShare: 0.4, BurstMean: 3,
 	})
-	p := profile.MustSynthesize(40, profile.DefaultTiming(4, 11))
+	p := testkit.Synth(40, profile.DefaultTiming(4, 11))
 
 	// Build a haphazard but valid schedule: all functions at level 0 in
 	// first-call order, then a few recompiles.

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/profile"
+	"repro/internal/testkit"
 	"repro/internal/trace"
 )
 
@@ -42,11 +43,11 @@ func TestCallFactorMeanPreserving(t *testing.T) {
 }
 
 func TestRunWithVariation(t *testing.T) {
-	tr := trace.MustGenerate(trace.GenConfig{
+	tr := testkit.Gen(trace.GenConfig{
 		Name: "v", NumFuncs: 60, Length: 20000, Seed: 3,
 		ZipfS: 1.5, Phases: 2, CoreFuncs: 10, CoreShare: 0.5, BurstMean: 2,
 	})
-	p := profile.MustSynthesize(60, profile.DefaultTiming(4, 4))
+	p := testkit.Synth(60, profile.DefaultTiming(4, 4))
 	var s Schedule
 	for _, f := range tr.FirstCallOrder() {
 		s = append(s, CompileEvent{f, 0})
@@ -105,11 +106,11 @@ func TestVariationValidation(t *testing.T) {
 }
 
 func TestRunPolicyWithVariation(t *testing.T) {
-	tr := trace.MustGenerate(trace.GenConfig{
+	tr := testkit.Gen(trace.GenConfig{
 		Name: "v", NumFuncs: 40, Length: 8000, Seed: 5,
 		ZipfS: 1.5, Phases: 2, CoreFuncs: 8, CoreShare: 0.5, BurstMean: 2,
 	})
-	p := profile.MustSynthesize(40, profile.DefaultTiming(4, 6))
+	p := testkit.Synth(40, profile.DefaultTiming(4, 6))
 	a, err := RunPolicy(tr, p, levelZero{}, DefaultConfig(), Options{ExecVariation: 0.4, ExecVariationSeed: 1})
 	if err != nil {
 		t.Fatal(err)

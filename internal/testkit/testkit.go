@@ -1,0 +1,34 @@
+// Package testkit holds shared test fixtures. It exists so that the
+// production packages carry no panicking convenience constructors: the old
+// trace.MustGenerate / profile.MustSynthesize helpers now live here, where a
+// panic on a statically mistyped test configuration is a test failure and
+// nothing more. Production code must use trace.Generate / profile.Synthesize
+// and handle the error.
+//
+// This package is imported only from _test.go files.
+package testkit
+
+import (
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// Gen generates a synthetic trace for a static test configuration, panicking
+// on configuration errors (which can only be programmer mistakes in a test).
+func Gen(cfg trace.GenConfig) *trace.Trace {
+	t, err := trace.Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Synth synthesizes a timing profile for a static test configuration,
+// panicking on configuration errors.
+func Synth(nfuncs int, cfg profile.TimingConfig) *profile.Profile {
+	p, err := profile.Synthesize(nfuncs, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -48,7 +48,7 @@ func TestWindowsEdges(t *testing.T) {
 		t.Errorf("clamped windows: %v, %v", ws, err)
 	}
 	// Window stats must tile the trace exactly.
-	tr := MustGenerate(GenConfig{Name: "g", NumFuncs: 30, Length: 997, Seed: 1,
+	tr := mustGen(GenConfig{Name: "g", NumFuncs: 30, Length: 997, Seed: 1,
 		ZipfS: 1.5, Phases: 2, BurstMean: 2})
 	ws, err = Windows(tr, 7)
 	if err != nil {

@@ -173,13 +173,3 @@ func Generate(cfg GenConfig) (*Trace, error) {
 	}
 	return &Trace{Name: cfg.Name, Calls: calls}, nil
 }
-
-// MustGenerate is Generate for static configurations; it panics on config
-// errors, which can only arise from programmer mistakes.
-func MustGenerate(cfg GenConfig) *Trace {
-	t, err := Generate(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return t
-}

@@ -8,6 +8,16 @@ import (
 	"testing/quick"
 )
 
+// mustGen is the test-local stand-in for the removed MustGenerate: the
+// configurations below are static, so a failure is a programmer mistake.
+func mustGen(cfg GenConfig) *Trace {
+	tr, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
 func TestBasics(t *testing.T) {
 	tr := New("t", []FuncID{3, 1, 3, 3, 0, 1})
 	if got := tr.Len(); got != 6 {
@@ -156,13 +166,13 @@ func TestCodecQuick(t *testing.T) {
 func TestGenerateDeterministic(t *testing.T) {
 	cfg := GenConfig{Name: "g", NumFuncs: 50, Length: 5000, Seed: 42,
 		ZipfS: 1.5, Phases: 4, CoreFuncs: 10, CoreShare: 0.5, BurstMean: 2}
-	a := MustGenerate(cfg)
-	b := MustGenerate(cfg)
+	a := mustGen(cfg)
+	b := mustGen(cfg)
 	if !reflect.DeepEqual(a.Calls, b.Calls) {
 		t.Error("same seed produced different traces")
 	}
 	cfg.Seed = 43
-	c := MustGenerate(cfg)
+	c := mustGen(cfg)
 	if reflect.DeepEqual(a.Calls, c.Calls) {
 		t.Error("different seeds produced identical traces")
 	}
@@ -171,7 +181,7 @@ func TestGenerateDeterministic(t *testing.T) {
 func TestGenerateShape(t *testing.T) {
 	cfg := GenConfig{Name: "g", NumFuncs: 200, Length: 50000, Seed: 1,
 		ZipfS: 1.4, Phases: 5, CoreFuncs: 20, CoreShare: 0.4, BurstMean: 3}
-	tr := MustGenerate(cfg)
+	tr := mustGen(cfg)
 	if tr.Len() != cfg.Length {
 		t.Fatalf("length = %d, want %d", tr.Len(), cfg.Length)
 	}
@@ -284,9 +294,9 @@ func TestInterleaveEdges(t *testing.T) {
 }
 
 func TestInterleaveDeterministic(t *testing.T) {
-	t1 := MustGenerate(GenConfig{Name: "x", NumFuncs: 20, Length: 1000, Seed: 3,
+	t1 := mustGen(GenConfig{Name: "x", NumFuncs: 20, Length: 1000, Seed: 3,
 		ZipfS: 1.5, Phases: 2, BurstMean: 2})
-	t2 := MustGenerate(GenConfig{Name: "y", NumFuncs: 20, Length: 1200, Seed: 4,
+	t2 := mustGen(GenConfig{Name: "y", NumFuncs: 20, Length: 1200, Seed: 4,
 		ZipfS: 1.5, Phases: 2, BurstMean: 2})
 	a, err := Interleave(9, t1, t2)
 	if err != nil {
@@ -311,10 +321,10 @@ func TestInterleaveDeterministic(t *testing.T) {
 func TestGenerateDrawSeedSharesStructure(t *testing.T) {
 	base := GenConfig{Name: "p", NumFuncs: 200, Length: 20000, Seed: 11,
 		ZipfS: 1.6, Phases: 3, CoreFuncs: 20, CoreShare: 0.5, BurstMean: 2}
-	runA := MustGenerate(base)
+	runA := mustGen(base)
 	alt := base
 	alt.DrawSeed = 999
-	runB := MustGenerate(alt)
+	runB := mustGen(alt)
 	if reflect.DeepEqual(runA.Calls, runB.Calls) {
 		t.Fatal("different draw seeds produced identical runs")
 	}

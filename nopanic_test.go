@@ -1,0 +1,54 @@
+package repro
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoPanicsOnInputReachablePaths enforces the hardening contract: the
+// packages whose inputs can come from the outside world (simulator inputs,
+// trace and profile files, generator configs) must report failures as
+// errors, never panic. Test files are exempt — a test helper panicking on a
+// statically wrong fixture is a test failure, not a crash a user can reach.
+func TestNoPanicsOnInputReachablePaths(t *testing.T) {
+	dirs := []string{
+		filepath.Join("internal", "sim"),
+		filepath.Join("internal", "trace"),
+		filepath.Join("internal", "profile"),
+	}
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					pos := fset.Position(call.Pos())
+					t.Errorf("%s:%d: panic() on an input-reachable path; return a structured error instead",
+						pos.Filename, pos.Line)
+				}
+				return true
+			})
+		}
+	}
+}
