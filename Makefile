@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check test race runner-race fuzz-smoke bench bench-guard golden ci
+.PHONY: all build vet fmt-check test race runner-race fuzz-smoke bench bench-guard bench-json golden ci
 
 all: build
 
@@ -45,16 +45,29 @@ fuzz-smoke:
 bench:
 	$(GO) test -run='^$$' -bench=Fig5Sweep -cpu=4 ./internal/runner/
 
-# The observability overhead contract: with the recorder disabled, the
-# simulator's execution loop must not allocate at all. The tests assert 0
-# allocs/op; the benchmark run prints the numbers for the log.
+# The allocation contracts: with the recorder disabled, the simulator's
+# execution loop must not allocate at all, and a warm sim.Evaluator must be
+# allocation-free on full runs and delta evaluations alike. The tests assert
+# 0 allocs/op; the benchmark runs print the numbers for the log.
 bench-guard:
-	$(GO) test -run='TestDisabledRecorderZeroAlloc|TestRecorderDisabledZeroAlloc' -count=1 \
+	$(GO) test -run='TestDisabledRecorderZeroAlloc|TestRecorderDisabledZeroAlloc|TestEvaluatorZeroAlloc' -count=1 \
 		./internal/obs/ ./internal/sim/
 	$(GO) test -run='^$$' -bench=BenchmarkRunCallsRecorder -benchtime=100x ./internal/sim/
+	$(GO) test -run='^$$' -bench='BenchmarkEvaluatorRun|BenchmarkEvaluatorDelta' -benchmem -benchtime=50x ./internal/sim/
+
+# Machine-readable benchmark record: the evaluator fast path, the search
+# micro-benchmarks, and the figure benchmarks with their normalized make-span
+# metrics, collected into BENCH_core.json via cmd/benchjson.
+bench-json:
+	@{ $(GO) test -run='^$$' -bench='^BenchmarkFig5$$|^BenchmarkIAR$$|^BenchmarkIARAblation$$|^BenchmarkSimReplay$$|^BenchmarkAStarSearch6$$' \
+		-benchmem -benchtime=3x . && \
+	$(GO) test -run='^$$' -bench='BenchmarkSimRun|BenchmarkEvaluator' -benchmem -benchtime=50x ./internal/sim/ && \
+	$(GO) test -run='^$$' -bench='BenchmarkBeamSearch' -benchmem -benchtime=10x ./internal/astar/; } \
+		| $(GO) run ./cmd/benchjson -o BENCH_core.json
+	@echo "wrote BENCH_core.json"
 
 # Regenerate the experiment golden files after an intentional output change.
 golden:
 	$(GO) test ./internal/experiments -run TestGolden -update
 
-ci: fmt-check vet build race runner-race fuzz-smoke bench-guard
+ci: fmt-check vet build race runner-race fuzz-smoke bench-guard bench-json

@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON document. It reads the benchmark log from stdin and writes one JSON
+// object with every benchmark's iteration count and metrics — the standard
+// ns/op, B/op and allocs/op plus any custom b.ReportMetric units (the
+// normalized make-span columns of the root benchmarks).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | benchjson -o BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark (and sub-benchmark) name without the -P GOMAXPROCS
+	// suffix.
+	Name string `json:"name"`
+	// Package is the import path from the preceding pkg: header, if any.
+	Package string `json:"package,omitempty"`
+	// Procs is the GOMAXPROCS suffix of the name (0 if absent).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps a unit (ns/op, allocs/op, makespan/LB, ...) to its value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the emitted JSON root.
+type Document struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one benchmark result line, or returns false for headers,
+// PASS/ok trailers, and anything else go test prints.
+func parseLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       fields[0],
+		Package:    pkg,
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	// Split the trailing -P GOMAXPROCS marker off the last name element.
+	if i := strings.LastIndex(b.Name, "-"); i > 0 && !strings.Contains(b.Name[i:], "/") {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func run(out string) error {
+	var doc Document
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// go test writes the log to stdout too when it is piped; echo it so
+		// the human-readable form still lands in the terminal or CI log.
+		fmt.Fprintln(os.Stderr, line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		default:
+			if b, ok := parseLine(line, pkg); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" || out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+func main() {
+	out := flag.String("o", "-", "output file (- for stdout)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

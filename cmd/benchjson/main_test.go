@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkIAR/antlr-8   \t     100\t    241000 ns/op\t  1.21 makespan/LB\t       0 allocs/op", "repro")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if b.Name != "BenchmarkIAR/antlr" || b.Procs != 8 || b.Package != "repro" || b.Iterations != 100 {
+		t.Fatalf("parsed header wrong: %+v", b)
+	}
+	want := map[string]float64{"ns/op": 241000, "makespan/LB": 1.21, "allocs/op": 0}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t1.234s",
+		"BenchmarkBroken notanumber ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line, ""); ok {
+			t.Errorf("line %q accepted as a benchmark", line)
+		}
+	}
+}

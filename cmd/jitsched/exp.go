@@ -8,6 +8,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/sim"
 )
 
 // cmdExp runs one (or all) of the paper's experiments and prints its table.
@@ -21,7 +22,7 @@ func cmdExp(args []string) error {
 	fs, scale, bench := expFlags("exp " + which)
 	md := fs.Bool("md", false, "render tables as GitHub-flavoured markdown")
 	par := fs.Int("par", 0, "experiment-runner worker pool size (0 = GOMAXPROCS, 1 = serial)")
-	stats := fs.Bool("stats", false, "print runner job/cache statistics to stderr after the run")
+	stats := fs.Bool("stats", false, "print runner job/cache and evaluator statistics to stderr after the run")
 	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run lasts")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -48,6 +49,7 @@ func cmdExp(args []string) error {
 	if *stats {
 		defer func() {
 			fmt.Fprintln(os.Stderr, eng.Stats().Summary())
+			fmt.Fprintln(os.Stderr, sim.ReadEvalStats().Summary())
 			fmt.Fprintln(os.Stderr, eng.Snapshot())
 		}()
 	}

@@ -68,12 +68,12 @@ type node struct {
 	parent *node
 	event  sim.CompileEvent
 	depth  int
-	// nextLevel[f] is the lowest level still schedulable for f (last+1);
-	// kept only on the node being expanded, derived on demand.
-	compileEnd int64
-	g          int64
-	stop       bool // a "stop" leaf: prefix is a complete schedule, g exact
-	seq        int  // tie-break for deterministic pops
+	// cur is the committed incremental-evaluation state of the prefix (see
+	// eval.go); children resume from it instead of re-simulating the trace.
+	cur  cursor
+	g    int64
+	stop bool // a "stop" leaf: prefix is a complete schedule, g exact
+	seq  int  // tie-break for deterministic pops
 }
 
 // nodeHeap is a min-heap on (g, seq).
@@ -97,15 +97,24 @@ func (h *nodeHeap) Pop() interface{} {
 	return x
 }
 
-// searcher carries the immutable problem plus scratch space.
+// searcher carries the immutable problem plus scratch space. The immutable
+// part (trace, profile, flattened timing tables, order, bestE) is shared
+// read-only by the parallel beam workers; the scratch (pe, counters) belongs
+// to the owning goroutine.
 type searcher struct {
 	tr     *trace.Trace
 	p      *profile.Profile
 	order  []trace.FuncID // functions by first appearance
 	bestE  []int64        // best exec time per function
-	budget int
-	alloc  int
-	seq    int
+	levels int
+	// compile[f*levels+l] and exec[f*levels+l] flatten the profile tables
+	// for the evaluation inner loops.
+	compile []int64
+	exec    []int64
+	pe      *prefixEval
+	budget  int
+	alloc   int
+	seq     int
 }
 
 func newSearcher(tr *trace.Trace, p *profile.Profile, opts Options) (*searcher, error) {
@@ -119,11 +128,19 @@ func newSearcher(tr *trace.Trace, p *profile.Profile, opts Options) (*searcher, 
 	if budget < 0 {
 		return nil, fmt.Errorf("astar: MaxNodes must be non-negative, got %d", opts.MaxNodes)
 	}
-	s := &searcher{tr: tr, p: p, order: tr.FirstCallOrder(), budget: budget}
-	s.bestE = make([]int64, p.NumFuncs())
-	for f := range s.bestE {
+	s := &searcher{tr: tr, p: p, order: tr.FirstCallOrder(), levels: p.Levels, budget: budget}
+	nf := p.NumFuncs()
+	s.bestE = make([]int64, nf)
+	s.compile = make([]int64, nf*p.Levels)
+	s.exec = make([]int64, nf*p.Levels)
+	for f := 0; f < nf; f++ {
 		s.bestE[f] = p.BestExecTime(trace.FuncID(f))
+		for l := 0; l < p.Levels; l++ {
+			s.compile[f*p.Levels+l] = p.CompileTime(trace.FuncID(f), profile.Level(l))
+			s.exec[f*p.Levels+l] = p.ExecTime(trace.FuncID(f), profile.Level(l))
+		}
 	}
+	s.pe = s.newPrefixEval()
 	return s, nil
 }
 
@@ -209,10 +226,12 @@ func (s *searcher) cost(prefix sim.Schedule, full bool) (g, makeSpan int64) {
 
 // children generates the nodes reachable from n per the Fig. 4 tree: any
 // called function may be compiled at any level not below its next allowed
-// level; a lower-level compilation never follows a higher one.
+// level; a lower-level compilation never follows a higher one. The parent's
+// version lists are loaded once; every child is scored by resuming the
+// parent's cursor over the newly-in-window calls.
 func (s *searcher) children(n *node) ([]*node, error) {
 	next, missing := s.statuses(n)
-	base := s.prefix(n)
+	s.pe.load(s.prefix(n))
 	var kids []*node
 	for _, f := range s.order {
 		for l := next[f]; int(l) < s.p.Levels; l++ {
@@ -227,8 +246,7 @@ func (s *searcher) children(n *node) ([]*node, error) {
 				depth:  n.depth + 1,
 				seq:    s.seq,
 			}
-			ext := append(base.Clone(), child.event)
-			child.g, _ = s.cost(ext, false)
+			child.cur, child.g = s.pe.advance(n.cur, child.event)
 			kids = append(kids, child)
 		}
 	}
@@ -239,8 +257,8 @@ func (s *searcher) children(n *node) ([]*node, error) {
 		}
 		s.alloc++
 		s.seq++
-		leaf := &node{parent: n.parent, event: n.event, depth: n.depth, stop: true, seq: s.seq}
-		leaf.g, _ = s.cost(base, true)
+		leaf := &node{parent: n.parent, event: n.event, depth: n.depth, cur: n.cur, stop: true, seq: s.seq}
+		leaf.g, _ = s.pe.finish(n.cur)
 		kids = append(kids, leaf)
 	}
 	return kids, nil
@@ -267,7 +285,8 @@ func Search(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, error) 
 		n := heap.Pop(open).(*node)
 		if n.stop {
 			sched := s.prefix(n)
-			_, span := s.cost(sched, true)
+			s.pe.load(sched)
+			_, span := s.pe.finish(n.cur)
 			res.Schedule = sched
 			res.MakeSpan = span
 			res.Cost = n.g

@@ -2,7 +2,9 @@ package astar
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/profile"
 	"repro/internal/sim"
@@ -21,14 +23,45 @@ import (
 type BeamOptions struct {
 	// Width is the number of prefixes kept per depth (0 means DefaultBeamWidth).
 	Width int
+	// Workers bounds the goroutines expanding a depth's frontier (0 means
+	// GOMAXPROCS, 1 means serial). The result is identical for every worker
+	// count: scoring is a pure function of the node, and the best-schedule
+	// and pruning decisions are replayed serially in frontier order.
+	Workers int
 }
 
 // DefaultBeamWidth keeps a few hundred prefixes per depth.
 const DefaultBeamWidth = 256
 
+// beamNode is one frontier prefix.
+type beamNode struct {
+	sched sim.Schedule
+	next  []profile.Level // next schedulable level per function
+	g     int64
+	cur   cursor // committed incremental-evaluation state of sched
+}
+
+// beamExpansion is what phase 1 computes for one frontier node: its exact
+// cost if complete, plus all its children, scored. Whether a child survives
+// against the evolving best-complete-cost bound is decided later, serially.
+type beamExpansion struct {
+	complete bool
+	full     int64
+	span     int64
+	kids     []beamNode
+}
+
 // BeamSearch explores the schedule tree breadth-first, keeping the Width
 // lowest-cost prefixes at each depth, and returns the best complete schedule
 // encountered. The result is valid but not necessarily optimal.
+//
+// Each depth is expanded in two phases, reusing the worker-pool idiom of
+// internal/runner: phase 1 fans the frontier out over Workers goroutines,
+// each with its own prefixEval scratch, computing every node's completion
+// cost and scored children; phase 2 replays the frontier serially, in
+// order, applying best-schedule updates and the g >= bestCost pruning
+// exactly as the serial loop would. Every observable output — schedule,
+// make-span, cost, node counters — is bit-identical for any worker count.
 func BeamSearch(tr *trace.Trace, p *profile.Profile, opts BeamOptions) (*Result, error) {
 	s, err := newSearcher(tr, p, Options{MaxNodes: 1})
 	if err != nil {
@@ -41,6 +74,13 @@ func BeamSearch(tr *trace.Trace, p *profile.Profile, opts BeamOptions) (*Result,
 	if width < 1 {
 		return nil, fmt.Errorf("astar: beam width must be >= 1, got %d", opts.Width)
 	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("astar: beam workers must be >= 1, got %d", opts.Workers)
+	}
 	res := &Result{PathsTotal: totalPaths(len(s.order), p.Levels)}
 	if len(s.order) == 0 {
 		res.Complete = true
@@ -48,11 +88,6 @@ func BeamSearch(tr *trace.Trace, p *profile.Profile, opts BeamOptions) (*Result,
 		return res, nil
 	}
 
-	type beamNode struct {
-		sched sim.Schedule
-		next  []profile.Level
-		g     int64
-	}
 	start := beamNode{next: make([]profile.Level, p.NumFuncs())}
 	frontier := []beamNode{start}
 	const inf = int64(1)<<62 - 1
@@ -60,38 +95,83 @@ func BeamSearch(tr *trace.Trace, p *profile.Profile, opts BeamOptions) (*Result,
 	var bestSched sim.Schedule
 	var bestSpan int64
 
+	// expand computes one frontier node's beamExpansion on the caller's
+	// scratch. It reads only immutable searcher state.
+	expand := func(pe *prefixEval, n beamNode) beamExpansion {
+		var ex beamExpansion
+		pe.load(n.sched)
+		missing := 0
+		for _, f := range s.order {
+			if n.next[f] == 0 {
+				missing++
+			}
+		}
+		if missing == 0 {
+			ex.complete = true
+			ex.full, ex.span = pe.finish(n.cur)
+		}
+		for _, f := range s.order {
+			for l := n.next[f]; int(l) < p.Levels; l++ {
+				child := beamNode{
+					sched: append(n.sched.Clone(), sim.CompileEvent{Func: f, Level: l}),
+					next:  append([]profile.Level(nil), n.next...),
+				}
+				child.next[f] = l + 1
+				child.cur, child.g = pe.advance(n.cur, sim.CompileEvent{Func: f, Level: l})
+				ex.kids = append(ex.kids, child)
+			}
+		}
+		return ex
+	}
+
 	maxDepth := len(s.order) * p.Levels
+	expansions := make([]beamExpansion, 0, width)
 	for depth := 0; depth < maxDepth && len(frontier) > 0; depth++ {
+		// Phase 1: score the frontier in parallel.
+		expansions = expansions[:0]
+		expansions = append(expansions, make([]beamExpansion, len(frontier))...)
+		if w := min(workers, len(frontier)); w <= 1 {
+			expand0 := s.pe
+			for i := range frontier {
+				expansions[i] = expand(expand0, frontier[i])
+			}
+		} else {
+			idx := make(chan int)
+			var wg sync.WaitGroup
+			for k := 0; k < w; k++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					pe := s.newPrefixEval()
+					for i := range idx {
+						expansions[i] = expand(pe, frontier[i])
+					}
+				}()
+			}
+			for i := range frontier {
+				idx <- i
+			}
+			close(idx)
+			wg.Wait()
+		}
+
+		// Phase 2: replay serially in frontier order — identical decisions
+		// to the serial loop.
 		var next []beamNode
-		for _, n := range frontier {
+		for i := range frontier {
 			res.NodesExpanded++
-			missing := 0
-			for _, f := range s.order {
-				if n.next[f] == 0 {
-					missing++
-				}
+			ex := &expansions[i]
+			if ex.complete && ex.full < bestCost {
+				bestCost = ex.full
+				bestSched = frontier[i].sched.Clone()
+				bestSpan = ex.span
 			}
-			if missing == 0 {
-				if full, span := s.cost(n.sched, true); full < bestCost {
-					bestCost = full
-					bestSched = n.sched.Clone()
-					bestSpan = span
+			for _, child := range ex.kids {
+				if child.g >= bestCost {
+					continue // cannot beat the best complete schedule
 				}
-			}
-			for _, f := range s.order {
-				for l := n.next[f]; int(l) < p.Levels; l++ {
-					child := beamNode{
-						sched: append(n.sched.Clone(), sim.CompileEvent{Func: f, Level: l}),
-						next:  append([]profile.Level(nil), n.next...),
-					}
-					child.next[f] = l + 1
-					child.g, _ = s.cost(child.sched, false)
-					if child.g >= bestCost {
-						continue // cannot beat the best complete schedule
-					}
-					next = append(next, child)
-					res.NodesAllocated++
-				}
+				next = append(next, child)
+				res.NodesAllocated++
 			}
 		}
 		sort.SliceStable(next, func(i, j int) bool { return next[i].g < next[j].g })

@@ -1,0 +1,154 @@
+package astar
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// randomPrefix builds a random legal prefix (per-function ascending levels)
+// of the given depth, plus the per-function next-level state reached.
+func randomPrefix(rng *rand.Rand, order []trace.FuncID, levels, depth int) sim.Schedule {
+	nextOf := map[trace.FuncID]profile.Level{}
+	var prefix sim.Schedule
+	for len(prefix) < depth {
+		// Collect the functions that can still take an event; a level jump
+		// (l > next) burns the skipped levels, so capacity shrinks fast.
+		var open []trace.FuncID
+		for _, f := range order {
+			if int(nextOf[f]) < levels {
+				open = append(open, f)
+			}
+		}
+		if len(open) == 0 {
+			break
+		}
+		f := open[rng.Intn(len(open))]
+		nl := nextOf[f]
+		l := nl + profile.Level(rng.Intn(levels-int(nl)))
+		prefix = append(prefix, sim.CompileEvent{Func: f, Level: l})
+		nextOf[f] = l + 1
+	}
+	return prefix
+}
+
+// TestCursorMatchesCost pins the incremental prefix evaluation to the
+// reference cost function: for randomized legal prefixes, the cursor chain
+// built by advance reproduces cost(prefix, false) at every step, and finish
+// reproduces cost(prefix, true) — g and make-span both — once the prefix is
+// complete.
+func TestCursorMatchesCost(t *testing.T) {
+	for seed := int64(500); seed < 540; seed++ {
+		tr, p := tinyInstance(4, 20, seed)
+		s, err := newSearcher(tr, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		maxDepth := len(s.order) * p.Levels
+		prefix := randomPrefix(rng, s.order, p.Levels, 1+rng.Intn(maxDepth))
+
+		pe := s.newPrefixEval()
+		var cur cursor
+		for i := 1; i <= len(prefix); i++ {
+			pe.load(prefix[:i-1])
+			var g int64
+			cur, g = pe.advance(cur, prefix[i-1])
+			wantG, _ := s.cost(prefix[:i], false)
+			if g != wantG {
+				t.Fatalf("seed %d depth %d: advance g = %d, cost = %d (prefix %v)",
+					seed, i, g, wantG, prefix[:i])
+			}
+		}
+
+		// Complete the prefix (compile every still-missing function at level
+		// 0) and compare the exact evaluation.
+		compiled := make(map[trace.FuncID]bool)
+		for _, ev := range prefix {
+			compiled[ev.Func] = true
+		}
+		full := prefix.Clone()
+		for _, f := range s.order {
+			if !compiled[f] {
+				pe.load(full)
+				var g int64
+				ev := sim.CompileEvent{Func: f, Level: 0}
+				cur, g = pe.advance(cur, ev)
+				full = append(full, ev)
+				if wantG, _ := s.cost(full, false); g != wantG {
+					t.Fatalf("seed %d: completing advance g = %d, cost = %d", seed, g, wantG)
+				}
+			}
+		}
+		pe.load(full)
+		g, span := pe.finish(cur)
+		wantG, wantSpan := s.cost(full, true)
+		if g != wantG || span != wantSpan {
+			t.Fatalf("seed %d: finish = (%d, %d), cost(full) = (%d, %d) for %v",
+				seed, g, span, wantG, wantSpan, full)
+		}
+	}
+}
+
+// TestBeamWorkersBitIdentical is the parallel-expansion determinism
+// contract: every observable Result field is identical for 1, 2, and 8
+// workers, across instances and widths.
+func TestBeamWorkersBitIdentical(t *testing.T) {
+	for seed := int64(700); seed < 712; seed++ {
+		tr, p := tinyInstance(3+int(seed%4), 16, seed)
+		for _, width := range []int{4, 64} {
+			serial, err := BeamSearch(tr, p, BeamOptions{Width: width, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				par, err := BeamSearch(tr, p, BeamOptions{Width: width, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial, par) {
+					t.Errorf("seed %d width %d: %d-worker result differs from serial:\nserial: %+v\npar:    %+v",
+						seed, width, workers, serial, par)
+				}
+			}
+		}
+	}
+}
+
+// TestBeamRejectsBadWorkers covers the new option's validation.
+func TestBeamRejectsBadWorkers(t *testing.T) {
+	tr, p := tinyInstance(3, 10, 1)
+	if _, err := BeamSearch(tr, p, BeamOptions{Workers: -2}); err == nil {
+		t.Error("negative worker count accepted")
+	}
+}
+
+// BenchmarkBeamSearch measures the full beam pipeline (incremental scoring
+// plus parallel expansion) on a mid-size instance.
+func BenchmarkBeamSearch(b *testing.B) {
+	tr, p := tinyInstance(7, 60, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BeamSearch(tr, p, BeamOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBeamSearchSerial is the single-worker reference for the parallel
+// speedup.
+func BenchmarkBeamSearchSerial(b *testing.B) {
+	tr, p := tinyInstance(7, 60, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BeamSearch(tr, p, BeamOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -48,6 +48,29 @@ type iarFunc struct {
 	appended int   // index of this function's appended high event in the schedule, or -1
 }
 
+// iarInitN1 runs the low-level init schedule (every function in
+// first-appearance order) through the shared evaluator once, and returns the
+// per-function count of calls issued while that schedule is still compiling —
+// Formula 2's f.n1. IAR and ClassifyIAR share this pass; it is the only
+// recorded-calls scan step 2 needs.
+func iarInitN1(eval *sim.Evaluator, tr *trace.Trace, nf int, order []trace.FuncID, low profile.Level) ([]int64, error) {
+	initSched := make(Schedule, len(order))
+	for i, f := range order {
+		initSched[i] = sim.CompileEvent{Func: f, Level: low}
+	}
+	res, err := eval.Run(initSched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
+	if err != nil {
+		return nil, err
+	}
+	n1 := make([]int64, nf)
+	for i, f := range tr.Calls {
+		if res.CallStarts[i] < res.CompileEnd {
+			n1[f]++
+		}
+	}
+	return n1, nil
+}
+
 // IAR computes a compilation schedule with the Init-Append-Replace heuristic
 // of §5.1 (Fig. 3).
 //
@@ -74,7 +97,9 @@ type iarFunc struct {
 //
 // The returned schedule compiles every called function at least once. Cost is
 // O(N + M log M) for N calls and M distinct functions, dominated by three
-// linear simulation passes.
+// linear simulation passes. All passes share one sim.Evaluator, so the
+// per-pass arenas are allocated once; results are consumed before the next
+// pass reuses them.
 func IAR(tr *trace.Trace, p *profile.Profile, opts IAROptions) (Schedule, error) {
 	if opts.K == 0 {
 		opts.K = 5
@@ -118,25 +143,16 @@ func IAR(tr *trace.Trace, p *profile.Profile, opts IAROptions) (Schedule, error)
 		funcs[i] = ff
 	}
 
-	// Step 1 (init): low-level compilations in first-appearance order.
-	initSched := make(Schedule, len(order))
-	for i, ff := range funcs {
-		initSched[i] = sim.CompileEvent{Func: ff.f, Level: ff.low}
-	}
-
-	// n1: calls to each function issued while the init schedule is still
-	// compiling (Formula 2's f.n1). One simulation of the init schedule
-	// yields per-call start times.
-	initRes, err := sim.Run(tr, p, initSched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
+	eval, err := sim.NewEvaluator(tr, p)
 	if err != nil {
 		return nil, err
 	}
-	initCompileEnd := initRes.CompileEnd
-	n1 := make(map[trace.FuncID]int64, len(order))
-	for i, f := range tr.Calls {
-		if initRes.CallStarts[i] < initCompileEnd {
-			n1[f]++
-		}
+
+	// Steps 1 and 2a (init + n1): one recorded-calls pass over the low-level
+	// init schedule yields Formula 2's per-function n1.
+	n1, err := iarInitN1(eval, tr, p.NumFuncs(), order, opts.LowLevel)
+	if err != nil {
+		return nil, err
 	}
 
 	// Step 2 (classify, then append & replace).
@@ -175,22 +191,19 @@ func IAR(tr *trace.Trace, p *profile.Profile, opts IAROptions) (Schedule, error)
 	// position onward. Delaying the initial compilations also delays any
 	// recompilations still appended behind them, which can cost more than
 	// the replacements save, so the step is applied transactionally: keep
-	// the replacements only if a re-simulation confirms they did not regress
+	// the replacements only if a re-evaluation confirms they did not regress
 	// the make-span.
 	if !opts.DisableFillSlack {
-		res, err := sim.Run(tr, p, sched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
+		res, err := eval.Run(sched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
 		if err != nil {
 			return nil, err
 		}
+		// Consume the result before the verification pass reuses the arena.
+		baseSpan := res.MakeSpan
+		firstCalls := tr.FirstCalls()
 		slack := make([]int64, len(funcs)) // indexed by init position
-		firstStart := make(map[trace.FuncID]int64, len(funcs))
-		for i, f := range tr.Calls {
-			if _, seen := firstStart[f]; !seen {
-				firstStart[f] = res.CallStarts[i]
-			}
-		}
 		for i, ff := range funcs {
-			slack[i] = firstStart[ff.f] - res.Compiles[i].Done
+			slack[i] = res.CallStarts[firstCalls[ff.f]] - res.Compiles[i].Done
 		}
 		// suffMin[i] = min slack over positions >= i.
 		suffMin := make([]int64, len(funcs)+1)
@@ -225,11 +238,13 @@ func IAR(tr *trace.Trace, p *profile.Profile, opts IAROptions) (Schedule, error)
 				}
 			}
 			candidate = compact
-			after, err := sim.Run(tr, p, candidate, sim.DefaultConfig(), sim.Options{})
+			// A multi-position edit, so MakeSpanOf falls back to a full
+			// (still allocation-free) evaluator run.
+			after, err := eval.MakeSpanOf(candidate, sim.DefaultConfig(), sim.Options{})
 			if err != nil {
 				return nil, err
 			}
-			if after.MakeSpan <= res.MakeSpan {
+			if after <= baseSpan {
 				sched = candidate
 				for _, ff := range changed {
 					ff.appended = -1
@@ -244,19 +259,22 @@ func IAR(tr *trace.Trace, p *profile.Profile, opts IAROptions) (Schedule, error)
 	// free; prioritize the functions with the most calls after compilation
 	// ends.
 	if !opts.DisableFillGap {
-		res, err := sim.Run(tr, p, sched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
+		res, err := eval.Run(sched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
 		if err != nil {
 			return nil, err
 		}
 		tgap := res.MakeSpan - res.CompileEnd
 		if tgap > 0 {
-			maxLevel := make(map[trace.FuncID]profile.Level, len(funcs))
+			maxLevel := make([]profile.Level, p.NumFuncs())
+			for i := range maxLevel {
+				maxLevel[i] = -1
+			}
 			for _, ev := range sched {
-				if l, ok := maxLevel[ev.Func]; !ok || ev.Level > l {
+				if ev.Level > maxLevel[ev.Func] {
 					maxLevel[ev.Func] = ev.Level
 				}
 			}
-			lateCalls := make(map[trace.FuncID]int64, len(funcs))
+			lateCalls := make([]int64, p.NumFuncs())
 			for i, f := range tr.Calls {
 				if res.CallStarts[i] >= res.CompileEnd {
 					lateCalls[f]++
@@ -312,19 +330,13 @@ func ClassifyIAR(tr *trace.Trace, p *profile.Profile, opts IAROptions) (IARClass
 	}
 	counts := tr.Counts()
 
-	initSched := make(Schedule, len(order))
-	for i, f := range order {
-		initSched[i] = sim.CompileEvent{Func: f, Level: 0}
-	}
-	res, err := sim.Run(tr, p, initSched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
+	eval, err := sim.NewEvaluator(tr, p)
 	if err != nil {
 		return cls, err
 	}
-	n1 := make(map[trace.FuncID]int64, len(order))
-	for i, f := range tr.Calls {
-		if res.CallStarts[i] < res.CompileEnd {
-			n1[f]++
-		}
+	n1, err := iarInitN1(eval, tr, p.NumFuncs(), order, 0)
+	if err != nil {
+		return cls, err
 	}
 	for _, f := range order {
 		n := counts[f]

@@ -183,6 +183,10 @@ func (r *FigResult) Averages() map[string]float64 {
 // runSchemes evaluates the standard scheme set on one workload under the
 // given cost-benefit model: lower bound, IAR, the default Jikes scheme, and
 // the two single-level approximations.
+// One sim.Evaluator per job serves every static-schedule simulation of the
+// row, so the per-run arenas are allocated once; each Result is reduced to
+// scalars (norm) before the next scheme reuses them. Policy-driven schemes
+// still go through sim.RunPolicy.
 func runSchemes(w *dacapo.Workload, model profile.CostModel, iarK int64) (BenchResult, error) {
 	tr, p := w.Trace, w.Profile
 	cfg := sim.DefaultConfig()
@@ -190,6 +194,10 @@ func runSchemes(w *dacapo.Workload, model profile.CostModel, iarK int64) (BenchR
 	row.LowerBound = core.ModelLowerBound(tr, p, model)
 	if row.LowerBound <= 0 {
 		return row, fmt.Errorf("experiments: %s: non-positive lower bound", w.Bench.Name)
+	}
+	eval, err := sim.NewEvaluator(tr, p)
+	if err != nil {
+		return row, err
 	}
 	norm := func(span, bubble int64) SchemeResult {
 		return SchemeResult{
@@ -204,7 +212,7 @@ func runSchemes(w *dacapo.Workload, model profile.CostModel, iarK int64) (BenchR
 	if err != nil {
 		return row, fmt.Errorf("experiments: %s: IAR: %w", w.Bench.Name, err)
 	}
-	iarRes, err := sim.Run(tr, p, iarSched, cfg, sim.Options{})
+	iarRes, err := eval.Run(iarSched, cfg, sim.Options{})
 	if err != nil {
 		return row, err
 	}
@@ -220,13 +228,13 @@ func runSchemes(w *dacapo.Workload, model profile.CostModel, iarK int64) (BenchR
 	}
 	row.Schemes[SchemeDefault] = norm(defRes.MakeSpan, defRes.TotalBubble)
 
-	baseRes, err := sim.Run(tr, p, core.SingleLevelBase(tr), cfg, sim.Options{})
+	baseRes, err := eval.Run(core.SingleLevelBase(tr), cfg, sim.Options{})
 	if err != nil {
 		return row, err
 	}
 	row.Schemes[SchemeBaseOnly] = norm(baseRes.MakeSpan, baseRes.TotalBubble)
 
-	optRes, err := sim.Run(tr, p, core.SingleLevelOptimizing(tr, model), cfg, sim.Options{})
+	optRes, err := eval.Run(core.SingleLevelOptimizing(tr, model), cfg, sim.Options{})
 	if err != nil {
 		return row, err
 	}
@@ -287,6 +295,10 @@ func Fig8(opts Options) (*FigResult, error) {
 		model := profile.NewEstimated(p2, profile.DefaultEstimatedConfig(int64(len(b.Name))*37+11))
 		cfg := sim.DefaultConfig()
 
+		eval, err := sim.NewEvaluator(tr, p2)
+		if err != nil {
+			return BenchResult{}, err
+		}
 		row := BenchResult{Benchmark: b.Name, Schemes: make(map[string]SchemeResult, 5)}
 		row.LowerBound = core.ModelLowerBound(tr, p2, model)
 		norm := func(span, bubble int64) SchemeResult {
@@ -302,7 +314,7 @@ func Fig8(opts Options) (*FigResult, error) {
 		if err != nil {
 			return BenchResult{}, err
 		}
-		iarRes, err := sim.Run(tr, p2, iarSched, cfg, sim.Options{})
+		iarRes, err := eval.Run(iarSched, cfg, sim.Options{})
 		if err != nil {
 			return BenchResult{}, err
 		}
@@ -318,13 +330,13 @@ func Fig8(opts Options) (*FigResult, error) {
 		}
 		row.Schemes[SchemeV8] = norm(v8Res.MakeSpan, v8Res.TotalBubble)
 
-		baseRes, err := sim.Run(tr, p2, core.SingleLevelBase(tr), cfg, sim.Options{})
+		baseRes, err := eval.Run(core.SingleLevelBase(tr), cfg, sim.Options{})
 		if err != nil {
 			return BenchResult{}, err
 		}
 		row.Schemes[SchemeBaseOnly] = norm(baseRes.MakeSpan, baseRes.TotalBubble)
 
-		optRes, err := sim.Run(tr, p2, core.SingleLevelOptimizing(tr, model), cfg, sim.Options{})
+		optRes, err := eval.Run(core.SingleLevelOptimizing(tr, model), cfg, sim.Options{})
 		if err != nil {
 			return BenchResult{}, err
 		}
@@ -390,12 +402,17 @@ func Fig7(opts Options) (*Fig7Result, error) {
 		if err != nil {
 			return Fig7Row{}, err
 		}
+		eval, err := sim.NewEvaluator(w.Trace, w.Profile)
+		if err != nil {
+			return Fig7Row{}, err
+		}
 		row := Fig7Row{Benchmark: b.Name, SpeedupByWorkers: make(map[int]float64, len(workerCounts))}
 		// The worker counts stay serial inside the job: each speedup is
-		// relative to the same benchmark's 1-worker base.
+		// relative to the same benchmark's 1-worker base, and one evaluator
+		// serves the whole sweep.
 		var base int64
 		for _, workers := range workerCounts {
-			r, err := sim.Run(w.Trace, w.Profile, sched, sim.Config{CompileWorkers: workers}, sim.Options{})
+			r, err := eval.Run(sched, sim.Config{CompileWorkers: workers}, sim.Options{})
 			if err != nil {
 				return Fig7Row{}, err
 			}

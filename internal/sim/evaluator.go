@@ -1,0 +1,494 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// Evaluator is the allocation-free fast path for repeated static-schedule
+// simulation over one (trace, profile) pair — the inner loop behind IAR's
+// passes, the beam/A* searches, and the experiment harnesses, all of which
+// evaluate thousands of schedules against the same workload.
+//
+// Construction precomputes everything derivable from the trace and profile
+// alone: the flattened per-function/per-level compile and exec time tables
+// (one slice index instead of two pointer hops), and the trace's memoized
+// indices. Run then reuses zeroed scratch buffers — version lists, the
+// compile worker pool, the per-call records, the Result itself — so that
+// after the first call (the warm-up that sizes the arenas) a Run performs no
+// heap allocation at all. TestEvaluatorZeroAlloc holds it to that.
+//
+// # Identical-results contract
+//
+// Evaluator.Run computes exactly what sim.Run computes: same Result fields,
+// same error values, same Recorder event stream, tick for tick. The fast
+// path changes how the numbers are computed, never which numbers. The
+// differential tests in evaluator_test.go pin this across the fuzz seed
+// corpus.
+//
+// # Delta evaluation
+//
+// After a successful Run (the baseline), the two schedule edits the search
+// algorithms actually make — upgrade one event's level in place, append one
+// event at the tail — can be scored without replaying the whole run:
+// UpgradedMakeSpan and AppendedMakeSpan rebuild only the compile side (O(M)
+// for M events) and resume the execution loop at the first call the edit can
+// possibly affect, found by binary search over the baseline call starts.
+// MakeSpanOf is the transparent entry point: it diffs a candidate schedule
+// against the baseline and takes the incremental path when the candidate is
+// one supported edit away, falling back to a full (still allocation-free)
+// simulation otherwise.
+//
+// An Evaluator is not safe for concurrent use; parallel harnesses use one
+// evaluator per worker. Results returned by Run alias the evaluator's arena
+// and are valid only until the next Run/MakeSpanOf call.
+type Evaluator struct {
+	tr     *trace.Trace
+	p      *profile.Profile
+	nf     int
+	levels int
+	// compile[f*levels+l] and exec[f*levels+l] flatten the profile tables.
+	compile []int64
+	exec    []int64
+
+	// Per-run scratch, reused across Run calls.
+	versions   []versionList
+	pool       workerPool
+	res        Result
+	compiles   []CompileRecord
+	firstReady []int64
+	compiled   []bool
+
+	// Per-call records of the last Run; always filled (they double as the
+	// delta baseline), exposed on the Result only under Options.RecordCalls.
+	callStarts []int64
+	callEnds   []int64
+	callLevels []profile.Level
+
+	// Baseline of the last successful Run, for delta evaluation.
+	baseValid bool
+	baseSched Schedule
+	baseCfg   Config
+	baseOpts  Options
+	baseSpan  int64
+
+	// Delta scratch: the edited schedule's compile side is rebuilt here so
+	// the baseline's version lists stay untouched.
+	dVersions []versionList
+	dPool     workerPool
+
+	runs int64
+}
+
+// NewEvaluator builds an evaluator for the trace/profile pair. The trace is
+// treated as immutable from here on (its derived indices are memoized).
+func NewEvaluator(tr *trace.Trace, p *profile.Profile) (*Evaluator, error) {
+	nf, levels := p.NumFuncs(), p.Levels
+	if levels <= 0 {
+		return nil, fmt.Errorf("sim: evaluator needs a profile with positive Levels, got %d", levels)
+	}
+	for f := range p.Funcs {
+		ft := &p.Funcs[f]
+		if len(ft.Compile) != levels || len(ft.Exec) != levels {
+			return nil, fmt.Errorf("sim: evaluator: function %d has %d compile / %d exec levels, want %d",
+				f, len(ft.Compile), len(ft.Exec), levels)
+		}
+	}
+	e := &Evaluator{
+		tr: tr, p: p, nf: nf, levels: levels,
+		compile:    make([]int64, nf*levels),
+		exec:       make([]int64, nf*levels),
+		versions:   make([]versionList, nf),
+		dVersions:  make([]versionList, nf),
+		firstReady: make([]int64, nf),
+		compiled:   make([]bool, nf),
+		callStarts: make([]int64, 0, tr.Len()),
+		callEnds:   make([]int64, 0, tr.Len()),
+		callLevels: make([]profile.Level, 0, tr.Len()),
+	}
+	for f := 0; f < nf; f++ {
+		ft := &p.Funcs[f]
+		for l := 0; l < levels; l++ {
+			e.compile[f*levels+l] = ft.Compile[l]
+			e.exec[f*levels+l] = ft.Exec[l]
+		}
+	}
+	evalCounters.evaluators.Add(1)
+	return e, nil
+}
+
+// Run replays a static compilation schedule exactly as sim.Run does,
+// reusing the evaluator's arenas. The returned Result is valid until the
+// next call on this evaluator.
+func (e *Evaluator) Run(sched Schedule, cfg Config, opts Options) (*Result, error) {
+	e.baseValid = false
+	if cfg.CompileWorkers < 1 {
+		return nil, fmt.Errorf("sim: Config.CompileWorkers must be >= 1, got %d", cfg.CompileWorkers)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	// Inline schedule validation: the same checks, in the same order, with
+	// the same messages as Schedule.Validate, against the reusable buffer.
+	clear(e.compiled)
+	for i, ev := range sched {
+		if ev.Func < 0 || int(ev.Func) >= e.nf {
+			return nil, fmt.Errorf("sim: schedule event %d references unknown function %d", i, ev.Func)
+		}
+		if ev.Level < 0 || int(ev.Level) >= e.levels {
+			return nil, fmt.Errorf("sim: schedule event %d uses level %d outside [0,%d)", i, ev.Level, e.levels)
+		}
+		e.compiled[ev.Func] = true
+	}
+	for i, f := range e.tr.Calls {
+		if int(f) >= len(e.compiled) || !e.compiled[f] {
+			return nil, fmt.Errorf("sim: call %d invokes function %d which the schedule never compiles", i, f)
+		}
+	}
+
+	res := &e.res
+	*res = Result{Compiles: e.compiles[:0], FirstReady: e.firstReady}
+	for f := range e.versions {
+		e.versions[f].done = e.versions[f].done[:0]
+		e.versions[f].levels = e.versions[f].levels[:0]
+	}
+	if cap(e.pool.free) < cfg.CompileWorkers {
+		e.pool.free = make([]int64, cfg.CompileWorkers)
+	} else {
+		e.pool.free = e.pool.free[:cfg.CompileWorkers]
+		clear(e.pool.free)
+	}
+
+	rec := opts.Recorder
+	for si, ev := range sched {
+		w, start, done := e.pool.assign(0, e.compile[int(ev.Func)*e.levels+int(ev.Level)])
+		res.Compiles = append(res.Compiles, CompileRecord{Event: ev, Start: start, Done: done, Worker: w})
+		rec.CompileStart(start, int32(ev.Func), int32(ev.Level), int32(w), int32(si))
+		rec.CompileEnd(done, int32(ev.Func), int32(ev.Level), int32(w), int32(si))
+		e.versions[ev.Func].insert(done, ev.Level)
+		res.CompileBusy += done - start
+		if done > res.CompileEnd {
+			res.CompileEnd = done
+		}
+	}
+	e.compiles = res.Compiles
+	for f := range e.versions {
+		e.firstReady[f] = e.versions[f].firstReady()
+	}
+
+	starts, ends, lvls := e.callStarts[:0], e.callEnds[:0], e.callLevels[:0]
+	var execT int64
+	for i, f := range e.tr.Calls {
+		start := execT
+		if ready := e.versions[f].firstReady(); ready > start {
+			start = ready
+		}
+		if start > execT {
+			res.TotalBubble += start - execT
+			res.BubbleCount++
+			rec.Stall(execT, start-execT, int32(f), int32(i))
+		}
+		level, ok := e.versions[f].latestAt(start)
+		if !ok {
+			e.callStarts, e.callEnds, e.callLevels = starts, ends, lvls
+			return nil, &ErrNoReadyVersion{Func: f, Time: start}
+		}
+		dur := e.exec[int(f)*e.levels+int(level)]
+		if opts.ExecVariation > 0 {
+			dur = scaleDuration(dur, CallFactor(opts.ExecVariationSeed, i, opts.ExecVariation))
+		}
+		starts = append(starts, start)
+		ends = append(ends, start+dur)
+		lvls = append(lvls, level)
+		rec.ExecStart(start, int32(f), int32(level), int32(i))
+		rec.ExecEnd(start+dur, int32(f), int32(level), int32(i))
+		res.TotalExec += dur
+		execT = start + dur
+	}
+	res.MakeSpan = execT
+	e.callStarts, e.callEnds, e.callLevels = starts, ends, lvls
+	if opts.RecordCalls {
+		res.CallStarts = starts
+		res.CallLevels = lvls
+	}
+
+	e.runs++
+	evalCounters.runs.Add(1)
+	if e.runs > 1 {
+		evalCounters.warmRuns.Add(1)
+	}
+	if opts.Recorder == nil {
+		// A recorded run cannot serve as a delta baseline: the incremental
+		// path emits no span events, so it would silently drop them.
+		e.baseValid = true
+		e.baseSched = append(e.baseSched[:0], sched...)
+		e.baseCfg = cfg
+		e.baseOpts = opts
+		e.baseSpan = res.MakeSpan
+	}
+	return res, nil
+}
+
+// EditKind selects one of the two schedule edits with an incremental path.
+type EditKind int
+
+const (
+	// EditUpgrade changes the level of one existing event in place.
+	EditUpgrade EditKind = iota
+	// EditAppend adds one event at the tail of the schedule.
+	EditAppend
+)
+
+// Edit describes a single-event schedule edit relative to the baseline.
+type Edit struct {
+	Kind EditKind
+	// Pos is the edited event's index (EditUpgrade only).
+	Pos int
+	// Event is the new event: for EditUpgrade its Func must match the
+	// baseline event at Pos.
+	Event CompileEvent
+}
+
+// MakeSpanOf evaluates a candidate schedule's make-span, taking the
+// incremental delta path when the candidate differs from the last Run's
+// schedule by exactly one supported edit (one in-place level change, or one
+// appended tail event) under the same configuration, and transparently
+// falling back to a full — still allocation-free — simulation otherwise.
+// The fallback replaces the baseline with the candidate run.
+func (e *Evaluator) MakeSpanOf(sched Schedule, cfg Config, opts Options) (int64, error) {
+	if e.baseValid && cfg == e.baseCfg && opts.Recorder == nil &&
+		opts.ExecVariation == e.baseOpts.ExecVariation &&
+		opts.ExecVariationSeed == e.baseOpts.ExecVariationSeed {
+		if ed, kind := e.diff(sched); kind != diffFar {
+			evalCounters.deltaFast.Add(1)
+			if kind == diffSame {
+				return e.baseSpan, nil
+			}
+			return e.editedMakeSpan(ed)
+		}
+	}
+	evalCounters.deltaFull.Add(1)
+	res, err := e.Run(sched, cfg, opts)
+	if err != nil {
+		return 0, err
+	}
+	return res.MakeSpan, nil
+}
+
+const (
+	diffSame = iota // identical to the baseline schedule
+	diffEdit        // exactly one supported edit away
+	diffFar         // anything else: full simulation required
+)
+
+// diff classifies a candidate schedule against the baseline.
+func (e *Evaluator) diff(sched Schedule) (Edit, int) {
+	base := e.baseSched
+	switch {
+	case len(sched) == len(base):
+		pos := -1
+		for i := range sched {
+			if sched[i] != base[i] {
+				if pos >= 0 || sched[i].Func != base[i].Func {
+					return Edit{}, diffFar
+				}
+				pos = i
+			}
+		}
+		if pos < 0 {
+			return Edit{}, diffSame
+		}
+		if sched[pos].Level < 0 || int(sched[pos].Level) >= e.levels {
+			return Edit{}, diffFar
+		}
+		return Edit{Kind: EditUpgrade, Pos: pos, Event: sched[pos]}, diffEdit
+	case len(sched) == len(base)+1:
+		for i := range base {
+			if sched[i] != base[i] {
+				return Edit{}, diffFar
+			}
+		}
+		ev := sched[len(base)]
+		if ev.Func < 0 || int(ev.Func) >= e.nf || ev.Level < 0 || int(ev.Level) >= e.levels {
+			return Edit{}, diffFar
+		}
+		return Edit{Kind: EditAppend, Event: ev}, diffEdit
+	}
+	return Edit{}, diffFar
+}
+
+// UpgradedMakeSpan returns the make-span of the baseline schedule with event
+// pos's level changed to level, computed incrementally. It requires a prior
+// successful Run on this evaluator.
+func (e *Evaluator) UpgradedMakeSpan(pos int, level profile.Level) (int64, error) {
+	if !e.baseValid {
+		return 0, fmt.Errorf("sim: evaluator has no baseline run for delta evaluation")
+	}
+	if pos < 0 || pos >= len(e.baseSched) {
+		return 0, fmt.Errorf("sim: delta upgrade position %d outside schedule of %d events", pos, len(e.baseSched))
+	}
+	if level < 0 || int(level) >= e.levels {
+		return 0, fmt.Errorf("sim: delta upgrade level %d outside [0,%d)", level, e.levels)
+	}
+	evalCounters.deltaFast.Add(1)
+	return e.editedMakeSpan(Edit{Kind: EditUpgrade, Pos: pos,
+		Event: CompileEvent{Func: e.baseSched[pos].Func, Level: level}})
+}
+
+// AppendedMakeSpan returns the make-span of the baseline schedule with ev
+// appended at the tail, computed incrementally. It requires a prior
+// successful Run on this evaluator.
+func (e *Evaluator) AppendedMakeSpan(ev CompileEvent) (int64, error) {
+	if !e.baseValid {
+		return 0, fmt.Errorf("sim: evaluator has no baseline run for delta evaluation")
+	}
+	if ev.Func < 0 || int(ev.Func) >= e.nf {
+		return 0, fmt.Errorf("sim: delta append references unknown function %d", ev.Func)
+	}
+	if ev.Level < 0 || int(ev.Level) >= e.levels {
+		return 0, fmt.Errorf("sim: delta append uses level %d outside [0,%d)", ev.Level, e.levels)
+	}
+	evalCounters.deltaFast.Add(1)
+	return e.editedMakeSpan(Edit{Kind: EditAppend, Event: ev})
+}
+
+// editedMakeSpan computes the edited schedule's make-span by rebuilding the
+// compile side in the delta scratch and resuming the execution loop at the
+// first call the edit can affect.
+//
+// Correctness: let tAffect be the minimum over all events whose finished
+// version changed of min(old finish, new finish). Every recorded call start
+// is >= its function's first-ready time, so a call with start < tAffect saw
+// only versions finishing at or before its start — all unchanged — and its
+// start, level, and end are identical in the edited run. The loop therefore
+// resumes at the first baseline call start >= tAffect (binary search; starts
+// are non-decreasing) with the predecessor's end as the exec clock.
+func (e *Evaluator) editedMakeSpan(ed Edit) (int64, error) {
+	w := e.baseCfg.CompileWorkers
+	for f := range e.dVersions {
+		e.dVersions[f].done = e.dVersions[f].done[:0]
+		e.dVersions[f].levels = e.dVersions[f].levels[:0]
+	}
+	if cap(e.dPool.free) < w {
+		e.dPool.free = make([]int64, w)
+	} else {
+		e.dPool.free = e.dPool.free[:w]
+		clear(e.dPool.free)
+	}
+
+	const inf = int64(1) << 62
+	tAffect := inf
+	for j, ev := range e.baseSched {
+		level := ev.Level
+		if ed.Kind == EditUpgrade && j == ed.Pos {
+			level = ed.Event.Level
+		}
+		_, _, done := e.dPool.assign(0, e.compile[int(ev.Func)*e.levels+int(level)])
+		e.dVersions[ev.Func].insert(done, level)
+		old := e.compiles[j].Done
+		// A shifted finish time affects calls from min(old, new) on; a level
+		// change with an unshifted finish still swaps the version visible
+		// from that finish time on.
+		if done != old || level != ev.Level {
+			m := done
+			if old < m {
+				m = old
+			}
+			if m < tAffect {
+				tAffect = m
+			}
+		}
+	}
+	if ed.Kind == EditAppend {
+		_, _, done := e.dPool.assign(0, e.compile[int(ed.Event.Func)*e.levels+int(ed.Event.Level)])
+		e.dVersions[ed.Event.Func].insert(done, ed.Event.Level)
+		if done < tAffect {
+			tAffect = done
+		}
+	}
+	if tAffect == inf {
+		return e.baseSpan, nil
+	}
+
+	n := len(e.tr.Calls)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.callStarts[mid] >= tAffect {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	idx := lo
+	if idx == n {
+		return e.baseSpan, nil
+	}
+	var execT int64
+	if idx > 0 {
+		execT = e.callEnds[idx-1]
+	}
+	mag, seed := e.baseOpts.ExecVariation, e.baseOpts.ExecVariationSeed
+	for i := idx; i < n; i++ {
+		f := e.tr.Calls[i]
+		start := execT
+		if ready := e.dVersions[f].firstReady(); ready > start {
+			start = ready
+		}
+		level, ok := e.dVersions[f].latestAt(start)
+		if !ok {
+			return 0, &ErrNoReadyVersion{Func: f, Time: start}
+		}
+		dur := e.exec[int(f)*e.levels+int(level)]
+		if mag > 0 {
+			dur = scaleDuration(dur, CallFactor(seed, i, mag))
+		}
+		execT = start + dur
+	}
+	return execT, nil
+}
+
+// evalCounters aggregates evaluator activity process-wide; `jitsched exp
+// -stats` reports them next to the runner's counters.
+var evalCounters struct {
+	evaluators atomic.Int64
+	runs       atomic.Int64
+	warmRuns   atomic.Int64
+	deltaFast  atomic.Int64
+	deltaFull  atomic.Int64
+}
+
+// EvalStats is a snapshot of the process-wide evaluator counters.
+type EvalStats struct {
+	// Evaluators counts NewEvaluator calls; Runs counts Evaluator.Run calls,
+	// of which WarmRuns hit fully warmed arenas (every run after an
+	// evaluator's first).
+	Evaluators int64
+	Runs       int64
+	WarmRuns   int64
+	// DeltaFast counts schedule evaluations answered by the incremental
+	// delta path; DeltaFull counts MakeSpanOf calls that fell back to a full
+	// simulation.
+	DeltaFast int64
+	DeltaFull int64
+}
+
+// ReadEvalStats snapshots the process-wide evaluator counters.
+func ReadEvalStats() EvalStats {
+	return EvalStats{
+		Evaluators: evalCounters.evaluators.Load(),
+		Runs:       evalCounters.runs.Load(),
+		WarmRuns:   evalCounters.warmRuns.Load(),
+		DeltaFast:  evalCounters.deltaFast.Load(),
+		DeltaFull:  evalCounters.deltaFull.Load(),
+	}
+}
+
+// Summary renders the stats as one line.
+func (s EvalStats) Summary() string {
+	return fmt.Sprintf("sim: %d evaluators, %d runs (%d warm), delta evals %d fast / %d full-fallback",
+		s.Evaluators, s.Runs, s.WarmRuns, s.DeltaFast, s.DeltaFull)
+}

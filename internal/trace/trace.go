@@ -11,6 +11,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // FuncID identifies a function (a compilation unit). IDs are dense: a trace
@@ -18,11 +19,61 @@ import (
 type FuncID int32
 
 // Trace is an ordered sequence of function invocations.
+//
+// A trace is logically immutable once analysis begins: the first call to
+// NumFuncs, Counts, FirstCalls or FirstCallOrder derives all four in one pass
+// and memoizes them on the trace, so the thousands of simulations an
+// experiment runs over the same trace share one copy of each index. Callers
+// building a trace incrementally (decoders, generators) must finish appending
+// to Calls before handing the trace to any consumer. The memoized slices are
+// shared between callers — treat them as read-only.
 type Trace struct {
 	// Name labels the workload (e.g. a benchmark name). Optional.
 	Name string
 	// Calls is the invocation sequence, in execution order.
 	Calls []FuncID
+
+	memo atomic.Pointer[traceMemo]
+}
+
+// traceMemo holds the derived indices of a trace, computed once.
+type traceMemo struct {
+	numFuncs   int
+	counts     []int64
+	firstCalls []int
+	firstOrder []FuncID
+}
+
+// index returns the memoized derived indices, computing them on first use.
+// Concurrent first calls may each compute the memo; exactly one wins the
+// publish and the results are identical either way.
+func (t *Trace) index() *traceMemo {
+	if m := t.memo.Load(); m != nil {
+		return m
+	}
+	n := 0
+	for _, f := range t.Calls {
+		if int(f) >= n {
+			n = int(f) + 1
+		}
+	}
+	m := &traceMemo{
+		numFuncs:   n,
+		counts:     make([]int64, n),
+		firstCalls: make([]int, n),
+	}
+	for i := range m.firstCalls {
+		m.firstCalls[i] = -1
+	}
+	for i, f := range t.Calls {
+		m.counts[f]++
+		if m.firstCalls[f] < 0 {
+			m.firstCalls[f] = i
+			m.firstOrder = append(m.firstOrder, f)
+		}
+	}
+	t.memo.CompareAndSwap(nil, m)
+	return t.memo.Load()
 }
 
 // New returns a trace over the given calls.
@@ -35,15 +86,7 @@ func (t *Trace) Len() int { return len(t.Calls) }
 
 // NumFuncs returns one more than the largest FuncID present, i.e. the size of
 // the dense ID space. An empty trace has zero functions.
-func (t *Trace) NumFuncs() int {
-	max := FuncID(-1)
-	for _, f := range t.Calls {
-		if f > max {
-			max = f
-		}
-	}
-	return int(max) + 1
-}
+func (t *Trace) NumFuncs() int { return t.index().numFuncs }
 
 // Validate checks that all IDs are non-negative and, if nfuncs >= 0, within
 // [0, nfuncs).
@@ -60,55 +103,22 @@ func (t *Trace) Validate(nfuncs int) error {
 }
 
 // Counts returns the number of invocations of each function, indexed by
-// FuncID, sized by NumFuncs.
-func (t *Trace) Counts() []int64 {
-	n := t.NumFuncs()
-	counts := make([]int64, n)
-	for _, f := range t.Calls {
-		counts[f]++
-	}
-	return counts
-}
+// FuncID, sized by NumFuncs. The slice is memoized and shared — read-only.
+func (t *Trace) Counts() []int64 { return t.index().counts }
 
 // FirstCalls returns, for each function, the index in Calls of its first
-// invocation, or -1 for functions that never appear.
-func (t *Trace) FirstCalls() []int {
-	n := t.NumFuncs()
-	first := make([]int, n)
-	for i := range first {
-		first[i] = -1
-	}
-	for i, f := range t.Calls {
-		if first[f] < 0 {
-			first[f] = i
-		}
-	}
-	return first
-}
+// invocation, or -1 for functions that never appear. The slice is memoized
+// and shared — read-only.
+func (t *Trace) FirstCalls() []int { return t.index().firstCalls }
 
 // FirstCallOrder returns the distinct functions of the trace in order of
 // first appearance. This is the paper's Eseq1 = getSeq1stCalls(Eseq), the
 // backbone of both the single-level schedules and IAR's initial schedule.
-func (t *Trace) FirstCallOrder() []FuncID {
-	seen := make([]bool, t.NumFuncs())
-	order := make([]FuncID, 0, 64)
-	for _, f := range t.Calls {
-		if !seen[f] {
-			seen[f] = true
-			order = append(order, f)
-		}
-	}
-	return order
-}
+// The slice is memoized and shared — read-only.
+func (t *Trace) FirstCallOrder() []FuncID { return t.index().firstOrder }
 
 // UniqueFuncs returns the number of distinct functions that actually appear.
-func (t *Trace) UniqueFuncs() int {
-	seen := make(map[FuncID]struct{}, 256)
-	for _, f := range t.Calls {
-		seen[f] = struct{}{}
-	}
-	return len(seen)
-}
+func (t *Trace) UniqueFuncs() int { return len(t.index().firstOrder) }
 
 // Slice returns a shallow sub-trace of calls [lo, hi).
 func (t *Trace) Slice(lo, hi int) *Trace {
