@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check test race runner-race fuzz-smoke bench bench-guard bench-json golden ci
+.PHONY: all build vet fmt-check test race runner-race fuzz-smoke bench bench-guard bench-json bench-json-search golden ci
 
 all: build
 
@@ -36,22 +36,27 @@ runner-race:
 	$(GO) test -race -cpu=1,4 -count=1 ./internal/runner/...
 
 # Short fuzz passes over both trace codecs (seed corpus in
-# internal/trace/testdata/fuzz/).
+# internal/trace/testdata/fuzz/) and the BnB state-key canonicalization
+# (seed corpus in internal/astar/testdata/fuzz/).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzReadText -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzStateKey -fuzztime=$(FUZZTIME) ./internal/astar/
 
 # Serial vs parallel sweep benchmark (wall-clock wins need GOMAXPROCS > 1).
 bench:
 	$(GO) test -run='^$$' -bench=Fig5Sweep -cpu=4 ./internal/runner/
 
-# The allocation contracts: with the recorder disabled, the simulator's
-# execution loop must not allocate at all, and a warm sim.Evaluator must be
-# allocation-free on full runs and delta evaluations alike. The tests assert
-# 0 allocs/op; the benchmark runs print the numbers for the log.
+# The allocation and search-node budgets: with the recorder disabled, the
+# simulator's execution loop must not allocate at all; a warm sim.Evaluator
+# and a warm serial BnB searcher must be allocation-free; and branch-and-bound
+# must prove optimality on the 8-function study instance well inside
+# DefaultMaxNodes. The tests assert the budgets; the benchmark runs print the
+# numbers for the log.
 bench-guard:
 	$(GO) test -run='TestDisabledRecorderZeroAlloc|TestRecorderDisabledZeroAlloc|TestEvaluatorZeroAlloc' -count=1 \
 		./internal/obs/ ./internal/sim/
+	$(GO) test -run='TestBnBWarmZeroAlloc|TestBnBNodeBudgetGuard' -count=1 ./internal/astar/
 	$(GO) test -run='^$$' -bench=BenchmarkRunCallsRecorder -benchtime=100x ./internal/sim/
 	$(GO) test -run='^$$' -bench='BenchmarkEvaluatorRun|BenchmarkEvaluatorDelta' -benchmem -benchtime=50x ./internal/sim/
 
@@ -66,8 +71,16 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o BENCH_core.json
 	@echo "wrote BENCH_core.json"
 
+# Machine-readable search benchmarks: the exact searches (A*, beam, BnB serial
+# and parallel) on their study instances, collected into BENCH_search.json.
+bench-json-search:
+	@{ $(GO) test -run='^$$' -bench='^BenchmarkAStarSearch6$$' -benchmem -benchtime=3x . && \
+	$(GO) test -run='^$$' -bench='BenchmarkBeamSearch|BenchmarkBnBStudy8' -benchmem -benchtime=5x ./internal/astar/; } \
+		| $(GO) run ./cmd/benchjson -o BENCH_search.json
+	@echo "wrote BENCH_search.json"
+
 # Regenerate the experiment golden files after an intentional output change.
 golden:
 	$(GO) test ./internal/experiments -run TestGolden -update
 
-ci: fmt-check vet build race runner-race fuzz-smoke bench-guard bench-json
+ci: fmt-check vet build race runner-race fuzz-smoke bench-guard bench-json bench-json-search

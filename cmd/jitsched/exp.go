@@ -16,7 +16,7 @@ import (
 // internal/runner pool; -par bounds the pool and -stats reports what it did.
 func cmdExp(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("exp: missing experiment name (fig5|fig6|fig7|fig8|table1|table2|astar|priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt|all)")
+		return fmt.Errorf("exp: missing experiment name (fig5|fig6|fig7|fig8|table1|table2|astar|bnb|priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt|all)")
 	}
 	which := args[0]
 	fs, scale, bench := expFlags("exp " + which)
@@ -98,6 +98,15 @@ func cmdExp(args []string) error {
 				return err
 			}
 			return experiments.RenderAStar(rows, os.Stdout)
+		case "bnb":
+			// The extended feasibility frontier: branch-and-bound rows past
+			// the classic searches' memory wall (not part of "all"; the
+			// 10-12 function searches take seconds).
+			rows, err := experiments.AStarStudy(experiments.AStarOptions{BnBMaxFuncs: 12, Runner: eng})
+			if err != nil {
+				return err
+			}
+			return experiments.RenderSearchFrontier(rows, os.Stdout)
 		case "priority":
 			rows, err := experiments.PriorityStudy(opts)
 			if err != nil {

@@ -4,10 +4,10 @@
 // Usage:
 //
 //	jitsched exp fig5|fig6|fig7|fig8|table1|table2|astar|all [-scale F] [-bench NAME] [-md] [-par N] [-stats] [-obs-addr HOST:PORT]
-//	jitsched exp priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt
+//	jitsched exp bnb|priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt
 //	jitsched gen -bench NAME [-scale F] [-o FILE] [-format binary|text]
 //	jitsched stats -i FILE
-//	jitsched schedule -bench NAME [-scale F] [-algo iar|base|opt] [-model default|oracle]
+//	jitsched schedule -bench NAME [-scale F] [-algo iar|base|opt|bnb] [-model default|oracle]
 //	jitsched simulate -bench NAME [-scale F] [-algo ...] [-workers N] [-timeline] [-trace-out FILE]
 //
 // Experiments fan their independent simulations out over an internal/runner
@@ -64,6 +64,7 @@ func usage() {
 
 commands:
   exp fig5|fig6|fig7|fig8|table1|table2|astar|all   reproduce a paper result
+  exp bnb    extended search-feasibility frontier (branch-and-bound to 12 funcs)
   exp priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt
              extension studies (§5.1, §5.3, §7, §8)
   gen        generate a synthetic DaCapo-like trace to a file

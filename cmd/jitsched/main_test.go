@@ -249,3 +249,35 @@ func TestCmdSimulateOracleModel(t *testing.T) {
 		t.Errorf("oracle jikes output:\n%s", out)
 	}
 }
+
+// TestCmdSimulateBnB drives the exact branch-and-bound search end to end
+// through the CLI on a hand-sized custom workload: simulate reports the
+// certified make-span and schedule prints the optimal event order.
+func TestCmdSimulateBnB(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "tiny.trace")
+	profPath := filepath.Join(dir, "tiny.profile")
+	if err := os.WriteFile(tracePath, []byte(
+		"# trace tiny\n0\n1\n0\n2\n0\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(profPath, []byte(
+		"# jitsched profile v1 levels=2\n"+
+			"0 f0 1 c:1,4 e:9,2\n"+
+			"1 f1 1 c:2,5 e:7,3\n"+
+			"2 f2 1 c:1,3 e:5,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return cmdSimulate([]string{"-trace", tracePath, "-profile", profPath, "-algo", "bnb"})
+	})
+	if !strings.Contains(out, "make-span") {
+		t.Errorf("bnb simulate output missing make-span:\n%s", out)
+	}
+	out = captureStdout(t, func() error {
+		return cmdSchedule([]string{"-trace", tracePath, "-profile", profPath, "-algo", "bnb"})
+	})
+	if !strings.Contains(out, "bnb schedule") {
+		t.Errorf("bnb schedule output:\n%s", out)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/astar"
 	"repro/internal/core"
 	"repro/internal/dacapo"
 	"repro/internal/obs"
@@ -188,8 +189,16 @@ func buildSchedule(w *dacapo.Workload, algo, modelName string) (sim.Schedule, pr
 		return core.SingleLevelBase(w.Trace), model, nil
 	case "opt":
 		return core.SingleLevelOptimizing(w.Trace, model), model, nil
+	case "bnb":
+		// The exact branch-and-bound search: provably optimal, but only
+		// feasible on small instances (roughly a dozen unique functions).
+		res, err := astar.BnBSearch(w.Trace, w.Profile, astar.BnBOptions{})
+		if err != nil {
+			return nil, nil, fmt.Errorf("bnb: %w (exact search needs a small instance; try -scale or a custom -trace)", err)
+		}
+		return res.Schedule, model, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown algorithm %q (iar|base|opt)", algo)
+		return nil, nil, fmt.Errorf("unknown algorithm %q (iar|base|opt|bnb)", algo)
 	}
 }
 
@@ -199,7 +208,7 @@ func cmdSchedule(args []string) error {
 	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
 	bench := fs.String("bench", "", "benchmark name")
 	scale := fs.Float64("scale", 1.0, "trace length multiplier")
-	algo := fs.String("algo", "iar", "iar, base, or opt")
+	algo := fs.String("algo", "iar", "iar, base, opt, or bnb (exact, small instances only)")
 	modelName := fs.String("model", "default", "cost-benefit model: default or oracle")
 	limit := fs.Int("n", 40, "print at most n events (0 = all)")
 	advice := fs.String("advice", "", "write the schedule as an advice file instead of printing")
@@ -248,7 +257,7 @@ func cmdSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	bench := fs.String("bench", "", "benchmark name")
 	scale := fs.Float64("scale", 1.0, "trace length multiplier")
-	algo := fs.String("algo", "iar", "iar, base, opt, jikes, or v8")
+	algo := fs.String("algo", "iar", "iar, base, opt, bnb, jikes, or v8")
 	modelName := fs.String("model", "default", "cost-benefit model: default or oracle")
 	workers := fs.Int("workers", 1, "compilation workers (cores)")
 	advice := fs.String("advice", "", "replay a schedule from an advice file instead of -algo")

@@ -17,6 +17,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/profile"
 	"repro/internal/sim"
@@ -60,6 +61,14 @@ type Result struct {
 	NodesExpanded  int
 	NodesAllocated int
 	PathsTotal     float64
+	// BnB-only counters (zero for the other searches): TableHits counts
+	// candidates pruned as exact duplicates of an already-reached canonical
+	// state, BoundPruned nodes cut by the admissible bound against the
+	// incumbent, StatesStored the distinct canonical states in the table at
+	// the end of the run.
+	TableHits    int
+	BoundPruned  int
+	StatesStored int
 }
 
 // node is one vertex of the search tree: the compilation schedule prefix
@@ -86,15 +95,27 @@ func (h nodeHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
-func (h *nodeHeap) Pop() interface{} {
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
 	old[n-1] = nil
 	*h = old[:n-1]
 	return x
+}
+
+// heapCapFor sizes the open list's initial capacity from the node budget so
+// the hot search loop does not pay repeated append regrowth. The cap keeps a
+// tiny search from reserving the whole default (million-node) budget up
+// front; past it, doubling from a 32Ki base costs a handful of copies total.
+func heapCapFor(budget int) int {
+	const maxPrealloc = 1 << 15
+	if budget > maxPrealloc {
+		return maxPrealloc
+	}
+	return budget
 }
 
 // searcher carries the immutable problem plus scratch space. The immutable
@@ -111,10 +132,17 @@ type searcher struct {
 	// for the evaluation inner loops.
 	compile []int64
 	exec    []int64
-	pe      *prefixEval
-	budget  int
-	alloc   int
-	seq     int
+	// sufBest[i] is the §5.2 lower bound on executing calls i.. — the sum of
+	// best-level execution times over the suffix (len Calls+1, last entry 0).
+	// cminC[f] is f's cheapest compile time over all levels; firstCall[f] the
+	// index of f's first call. Together they feed boundFrom.
+	sufBest   []int64
+	cminC     []int64
+	firstCall []int
+	pe        *prefixEval
+	budget    int
+	alloc     int
+	seq       int
 }
 
 func newSearcher(tr *trace.Trace, p *profile.Profile, opts Options) (*searcher, error) {
@@ -133,15 +161,79 @@ func newSearcher(tr *trace.Trace, p *profile.Profile, opts Options) (*searcher, 
 	s.bestE = make([]int64, nf)
 	s.compile = make([]int64, nf*p.Levels)
 	s.exec = make([]int64, nf*p.Levels)
+	s.cminC = make([]int64, nf)
 	for f := 0; f < nf; f++ {
 		s.bestE[f] = p.BestExecTime(trace.FuncID(f))
 		for l := 0; l < p.Levels; l++ {
 			s.compile[f*p.Levels+l] = p.CompileTime(trace.FuncID(f), profile.Level(l))
 			s.exec[f*p.Levels+l] = p.ExecTime(trace.FuncID(f), profile.Level(l))
+			if l == 0 || s.compile[f*p.Levels+l] < s.cminC[f] {
+				s.cminC[f] = s.compile[f*p.Levels+l]
+			}
 		}
 	}
+	s.sufBest = make([]int64, tr.Len()+1)
+	for i := tr.Len() - 1; i >= 0; i-- {
+		s.sufBest[i] = s.sufBest[i+1] + s.bestE[tr.Calls[i]]
+	}
+	s.firstCall = tr.FirstCalls()
 	s.pe = s.newPrefixEval()
 	return s, nil
+}
+
+// boundFrom returns an admissible lower bound on the total cost (bubbles plus
+// extra execution, the tree objective) of ANY completion of a prefix with
+// committed cursor cur, compile span t, and per-function next schedulable
+// levels. It tightens the paper's f(v) with two scheduling facts:
+//
+//   - execution cannot finish before the effective frontier max(execT, t)
+//     plus the §5.2 best-level bound over the remaining calls (sufBest — the
+//     core.LowerBoundAtLevels sum restricted to the suffix): every remaining
+//     call starts at or after the frontier and runs for at least its best
+//     execution time;
+//   - compile slack for uncovered functions: the first call of a function
+//     with no compiled version cannot start before t plus that function's
+//     cheapest compile time; and since the single compile worker builds the
+//     uncovered functions' versions sequentially, some uncovered function's
+//     first call waits until t plus the SUM of their cheapest compile times,
+//     after which at least its own suffix of best-level execution remains.
+//
+// Subtracting execT and the full suffix bound converts the make-span bound
+// back to cost (cost = make-span - Σ best-level times; the committed part of
+// that identity is cur.bubbles+cur.extra = execT - Σ committed best times).
+func (s *searcher) boundFrom(cur cursor, t int64, next []profile.Level) int64 {
+	e := cur.execT
+	if t > e {
+		e = t
+	}
+	flb := e + s.sufBest[cur.i]
+	var cminSum, minTail int64
+	k := -1
+	minTail = -1
+	for _, f := range s.order {
+		if next[f] != 0 {
+			continue
+		}
+		// Uncovered functions' first calls are at or beyond cur.i: an
+		// evaluated call always had a version.
+		fc := s.firstCall[f]
+		cminSum += s.cminC[f]
+		if k < 0 || fc < k {
+			k = fc
+		}
+		if tail := s.sufBest[fc]; minTail < 0 || tail < minTail {
+			minTail = tail
+		}
+	}
+	if k >= 0 {
+		if b := t + s.cminC[s.tr.Calls[k]] + s.sufBest[k]; b > flb {
+			flb = b
+		}
+		if c := t + cminSum + minTail; c > flb {
+			flb = c
+		}
+	}
+	return cur.bubbles + cur.extra + flb - cur.execT - s.sufBest[cur.i]
 }
 
 // prefix reconstructs the schedule along the parent chain of n.
@@ -279,8 +371,9 @@ func Search(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, error) 
 	}
 
 	root := &node{}
-	open := &nodeHeap{root}
-	heap.Init(open)
+	h := make(nodeHeap, 0, heapCapFor(s.budget))
+	open := &h
+	heap.Push(open, root)
 	for open.Len() > 0 {
 		n := heap.Pop(open).(*node)
 		if n.stop {
@@ -311,6 +404,14 @@ func Search(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, error) 
 // Exhaustive enumerates the same tree depth-first with branch-and-bound
 // pruning and returns the certified optimal schedule. Only usable on tiny
 // instances; intended as ground truth for tests and for the §6.2.5 study.
+//
+// Each node is scored by resuming its parent's incremental cursor (the same
+// prefixEval the other searches use) and pruned against the tightened
+// admissible bound of boundFrom rather than the paper's bare f(v). Both
+// changes keep the returned schedule bit-identical to the original
+// enumeration: the bound is admissible, so no node on the path to a strictly
+// better schedule is ever cut, and the DFS visit order is unchanged — only
+// the number of nodes visited shrinks.
 func Exhaustive(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, error) {
 	s, err := newSearcher(tr, p, opts)
 	if err != nil {
@@ -330,13 +431,13 @@ func Exhaustive(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, err
 	next := make([]profile.Level, p.NumFuncs())
 	var prefix sim.Schedule
 
-	var dfs func() error
-	dfs = func() error {
+	var dfs func(cur cursor) error
+	dfs = func(cur cursor) error {
 		if s.alloc++; s.alloc > s.budget {
 			return ErrBudgetExhausted
 		}
-		g, _ := s.cost(prefix, false)
-		if g >= bestCost {
+		s.pe.load(prefix)
+		if s.boundFrom(cur, s.pe.span, next) >= bestCost {
 			return nil // admissible bound: no descendant can improve
 		}
 		missing := 0
@@ -346,7 +447,7 @@ func Exhaustive(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, err
 			}
 		}
 		if missing == 0 {
-			full, span := s.cost(prefix, true)
+			full, span := s.pe.finish(cur)
 			if full < bestCost {
 				bestCost = full
 				bestSched = prefix.Clone()
@@ -358,8 +459,11 @@ func Exhaustive(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, err
 			for l := next[f]; int(l) < p.Levels; l++ {
 				saved := next[f]
 				next[f] = l + 1
-				prefix = append(prefix, sim.CompileEvent{Func: f, Level: l})
-				err := dfs()
+				ev := sim.CompileEvent{Func: f, Level: l}
+				s.pe.load(prefix)
+				ccur, _ := s.pe.advance(cur, ev)
+				prefix = append(prefix, ev)
+				err := dfs(ccur)
 				prefix = prefix[:len(prefix)-1]
 				next[f] = saved
 				if err != nil {
@@ -369,7 +473,7 @@ func Exhaustive(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, err
 		}
 		return nil
 	}
-	if err := dfs(); err != nil {
+	if err := dfs(cursor{}); err != nil {
 		res.NodesAllocated = s.alloc
 		return res, err
 	}
@@ -381,12 +485,28 @@ func Exhaustive(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, err
 	return res, nil
 }
 
+// totalPathsMemo caches totalPaths per (m, levels): every study row and every
+// search on an instance of the same shape re-asks the same question, and the
+// factorial loop is pure.
+var totalPathsMemo sync.Map // [2]int -> float64
+
 // totalPaths estimates the number of root-to-leaf paths of the Fig. 4 tree:
 // every interleaving of each function's (possibly partial) ascending level
 // chain. For the two-level case this matches the paper's (2M)! flavour of
-// growth; the value saturates at +Inf-ish magnitudes and is only for
-// reporting.
+// growth; the value saturates once the running product clears 1e300 (the
+// division by per-function orderings is skipped from there, see
+// TestTotalPathsSaturation) and is only for reporting.
 func totalPaths(m, levels int) float64 {
+	key := [2]int{m, levels}
+	if v, ok := totalPathsMemo.Load(key); ok {
+		return v.(float64)
+	}
+	v := computeTotalPaths(m, levels)
+	totalPathsMemo.Store(key, v)
+	return v
+}
+
+func computeTotalPaths(m, levels int) float64 {
 	if m == 0 {
 		return 1
 	}

@@ -1,0 +1,175 @@
+package astar
+
+import (
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FuzzStateKey fuzzes the transposition table's soundness contract: two
+// prefixes that canonicalize to the same state — equal compiled-level mask,
+// equal committed cursor, equal key frontier (keyFrontier) — must reach the
+// same make-span under the real simulator for EVERY common completion. That
+// is precisely what licenses insert() to prune the later arrival.
+//
+// The fuzzer builds one instance and one prefix from the input bytes, then a
+// second prefix as an order-preserving interleaving of the first (same
+// multiset, so the masks always match); whether the cursors and frontiers
+// also collide is up to the fuzz search. The seed corpus includes the
+// committed-tail counterexample from the transpose.go doc: two interleavings
+// that commit both calls at different clocks (make-spans 10 and 11) while
+// sharing max(execT, span) — the case that forced keyFrontier to key the
+// all-committed tail on execT.
+func FuzzStateKey(f *testing.F) {
+	// The committed-tail counterexample: funcs A{c=1,10 e=8,1} B{c=1,5 e=1,1},
+	// calls [A B], prefixes [A0 B0 A1] and [B0 A0 A1].
+	f.Add([]byte{0, 0, 1, 0, 1, 0, 9, 7, 7, 0, 4, 0, 0, 3, 0, 1, 0, 1, 0, 0})
+	// An uncommitted-frontier collision: same shape, shorter prefixes.
+	f.Add([]byte{0, 0, 3, 0, 1, 0, 2, 4, 4, 1, 1, 2, 0, 2, 0, 1, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, p, pa, pb := decodeStateKeyInput(data)
+		s, err := newSearcher(tr, p, Options{})
+		if err != nil {
+			t.Fatalf("searcher: %v", err)
+		}
+		iA, eA := prefixState(s, pa)
+		iB, eB := prefixState(s, pb)
+		if iA != iB || eA != eB {
+			return // distinct canonical states claim nothing
+		}
+		// Equal keys: replay prefix+completion through the simulator and
+		// demand identical make-spans, for two different completion orders.
+		next := make([]profile.Level, p.NumFuncs())
+		for _, ev := range pa {
+			if l := ev.Level + 1; l > next[ev.Func] {
+				next[ev.Func] = l
+			}
+		}
+		for variant := 0; variant < 2; variant++ {
+			var tail sim.Schedule
+			for k := 0; k < p.NumFuncs(); k++ {
+				fn := k
+				if variant == 1 {
+					fn = p.NumFuncs() - 1 - k
+				}
+				for l := next[fn]; int(l) < p.Levels; l++ {
+					tail = append(tail, sim.CompileEvent{Func: trace.FuncID(fn), Level: l})
+				}
+			}
+			spanA := replaySpan(t, tr, p, append(append(sim.Schedule{}, pa...), tail...))
+			spanB := replaySpan(t, tr, p, append(append(sim.Schedule{}, pb...), tail...))
+			if spanA != spanB {
+				t.Errorf("equal state keys (i=%d frontier=%d) but completion %d diverges: %d vs %d\nprefixA=%v\nprefixB=%v",
+					iA, eA, variant, spanA, spanB, pa, pb)
+			}
+		}
+	})
+}
+
+// prefixState replays a prefix through the incremental evaluator exactly as
+// the BnB tree does — one advance per event over the preceding prefix — and
+// returns the committed cursor index plus the keyFrontier component of the
+// prefix's state key. The mask component is implied: callers only compare
+// prefixes built from the same event multiset.
+func prefixState(s *searcher, prefix sim.Schedule) (int, int64) {
+	pe := s.newPrefixEval()
+	var cur cursor
+	for k := range prefix {
+		pe.load(prefix[:k])
+		cur, _ = pe.advance(cur, prefix[k])
+	}
+	pe.load(prefix)
+	return cur.i, keyFrontier(cur, pe.span, len(s.tr.Calls))
+}
+
+// replaySpan runs a complete schedule through the simulator.
+func replaySpan(t *testing.T, tr *trace.Trace, p *profile.Profile, sched sim.Schedule) int64 {
+	t.Helper()
+	res, err := sim.Run(tr, p, sched, sim.DefaultConfig(), sim.Options{})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return res.MakeSpan
+}
+
+// decodeStateKeyInput derives a valid OCSP instance plus two same-multiset
+// prefixes from fuzz bytes. Reads past the end of data yield zero, so every
+// input decodes; profile monotonicity (compile non-decreasing, exec
+// non-increasing with level) is enforced by construction.
+func decodeStateKeyInput(data []byte) (*trace.Trace, *profile.Profile, sim.Schedule, sim.Schedule) {
+	r := fuzzBytes{data: data}
+	nf := 2 + r.next()%3
+	levels := 2 + r.next()%2
+	ncalls := 1 + r.next()%10
+	calls := make([]trace.FuncID, ncalls)
+	for i := range calls {
+		calls[i] = trace.FuncID(r.next() % nf)
+	}
+	p := &profile.Profile{Levels: levels, Funcs: make([]profile.FuncTimes, nf)}
+	for fn := range p.Funcs {
+		ft := &p.Funcs[fn]
+		ft.Compile = make([]int64, levels)
+		ft.Exec = make([]int64, levels)
+		ft.Compile[0] = int64(1 + r.next()%12)
+		for l := 1; l < levels; l++ {
+			ft.Compile[l] = ft.Compile[l-1] + int64(r.next()%12)
+		}
+		ft.Exec[0] = int64(1 + r.next()%12)
+		for l := 1; l < levels; l++ {
+			ft.Exec[l] = max(1, ft.Exec[l-1]-int64(r.next()%12))
+		}
+	}
+	next := make([]profile.Level, nf)
+	var pa sim.Schedule
+	for n := r.next() % (nf*levels + 1); n > 0; n-- {
+		fn := trace.FuncID(r.next() % nf)
+		if int(next[fn]) < levels {
+			pa = append(pa, sim.CompileEvent{Func: fn, Level: next[fn]})
+			next[fn]++
+		}
+	}
+	// pb: an interleaving of pa that preserves each function's level order.
+	queues := make([]sim.Schedule, nf)
+	for _, ev := range pa {
+		queues[ev.Func] = append(queues[ev.Func], ev)
+	}
+	pb := make(sim.Schedule, 0, len(pa))
+	for len(pb) < len(pa) {
+		alive := 0
+		for _, q := range queues {
+			if len(q) > 0 {
+				alive++
+			}
+		}
+		pick := r.next() % alive
+		for fn := range queues {
+			if len(queues[fn]) == 0 {
+				continue
+			}
+			if pick == 0 {
+				pb = append(pb, queues[fn][0])
+				queues[fn] = queues[fn][1:]
+				break
+			}
+			pick--
+		}
+	}
+	return trace.New("fuzz-state-key", calls), p, pa, pb
+}
+
+// fuzzBytes reads fuzz input one byte at a time, yielding zero past the end.
+type fuzzBytes struct {
+	data []byte
+	i    int
+}
+
+func (r *fuzzBytes) next() int {
+	if r.i >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.i]
+	r.i++
+	return int(b)
+}

@@ -1,0 +1,49 @@
+package astar
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTotalPathsSaturation pins totalPaths at the float-cap boundary and the
+// exact regime on either side of it (referenced from the totalPaths doc):
+//
+//   - small shapes are exact: 6 functions × 2 levels is the paper's
+//     12!/(2!)^6 = 7,484,400, and the empty instance has one path;
+//   - once the running factorial clears 1e300 the per-function division is
+//     skipped, so the value saturates: it must stay finite (never +Inf) and
+//     sit above the cap rather than wrapping or dividing back down;
+//   - the memo hands back the bit-identical value on every call.
+func TestTotalPathsSaturation(t *testing.T) {
+	if got := totalPaths(0, 2); got != 1 {
+		t.Errorf("totalPaths(0, 2) = %g, want 1", got)
+	}
+	if got := totalPaths(6, 2); got != 7484400 {
+		t.Errorf("totalPaths(6, 2) = %g, want 7484400 (12!/(2!)^6)", got)
+	}
+
+	// 100 functions × 2 levels: 200! blows past 1e300 mid-product.
+	sat := totalPaths(100, 2)
+	if math.IsInf(sat, 0) || math.IsNaN(sat) {
+		t.Fatalf("totalPaths(100, 2) = %g, want finite saturated value", sat)
+	}
+	if sat <= 1e300 {
+		t.Errorf("totalPaths(100, 2) = %g, want > 1e300 (saturated, undivided)", sat)
+	}
+
+	// Saturation is monotone in m: a bigger instance never reports fewer
+	// paths, even past the cap.
+	if bigger := totalPaths(150, 2); bigger < sat || math.IsInf(bigger, 0) {
+		t.Errorf("totalPaths(150, 2) = %g, want finite and >= totalPaths(100, 2) = %g", bigger, sat)
+	}
+
+	// Memoized reads are bit-identical to the first computation.
+	for _, c := range [][2]int{{0, 2}, {6, 2}, {100, 2}, {150, 2}} {
+		first := totalPaths(c[0], c[1])
+		again := totalPaths(c[0], c[1])
+		if math.Float64bits(first) != math.Float64bits(again) {
+			t.Errorf("totalPaths(%d, %d) memo not bit-identical: %x vs %x",
+				c[0], c[1], math.Float64bits(first), math.Float64bits(again))
+		}
+	}
+}

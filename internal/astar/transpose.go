@@ -1,0 +1,183 @@
+package astar
+
+// State canonicalization and the transposition table behind the BnB searcher.
+//
+// The Fig. 4 tree stores *paths*, but many paths reach the same *state*, and
+// it is the state — not the path — that determines every reachable future.
+// Canonicalizing nodes and pruning duplicates is what collapses the paper's
+// factorial tree into the (much smaller) state graph.
+//
+// # The state key
+//
+// A node's key has three parts:
+//
+//   - the per-function compiled-level bitmask (one byte per function, bit l
+//     set iff the prefix compiled level l). With a single compile worker the
+//     mask fixes the compile span t (the sum of the multiset's compile
+//     times, independent of order) and, for every remaining call, the set of
+//     prefix versions it can use;
+//   - the cursor index i: the first call the prefix's evaluation has not
+//     committed. Equal masks and i mean the same remaining calls;
+//   - the effective execution frontier e = max(execT, t): the clock at which
+//     call i starts (or, if call i's function is uncovered, the clock its
+//     first future version races against). Once every call is committed
+//     (i == len(calls)) the frontier is execT itself — see keyFrontier.
+//
+// Two nodes with equal keys have identical futures: call i starts at
+// max(e, ready), every prefix version has finished by t <= e (so the level
+// the simulator picks is the mask's highest), and future versions finish at
+// t plus prefix sums of the completion's compile times — all functions of
+// the key alone. Hence every completion reaches the same make-span from
+// both, and the identity cost = makeSpan - Σ bestExec makes the committed
+// g irrelevant to the comparison. The one place execT survives into the key
+// is the committed tail: with no calls left the make-span IS execT, so
+// max(execT, t) would merge states whose costs differ (two interleavings of
+// one compile multiset can commit the last call at different clocks yet
+// share the max) — keyFrontier keys those states on execT instead.
+// FuzzStateKey fuzzes exactly this claim, and its seed corpus pins the
+// committed-tail counterexample that motivated the rule.
+//
+// # Why exact matching, not dominance
+//
+// The tempting stronger rule — prune a node whose frontier is no earlier
+// than a stored node of the same (mask, i), i.e. dominance on the frontier —
+// is UNSOUND for a JIT, and the reason is worth recording. Delaying
+// execution can be strictly profitable: suppose function A's only compiled
+// version runs in 100 ticks, a 1-tick version finishes compiling at clock
+// 11, and two nodes share (mask, i) with frontiers 10 and 11. The frontier-
+// 10 node must start A's call at 10 on the slow version (the simulator
+// never waits) and finishes at 110; the frontier-11 node catches the fast
+// version and finishes at 12. The "worse" node wins by two orders of
+// magnitude. Smaller frontier does not dominate larger, larger obviously
+// does not dominate smaller, and the committed g cannot break the tie — so
+// the only sound per-state rule is exact-frontier equality, and that is what
+// the table implements. (Cost-based pruning still happens, globally and
+// soundly, through the admissible bound and the incumbent in bnb.go.)
+//
+// # The table
+//
+// Open-addressed with linear probing, sharded by the hash's top bits. All
+// writes happen on the serial commit path (that is what keeps BnB results
+// bit-identical for any worker count), so the shards exist to bound the cost
+// of a rehash — each grows independently — not to serialize contention. Keys
+// live in one flat byte arena per shard (fixed stride); reset keeps every
+// allocation for the next run, so a warm searcher does not touch the heap.
+
+const (
+	tableShardBits = 4
+	tableShards    = 1 << tableShardBits
+	// tableMinSlots is a shard's initial slot count (power of two).
+	tableMinSlots = 256
+)
+
+// tableShard is one open-addressed slice of the table.
+type tableShard struct {
+	hashes []uint64 // 0 marks an empty slot
+	keys   []byte   // slot i's key at [i*stride, (i+1)*stride)
+	n      int
+}
+
+// transTable is the sharded duplicate-state table. Single-writer: only the
+// commit loop mutates it.
+type transTable struct {
+	stride int
+	shards [tableShards]tableShard
+}
+
+// reset prepares the table for a run over keys of the given stride, keeping
+// every previously grown allocation.
+func (t *transTable) reset(stride int) {
+	t.stride = stride
+	for i := range t.shards {
+		sh := &t.shards[i]
+		if len(sh.hashes) == 0 || stride*len(sh.hashes) != len(sh.keys) {
+			sh.hashes = make([]uint64, tableMinSlots)
+			sh.keys = make([]byte, tableMinSlots*stride)
+		} else {
+			clear(sh.hashes)
+		}
+		sh.n = 0
+	}
+}
+
+// states returns the number of distinct states stored.
+func (t *transTable) states() int {
+	n := 0
+	for i := range t.shards {
+		n += t.shards[i].n
+	}
+	return n
+}
+
+// hashKey is FNV-1a over the key bytes, with 0 remapped so it can serve as
+// the empty-slot marker.
+func hashKey(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// insert records key and reports whether it was already present (true =
+// duplicate state, prune the candidate).
+func (t *transTable) insert(hash uint64, key []byte) bool {
+	sh := &t.shards[hash>>(64-tableShardBits)]
+	if 4*(sh.n+1) > 3*len(sh.hashes) {
+		sh.grow(t.stride)
+	}
+	mask := uint64(len(sh.hashes) - 1)
+	for i := hash & mask; ; i = (i + 1) & mask {
+		switch {
+		case sh.hashes[i] == 0:
+			sh.hashes[i] = hash
+			copy(sh.keys[int(i)*t.stride:], key)
+			sh.n++
+			return false
+		case sh.hashes[i] == hash && bytesEqual(sh.keys[int(i)*t.stride:(int(i)+1)*t.stride], key):
+			return true
+		}
+	}
+}
+
+// grow doubles the shard, re-probing every occupied slot.
+func (sh *tableShard) grow(stride int) {
+	oldHashes, oldKeys := sh.hashes, sh.keys
+	n := 2 * len(oldHashes)
+	sh.hashes = make([]uint64, n)
+	sh.keys = make([]byte, n*stride)
+	mask := uint64(n - 1)
+	for j, h := range oldHashes {
+		if h == 0 {
+			continue
+		}
+		for i := h & mask; ; i = (i + 1) & mask {
+			if sh.hashes[i] == 0 {
+				sh.hashes[i] = h
+				copy(sh.keys[int(i)*stride:], oldKeys[j*stride:(j+1)*stride])
+				break
+			}
+		}
+	}
+}
+
+// bytesEqual avoids importing bytes for one hot comparison.
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

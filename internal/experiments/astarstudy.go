@@ -13,8 +13,9 @@ import (
 
 // AStarRow reports one search feasibility trial (§6.2.5).
 type AStarRow struct {
-	// Algo is "A*" (memory-bound) or "IDA*" (the time-bound,
-	// iterative-deepening extension).
+	// Algo is "A*" (memory-bound), "IDA*" (the time-bound,
+	// iterative-deepening extension), "beam-256" (approximate), or "bnb"
+	// (transposition-table branch-and-bound, the frontier push).
 	Algo           string
 	UniqueFuncs    int
 	Calls          int
@@ -23,6 +24,12 @@ type AStarRow struct {
 	NodesAllocated int // stored nodes for A*; path depth for IDA*
 	PathsTotal     float64
 	MakeSpan       int64 // only when Completed
+	// TableHits and BoundPruned are BnB's pruning counters (zero for the
+	// other algorithms): candidates cut as exact duplicates of an
+	// already-reached state, and candidates whose admissible bound could not
+	// beat the incumbent.
+	TableHits   int
+	BoundPruned int
 }
 
 // AStarOptions configures the feasibility study.
@@ -38,6 +45,11 @@ type AStarOptions struct {
 	MaxNodes int
 	// Seed drives instance generation.
 	Seed int64
+	// BnBMaxFuncs, when positive, adds a branch-and-bound row at every size
+	// up to BnBMaxFuncs — past MaxFuncs the sizes are BnB-only, extending the
+	// table beyond the classic searches' memory wall. Zero leaves the study
+	// exactly as the paper ran it.
+	BnBMaxFuncs int
 	// Runner receives the per-size search jobs (runner.Shared() if nil).
 	Runner *runner.Runner
 }
@@ -64,14 +76,24 @@ func AStarStudy(opts AStarOptions) ([]AStarRow, error) {
 		return nil, errors.New("experiments: invalid A* study function range")
 	}
 
-	jobs := make([]runner.Job[[]AStarRow], 0, opts.MaxFuncs-opts.MinFuncs+1)
-	for nf := opts.MinFuncs; nf <= opts.MaxFuncs; nf++ {
+	top := opts.MaxFuncs
+	if opts.BnBMaxFuncs > top {
+		top = opts.BnBMaxFuncs
+	}
+	jobs := make([]runner.Job[[]AStarRow], 0, top-opts.MinFuncs+1)
+	for nf := opts.MinFuncs; nf <= top; nf++ {
 		nf := nf
+		detail := fmt.Sprintf("nf=%d calls=%d maxnodes=%d", nf, opts.Calls, opts.MaxNodes)
+		if opts.BnBMaxFuncs > 0 {
+			// The bnb rows change a job's value, so they must change its
+			// cache key too.
+			detail += fmt.Sprintf(" bnb=%d", opts.BnBMaxFuncs)
+		}
 		jobs = append(jobs, runner.Job[[]AStarRow]{
 			Key: runner.Key{
 				Experiment: "astar feasibility",
 				Seed:       opts.Seed,
-				Detail:     fmt.Sprintf("nf=%d calls=%d maxnodes=%d", nf, opts.Calls, opts.MaxNodes),
+				Detail:     detail,
 			},
 			Fn: func(_ runner.Ctx) ([]AStarRow, error) { return aStarSize(opts, nf) },
 		})
@@ -91,12 +113,13 @@ func AStarStudy(opts AStarOptions) ([]AStarRow, error) {
 	return rows, nil
 }
 
-// aStarSize runs the three search variants on one instance size.
+// aStarSize runs the search variants on one instance size: the classic trio
+// (A*, IDA*, beam) up to MaxFuncs, plus a branch-and-bound row when the size
+// is within BnBMaxFuncs.
 func aStarSize(opts AStarOptions, nf int) ([]AStarRow, error) {
 	var rows []AStarRow
-	{
-		tr, p := AStarInstance(nf, opts.Calls, opts.Seed+int64(nf))
-
+	tr, p := AStarInstance(nf, opts.Calls, opts.Seed+int64(nf))
+	if nf <= opts.MaxFuncs {
 		res, err := astar.Search(tr, p, astar.Options{MaxNodes: opts.MaxNodes})
 		row := AStarRow{
 			Algo:           "A*",
@@ -159,6 +182,37 @@ func aStarSize(opts AStarOptions, nf int) ([]AStarRow, error) {
 			PathsTotal:     bres.PathsTotal,
 			MakeSpan:       bres.MakeSpan,
 		})
+	}
+	if opts.BnBMaxFuncs > 0 && nf <= opts.BnBMaxFuncs {
+		res, err := astar.BnBSearch(tr, p, astar.BnBOptions{MaxNodes: opts.MaxNodes})
+		row := AStarRow{
+			Algo:           "bnb",
+			UniqueFuncs:    nf,
+			Calls:          tr.Len(),
+			NodesExpanded:  res.NodesExpanded,
+			NodesAllocated: res.NodesAllocated,
+			PathsTotal:     res.PathsTotal,
+			TableHits:      res.TableHits,
+			BoundPruned:    res.BoundPruned,
+		}
+		switch {
+		case err == nil:
+			row.Completed = res.Complete
+			row.MakeSpan = res.MakeSpan
+		case errors.Is(err, astar.ErrBudgetExhausted):
+			row.Completed = false
+		default:
+			return nil, err
+		}
+		// Cross-check against whichever exact search also finished.
+		for _, r := range rows {
+			if (r.Algo == "A*" || r.Algo == "IDA*") && r.Completed && row.Completed &&
+				r.MakeSpan != row.MakeSpan {
+				return nil, fmt.Errorf("experiments: %s and bnb disagree at %d functions (%d vs %d)",
+					r.Algo, nf, r.MakeSpan, row.MakeSpan)
+			}
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

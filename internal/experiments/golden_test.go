@@ -109,6 +109,25 @@ func TestGoldenAStar(t *testing.T) {
 	checkGolden(t, "astar.txt", b.Bytes())
 }
 
+// TestGoldenAStarBnB extends the feasibility study past the classic memory
+// wall: branch-and-bound rows at every size up to 12 unique functions. The
+// default study (and its golden file) is untouched — BnB rows only appear
+// when BnBMaxFuncs is set.
+func TestGoldenAStarBnB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the 10-12 function searches take seconds")
+	}
+	rows, err := AStarStudy(AStarOptions{BnBMaxFuncs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := RenderSearchFrontier(rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "astar_bnb.txt", b.Bytes())
+}
+
 func TestGoldenPriority(t *testing.T) {
 	rows, err := PriorityStudy(Options{})
 	if err != nil {

@@ -98,20 +98,7 @@ func RenderAStar(rows []AStarRow, w io.Writer) error {
 	t := report.NewTable("Search feasibility (§6.2.5): A* (memory-bound), IDA* (time-bound), beam (approximate)",
 		"algorithm", "unique funcs", "calls", "outcome", "nodes expanded", "stored/depth", "tree paths", "make-span")
 	for _, r := range rows {
-		outcome := "optimal found"
-		span := fmt.Sprintf("%d", r.MakeSpan)
-		if !r.Completed {
-			switch {
-			case r.MakeSpan > 0:
-				outcome = "approximate"
-			case r.Algo == "IDA*":
-				outcome = "out of time"
-				span = "-"
-			default:
-				outcome = "out of memory"
-				span = "-"
-			}
-		}
+		outcome, span := aStarOutcome(r)
 		algo := r.Algo
 		if algo == "" {
 			algo = "A*"
@@ -123,6 +110,53 @@ func RenderAStar(rows []AStarRow, w io.Writer) error {
 			outcome,
 			fmt.Sprintf("%d", r.NodesExpanded),
 			fmt.Sprintf("%d", r.NodesAllocated),
+			fmt.Sprintf("%.3g", r.PathsTotal),
+			span,
+		)
+	}
+	return t.Render(w)
+}
+
+// aStarOutcome classifies a feasibility row for rendering.
+func aStarOutcome(r AStarRow) (outcome, span string) {
+	outcome, span = "optimal found", fmt.Sprintf("%d", r.MakeSpan)
+	if !r.Completed {
+		switch {
+		case r.MakeSpan > 0:
+			outcome = "approximate"
+		case r.Algo == "IDA*":
+			outcome, span = "out of time", "-"
+		default:
+			outcome, span = "out of memory", "-"
+		}
+	}
+	return outcome, span
+}
+
+// RenderSearchFrontier writes the extended feasibility table: the classic
+// searches next to branch-and-bound, with BnB's duplicate-state and bound
+// pruning counters — the evidence for where (and why) the new memory wall
+// sits.
+func RenderSearchFrontier(rows []AStarRow, w io.Writer) error {
+	t := report.NewTable("Search feasibility frontier: classic searches vs transposition-table branch-and-bound",
+		"algorithm", "unique funcs", "calls", "outcome", "nodes expanded", "stored/depth",
+		"table hits", "bound pruned", "tree paths", "make-span")
+	for _, r := range rows {
+		outcome, span := aStarOutcome(r)
+		hits, pruned := "-", "-"
+		if r.Algo == "bnb" {
+			hits = fmt.Sprintf("%d", r.TableHits)
+			pruned = fmt.Sprintf("%d", r.BoundPruned)
+		}
+		t.AddRow(
+			r.Algo,
+			fmt.Sprintf("%d", r.UniqueFuncs),
+			fmt.Sprintf("%d", r.Calls),
+			outcome,
+			fmt.Sprintf("%d", r.NodesExpanded),
+			fmt.Sprintf("%d", r.NodesAllocated),
+			hits,
+			pruned,
 			fmt.Sprintf("%.3g", r.PathsTotal),
 			span,
 		)

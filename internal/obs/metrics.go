@@ -22,6 +22,12 @@ type Metrics struct {
 	maxJobWallNS  atomic.Int64
 	simRuns       atomic.Int64
 	simTicks      atomic.Int64
+
+	searchRuns      atomic.Int64
+	searchExpanded  atomic.Int64
+	searchStored    atomic.Int64
+	searchTableHits atomic.Int64
+	searchPruned    atomic.Int64
 }
 
 var (
@@ -88,6 +94,20 @@ func (m *Metrics) SimRun(ticks int64) {
 	m.simTicks.Add(ticks)
 }
 
+// SearchRun records one completed (or budget-aborted) tree search: nodes
+// expanded and stored, plus how many candidates the transposition table and
+// the admissible bound pruned.
+func (m *Metrics) SearchRun(expanded, stored, tableHits, pruned int64) {
+	if m == nil {
+		return
+	}
+	m.searchRuns.Add(1)
+	m.searchExpanded.Add(expanded)
+	m.searchStored.Add(stored)
+	m.searchTableHits.Add(tableHits)
+	m.searchPruned.Add(pruned)
+}
+
 // Snapshot is a point-in-time copy of the counters, safe to marshal.
 type Snapshot struct {
 	JobsStarted   int64 `json:"jobs_started"`
@@ -104,6 +124,13 @@ type Snapshot struct {
 	// SimRuns counts completed simulations; SimTicks sums their make-spans.
 	SimRuns  int64 `json:"sim_runs"`
 	SimTicks int64 `json:"sim_ticks"`
+	// SearchRuns counts tree searches; the others sum their per-run node and
+	// prune counters.
+	SearchRuns      int64 `json:"search_runs"`
+	SearchExpanded  int64 `json:"search_expanded"`
+	SearchStored    int64 `json:"search_stored"`
+	SearchTableHits int64 `json:"search_table_hits"`
+	SearchPruned    int64 `json:"search_pruned"`
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each counter is
@@ -124,15 +151,22 @@ func (m *Metrics) Snapshot() Snapshot {
 		MaxJobWall:    time.Duration(m.maxJobWallNS.Load()),
 		SimRuns:       m.simRuns.Load(),
 		SimTicks:      m.simTicks.Load(),
+
+		SearchRuns:      m.searchRuns.Load(),
+		SearchExpanded:  m.searchExpanded.Load(),
+		SearchStored:    m.searchStored.Load(),
+		SearchTableHits: m.searchTableHits.Load(),
+		SearchPruned:    m.searchPruned.Load(),
 	}
 }
 
 // String renders the snapshot as one log-friendly line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"obs: %d jobs started, %d completed (%d failed, %d panicked), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks)",
+		"obs: %d jobs started, %d completed (%d failed, %d panicked), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks), %d searches (%d expanded, %d stored, %d table hits, %d pruned)",
 		s.JobsStarted, s.JobsCompleted, s.JobsFailed, s.JobsPanicked,
 		s.CacheHits, s.Deduped,
 		s.QueueWait.Round(time.Microsecond), s.JobWall.Round(time.Microsecond),
-		s.MaxJobWall.Round(time.Microsecond), s.SimRuns, s.SimTicks)
+		s.MaxJobWall.Round(time.Microsecond), s.SimRuns, s.SimTicks,
+		s.SearchRuns, s.SearchExpanded, s.SearchStored, s.SearchTableHits, s.SearchPruned)
 }
