@@ -1,14 +1,15 @@
 # Build, test, and verification targets for the reproduction.
 #
 # `make ci` is the full gate: formatting, vet, build, the race-enabled test
-# suite (including the runner's differential tests under -cpu=1,4), a short
-# fuzz smoke over the trace codec, and the observability overhead guard. It
-# needs nothing beyond the Go toolchain.
+# suite (including the runner's differential tests under -cpu=1,4), short
+# fuzz smokes (trace codecs, BnB state keys, the scheduling service's request
+# decoder), the serve-mode golden smoke, and the observability overhead
+# guard. It needs nothing beyond the Go toolchain.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check test race runner-race fuzz-smoke bench bench-guard bench-json bench-json-search golden ci
+.PHONY: all build vet fmt-check test race runner-race fuzz-smoke serve-smoke bench bench-guard bench-json bench-json-search golden ci
 
 all: build
 
@@ -36,12 +37,21 @@ runner-race:
 	$(GO) test -race -cpu=1,4 -count=1 ./internal/runner/...
 
 # Short fuzz passes over both trace codecs (seed corpus in
-# internal/trace/testdata/fuzz/) and the BnB state-key canonicalization
-# (seed corpus in internal/astar/testdata/fuzz/).
+# internal/trace/testdata/fuzz/), the BnB state-key canonicalization
+# (seed corpus in internal/astar/testdata/fuzz/), and the scheduling
+# service's request decoder (seed corpus in internal/server/testdata/requests/).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzReadText -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzStateKey -fuzztime=$(FUZZTIME) ./internal/astar/
+	$(GO) test -run='^$$' -fuzz=FuzzScheduleRequest -fuzztime=$(FUZZTIME) ./internal/server/
+
+# One request per algorithm through a real scheduling server, each response
+# diffed byte-for-byte against internal/server/testdata/golden/. Run
+# `go test ./internal/server/ -run TestServeSmoke -update` after an
+# intentional wire-format change.
+serve-smoke:
+	$(GO) test -run=TestServeSmoke -count=1 ./internal/server/
 
 # Serial vs parallel sweep benchmark (wall-clock wins need GOMAXPROCS > 1).
 bench:
@@ -56,7 +66,7 @@ bench:
 bench-guard:
 	$(GO) test -run='TestDisabledRecorderZeroAlloc|TestRecorderDisabledZeroAlloc|TestEvaluatorZeroAlloc' -count=1 \
 		./internal/obs/ ./internal/sim/
-	$(GO) test -run='TestBnBWarmZeroAlloc|TestBnBNodeBudgetGuard' -count=1 ./internal/astar/
+	$(GO) test -run='TestBnBWarmZeroAlloc|TestBnBWarmZeroAllocCancellable|TestBnBNodeBudgetGuard' -count=1 ./internal/astar/
 	$(GO) test -run='^$$' -bench=BenchmarkRunCallsRecorder -benchtime=100x ./internal/sim/
 	$(GO) test -run='^$$' -bench='BenchmarkEvaluatorRun|BenchmarkEvaluatorDelta' -benchmem -benchtime=50x ./internal/sim/
 
@@ -83,4 +93,4 @@ bench-json-search:
 golden:
 	$(GO) test ./internal/experiments -run TestGolden -update
 
-ci: fmt-check vet build race runner-race fuzz-smoke bench-guard bench-json bench-json-search
+ci: fmt-check vet build race runner-race fuzz-smoke serve-smoke bench-guard bench-json bench-json-search

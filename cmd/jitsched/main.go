@@ -9,6 +9,7 @@
 //	jitsched stats -i FILE
 //	jitsched schedule -bench NAME [-scale F] [-algo iar|base|opt|bnb] [-model default|oracle]
 //	jitsched simulate -bench NAME [-scale F] [-algo ...] [-workers N] [-timeline] [-trace-out FILE]
+//	jitsched serve [-addr HOST:PORT] [-workers N] [-queue N] [-cache N] [-timeout D] [-max-timeout D] [-max-body N]
 //
 // Experiments fan their independent simulations out over an internal/runner
 // worker pool (-par bounds it; -par 1 forces the serial path). All
@@ -46,6 +47,8 @@ func main() {
 		err = cmdSchedule(os.Args[2:])
 	case "simulate":
 		err = cmdSimulate(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -72,6 +75,7 @@ commands:
   schedule   print a compilation schedule for a workload
   simulate   simulate a schedule/policy and report the make-span
              (-timeline for an ASCII schedule, -trace-out for Chrome tracing)
+  serve      run the scheduling service over HTTP (POST /schedule)
 
 run 'jitsched <command> -h' for flags.
 `)

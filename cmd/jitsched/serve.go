@@ -1,0 +1,58 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// cmdServe runs the scheduling service until SIGINT/SIGTERM, then drains:
+// in-flight searches are cancelled, their requests answered, and the worker
+// pool joined before the process exits.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address (HOST:PORT; :0 picks a free port)")
+	workers := fs.Int("workers", server.DefaultWorkers, "scheduling worker goroutines")
+	queue := fs.Int("queue", server.DefaultQueueDepth, "max queued requests before 429")
+	cache := fs.Int("cache", server.DefaultCacheSize, "LRU response-cache entries (negative disables)")
+	timeout := fs.Duration("timeout", server.DefaultRequestTimeout, "default per-request timeout")
+	maxTimeout := fs.Duration("max-timeout", server.DefaultMaxTimeout, "cap on a request's timeout_ms")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes before 413")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve: unexpected argument %q", fs.Arg(0))
+	}
+
+	srv := server.New(server.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+		Metrics:        obs.Default(),
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
+		fmt.Fprintf(os.Stderr, "jitsched serve: listening on http://%s (POST /schedule; metrics at /metrics)\n", a)
+	})
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "jitsched serve: drained and stopped after %v; %s\n",
+		time.Since(start).Round(time.Millisecond), obs.Default().Snapshot())
+	return nil
+}

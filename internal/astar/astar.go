@@ -15,6 +15,7 @@ package astar
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -28,6 +29,37 @@ import (
 // configured budget — the analogue of the paper's A* runs aborting with
 // out-of-memory beyond six unique methods.
 var ErrBudgetExhausted = errors.New("astar: node budget exhausted")
+
+// ErrCancelled reports that a search's context was cancelled before it could
+// prove an answer. A cancelled search never returns a partial schedule: the
+// Result carries only the exploration counters accumulated so far. The error
+// wraps the context's cause, so errors.Is matches both ErrCancelled and
+// context.Canceled / context.DeadlineExceeded.
+var ErrCancelled = errors.New("astar: search cancelled")
+
+// cancelErr builds the ErrCancelled chain for a done context.
+func cancelErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCancelled, context.Cause(ctx))
+}
+
+// cancelled is the non-blocking cancellation poll used at batch boundaries.
+// The done channel is captured once per search; context.Background yields a
+// nil channel, which is never ready, so the no-cancel fast path costs one
+// branch and allocates nothing.
+func cancelled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// cancelStride is how many node visits a depth-first search goes between
+// cancellation polls. Cancellation only ever aborts a run — it never alters
+// which nodes a surviving run visits — so the stride trades promptness
+// against per-node overhead without touching determinism.
+const cancelStride = 256
 
 // Options configures a search.
 type Options struct {
@@ -359,6 +391,14 @@ func (s *searcher) children(n *node) ([]*node, error) {
 // Search runs A* and returns the optimal schedule, or a partial Result plus
 // ErrBudgetExhausted when the node budget runs out first.
 func Search(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, error) {
+	return SearchContext(context.Background(), tr, p, opts)
+}
+
+// SearchContext is Search with cooperative cancellation: the context is
+// polled before every node expansion, and a done context aborts the search
+// with ErrCancelled and no schedule. An un-cancelled SearchContext is
+// bit-identical to Search.
+func SearchContext(ctx context.Context, tr *trace.Trace, p *profile.Profile, opts Options) (*Result, error) {
 	s, err := newSearcher(tr, p, opts)
 	if err != nil {
 		return nil, err
@@ -370,11 +410,16 @@ func Search(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, error) 
 		return res, nil
 	}
 
+	done := ctx.Done()
 	root := &node{}
 	h := make(nodeHeap, 0, heapCapFor(s.budget))
 	open := &h
 	heap.Push(open, root)
 	for open.Len() > 0 {
+		if cancelled(done) {
+			res.NodesAllocated = s.alloc
+			return res, cancelErr(ctx)
+		}
 		n := heap.Pop(open).(*node)
 		if n.stop {
 			sched := s.prefix(n)
@@ -413,6 +458,13 @@ func Search(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, error) 
 // better schedule is ever cut, and the DFS visit order is unchanged — only
 // the number of nodes visited shrinks.
 func Exhaustive(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, error) {
+	return ExhaustiveContext(context.Background(), tr, p, opts)
+}
+
+// ExhaustiveContext is Exhaustive with cooperative cancellation, polled every
+// cancelStride node visits. A done context aborts with ErrCancelled and no
+// schedule; an un-cancelled run is bit-identical to Exhaustive.
+func ExhaustiveContext(ctx context.Context, tr *trace.Trace, p *profile.Profile, opts Options) (*Result, error) {
 	s, err := newSearcher(tr, p, opts)
 	if err != nil {
 		return nil, err
@@ -431,10 +483,14 @@ func Exhaustive(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, err
 	next := make([]profile.Level, p.NumFuncs())
 	var prefix sim.Schedule
 
+	done := ctx.Done()
 	var dfs func(cur cursor) error
 	dfs = func(cur cursor) error {
 		if s.alloc++; s.alloc > s.budget {
 			return ErrBudgetExhausted
+		}
+		if s.alloc%cancelStride == 0 && cancelled(done) {
+			return cancelErr(ctx)
 		}
 		s.pe.load(prefix)
 		if s.boundFrom(cur, s.pe.span, next) >= bestCost {
@@ -472,6 +528,9 @@ func Exhaustive(tr *trace.Trace, p *profile.Profile, opts Options) (*Result, err
 			}
 		}
 		return nil
+	}
+	if cancelled(done) {
+		return res, cancelErr(ctx)
 	}
 	if err := dfs(cursor{}); err != nil {
 		res.NodesAllocated = s.alloc

@@ -1,6 +1,7 @@
 package astar
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -63,6 +64,16 @@ type beamExpansion struct {
 // exactly as the serial loop would. Every observable output — schedule,
 // make-span, cost, node counters — is bit-identical for any worker count.
 func BeamSearch(tr *trace.Trace, p *profile.Profile, opts BeamOptions) (*Result, error) {
+	return BeamSearchContext(context.Background(), tr, p, opts)
+}
+
+// BeamSearchContext is BeamSearch with cooperative cancellation, polled at
+// every depth boundary (a depth expands at most Width nodes). A done context
+// aborts with ErrCancelled and no schedule — even when a complete schedule
+// was already seen at an earlier depth, so a cancelled search never reports a
+// result the un-cancelled search would have improved. An un-cancelled run is
+// bit-identical to BeamSearch.
+func BeamSearchContext(ctx context.Context, tr *trace.Trace, p *profile.Profile, opts BeamOptions) (*Result, error) {
 	s, err := newSearcher(tr, p, Options{MaxNodes: 1})
 	if err != nil {
 		return nil, err
@@ -124,9 +135,13 @@ func BeamSearch(tr *trace.Trace, p *profile.Profile, opts BeamOptions) (*Result,
 		return ex
 	}
 
+	done := ctx.Done()
 	maxDepth := len(s.order) * p.Levels
 	expansions := make([]beamExpansion, 0, width)
 	for depth := 0; depth < maxDepth && len(frontier) > 0; depth++ {
+		if cancelled(done) {
+			return res, cancelErr(ctx)
+		}
 		// Phase 1: score the frontier in parallel.
 		expansions = expansions[:0]
 		expansions = append(expansions, make([]beamExpansion, len(frontier))...)

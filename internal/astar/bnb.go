@@ -1,6 +1,7 @@
 package astar
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -196,11 +197,17 @@ func NewBnB(tr *trace.Trace, p *profile.Profile, opts BnBOptions) (*BnB, error) 
 // BnBSearch is the convenience wrapper: build, run once, return an
 // independent Result.
 func BnBSearch(tr *trace.Trace, p *profile.Profile, opts BnBOptions) (*Result, error) {
+	return BnBSearchContext(context.Background(), tr, p, opts)
+}
+
+// BnBSearchContext is BnBSearch with cooperative cancellation (see
+// RunContext).
+func BnBSearchContext(ctx context.Context, tr *trace.Trace, p *profile.Profile, opts BnBOptions) (*Result, error) {
 	b, err := NewBnB(tr, p, opts)
 	if err != nil {
 		return nil, err
 	}
-	res, err := b.Run()
+	res, err := b.RunContext(ctx)
 	if res != nil {
 		out := *res
 		out.Schedule = res.Schedule.Clone()
@@ -214,6 +221,16 @@ func BnBSearch(tr *trace.Trace, p *profile.Profile, opts BnBOptions) (*Result, e
 // the searcher's reusable buffers and is invalidated by the next Run; use
 // BnBSearch for an owned copy.
 func (b *BnB) Run() (*Result, error) {
+	return b.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation, polled once per expansion
+// batch (bnbBatch pops). Parallel scoring never outlives a batch, so a done
+// context aborts between batches with ErrCancelled, counters filled, and no
+// schedule — the serial commit discipline is preserved, and an un-cancelled
+// run is bit-identical to Run. A warm cancellable run still allocates
+// nothing; see TestBnBWarmZeroAllocCancellable.
+func (b *BnB) RunContext(ctx context.Context) (*Result, error) {
 	s := b.s
 	b.res = Result{PathsTotal: b.paths}
 	res := &b.res
@@ -245,7 +262,12 @@ func (b *BnB) Run() (*Result, error) {
 	b.table.insert(hashKey(rootKey), rootKey)
 	b.heapPush(root)
 
+	done := ctx.Done()
 	for len(b.open) > 0 {
+		if cancelled(done) {
+			b.fillCounters()
+			return res, cancelErr(ctx)
+		}
 		// Serial pop phase: collect up to bnbBatch live nodes.
 		popped := b.popped[:0]
 		for len(popped) < bnbBatch && len(b.open) > 0 {

@@ -1,6 +1,7 @@
 package astar
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/profile"
@@ -38,6 +39,13 @@ const DefaultMaxExpansions = 4 << 20
 // Result.NodesAllocated reports the maximum path length (the entire memory
 // footprint).
 func IDASearch(tr *trace.Trace, p *profile.Profile, opts IDAOptions) (*Result, error) {
+	return IDASearchContext(context.Background(), tr, p, opts)
+}
+
+// IDASearchContext is IDASearch with cooperative cancellation, polled every
+// cancelStride expansions. A done context aborts with ErrCancelled and no
+// schedule; an un-cancelled run is bit-identical to IDASearch.
+func IDASearchContext(ctx context.Context, tr *trace.Trace, p *profile.Profile, opts IDAOptions) (*Result, error) {
 	s, err := newSearcher(tr, p, Options{MaxNodes: 1}) // node budget unused here
 	if err != nil {
 		return nil, err
@@ -72,10 +80,14 @@ func IDASearch(tr *trace.Trace, p *profile.Profile, opts IDAOptions) (*Result, e
 	// `bound`, recording the cheapest complete schedule with cost <= bound
 	// and the smallest cost seen above the bound (for the next iteration).
 	// It returns an error only when the budget dies.
+	done := ctx.Done()
 	var probe func(bound int64) error
 	probe = func(bound int64) error {
 		if res.NodesExpanded++; res.NodesExpanded > budget {
 			return ErrTimeExhausted
+		}
+		if res.NodesExpanded%cancelStride == 0 && cancelled(done) {
+			return cancelErr(ctx)
 		}
 		if len(prefix) > maxDepth {
 			maxDepth = len(prefix)
@@ -128,6 +140,10 @@ func IDASearch(tr *trace.Trace, p *profile.Profile, opts IDAOptions) (*Result, e
 
 	bound := int64(0)
 	for {
+		if cancelled(done) {
+			res.NodesAllocated = maxDepth
+			return res, cancelErr(ctx)
+		}
 		nextBound = inf
 		if err := probe(bound); err != nil {
 			res.NodesAllocated = maxDepth

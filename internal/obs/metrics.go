@@ -28,6 +28,14 @@ type Metrics struct {
 	searchStored    atomic.Int64
 	searchTableHits atomic.Int64
 	searchPruned    atomic.Int64
+
+	serveRequests   atomic.Int64
+	serveOK         atomic.Int64
+	serveErrors     atomic.Int64
+	serveCacheHits  atomic.Int64
+	serveCancelled  atomic.Int64
+	serveRejected   atomic.Int64
+	serveQueueDepth atomic.Int64
 }
 
 var (
@@ -108,6 +116,60 @@ func (m *Metrics) SearchRun(expanded, stored, tableHits, pruned int64) {
 	m.searchPruned.Add(pruned)
 }
 
+// ServeRequest records one scheduling-service request received (before
+// decoding or any queueing decision).
+func (m *Metrics) ServeRequest() {
+	if m == nil {
+		return
+	}
+	m.serveRequests.Add(1)
+}
+
+// ServeDone records one finished scheduling-service request. Exactly one of
+// the flags describes the outcome: ok (schedule returned), cancelled (the
+// request's deadline or client cancellation won), or neither for any other
+// error.
+func (m *Metrics) ServeDone(ok, cancelled bool) {
+	if m == nil {
+		return
+	}
+	switch {
+	case ok:
+		m.serveOK.Add(1)
+	case cancelled:
+		m.serveCancelled.Add(1)
+	default:
+		m.serveErrors.Add(1)
+	}
+}
+
+// ServeCacheHit records a request answered from the service's result cache
+// (including waiters coalesced onto an in-flight computation).
+func (m *Metrics) ServeCacheHit() {
+	if m == nil {
+		return
+	}
+	m.serveCacheHits.Add(1)
+}
+
+// ServeRejected records a request bounced with backpressure (queue full or
+// server draining).
+func (m *Metrics) ServeRejected() {
+	if m == nil {
+		return
+	}
+	m.serveRejected.Add(1)
+}
+
+// ServeQueue adjusts the scheduling-service queue-depth gauge by delta
+// (+1 on enqueue, -1 on dequeue).
+func (m *Metrics) ServeQueue(delta int64) {
+	if m == nil {
+		return
+	}
+	m.serveQueueDepth.Add(delta)
+}
+
 // Snapshot is a point-in-time copy of the counters, safe to marshal.
 type Snapshot struct {
 	JobsStarted   int64 `json:"jobs_started"`
@@ -131,6 +193,18 @@ type Snapshot struct {
 	SearchStored    int64 `json:"search_stored"`
 	SearchTableHits int64 `json:"search_table_hits"`
 	SearchPruned    int64 `json:"search_pruned"`
+	// ServeRequests counts scheduling-service requests accepted for
+	// processing; ServeOK/ServeErrors/ServeCancelled split their outcomes;
+	// ServeCacheHits counts requests answered from the service cache;
+	// ServeRejected counts backpressure bounces (429/503); ServeQueueDepth
+	// is the current queue-depth gauge.
+	ServeRequests   int64 `json:"serve_requests"`
+	ServeOK         int64 `json:"serve_ok"`
+	ServeErrors     int64 `json:"serve_errors"`
+	ServeCancelled  int64 `json:"serve_cancelled"`
+	ServeCacheHits  int64 `json:"serve_cache_hits"`
+	ServeRejected   int64 `json:"serve_rejected"`
+	ServeQueueDepth int64 `json:"serve_queue_depth"`
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each counter is
@@ -157,16 +231,26 @@ func (m *Metrics) Snapshot() Snapshot {
 		SearchStored:    m.searchStored.Load(),
 		SearchTableHits: m.searchTableHits.Load(),
 		SearchPruned:    m.searchPruned.Load(),
+
+		ServeRequests:   m.serveRequests.Load(),
+		ServeOK:         m.serveOK.Load(),
+		ServeErrors:     m.serveErrors.Load(),
+		ServeCancelled:  m.serveCancelled.Load(),
+		ServeCacheHits:  m.serveCacheHits.Load(),
+		ServeRejected:   m.serveRejected.Load(),
+		ServeQueueDepth: m.serveQueueDepth.Load(),
 	}
 }
 
 // String renders the snapshot as one log-friendly line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"obs: %d jobs started, %d completed (%d failed, %d panicked), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks), %d searches (%d expanded, %d stored, %d table hits, %d pruned)",
+		"obs: %d jobs started, %d completed (%d failed, %d panicked), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks), %d searches (%d expanded, %d stored, %d table hits, %d pruned), %d served (%d ok, %d cancelled, %d errored, %d serve cache hits, %d rejected, depth %d)",
 		s.JobsStarted, s.JobsCompleted, s.JobsFailed, s.JobsPanicked,
 		s.CacheHits, s.Deduped,
 		s.QueueWait.Round(time.Microsecond), s.JobWall.Round(time.Microsecond),
 		s.MaxJobWall.Round(time.Microsecond), s.SimRuns, s.SimTicks,
-		s.SearchRuns, s.SearchExpanded, s.SearchStored, s.SearchTableHits, s.SearchPruned)
+		s.SearchRuns, s.SearchExpanded, s.SearchStored, s.SearchTableHits, s.SearchPruned,
+		s.ServeRequests, s.ServeOK, s.ServeCancelled, s.ServeErrors,
+		s.ServeCacheHits, s.ServeRejected, s.ServeQueueDepth)
 }

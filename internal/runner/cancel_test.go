@@ -1,0 +1,121 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func cancelJobs(n int, ran *atomic.Int64) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: Key{Experiment: "cancel", Seed: int64(i)},
+			Fn: func(Ctx) (int, error) {
+				ran.Add(1)
+				return i, nil
+			},
+		}
+	}
+	return jobs
+}
+
+// TestMapContextAlreadyCancelled: a context that is cancelled before dispatch
+// fails the whole batch without running a single job, and the failures never
+// enter the cache — the same keys compute normally afterwards.
+func TestMapContextAlreadyCancelled(t *testing.T) {
+	r := New(Options{Workers: 4, Metrics: nil})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	jobs := cancelJobs(8, &ran)
+	res, err := MapContext(ctx, r, jobs)
+	if err == nil {
+		t.Fatal("MapContext with a cancelled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want it to wrap context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("got %d partial results, want none", len(res))
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d jobs ran despite the cancelled context", got)
+	}
+	// The cancelled batch must not have poisoned the cache.
+	res, err = Map(r, jobs)
+	if err != nil {
+		t.Fatalf("rerun after cancellation: %v", err)
+	}
+	for i, v := range res {
+		if v != i {
+			t.Fatalf("rerun result %d = %d, want %d", i, v, i)
+		}
+	}
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("rerun executed %d jobs, want 8 (cancelled attempts must not be cached)", got)
+	}
+}
+
+// TestMapContextMidRunCancel: cancelling while jobs are in flight propagates
+// through Ctx.Context, settles every job, and reports the failure.
+func TestMapContextMidRunCancel(t *testing.T) {
+	r := New(Options{Workers: 4, Metrics: nil})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make([]Job[int], 4)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Key: Key{Experiment: "midcancel", Seed: int64(i)},
+			Fn: func(c Ctx) (int, error) {
+				<-c.Context.Done() // a job that cooperates with cancellation
+				return 0, c.Context.Err()
+			},
+		}
+	}
+	time.AfterFunc(20*time.Millisecond, cancel)
+	done := make(chan error, 1)
+	go func() {
+		_, err := MapContext(ctx, r, jobs)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want it to wrap context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("MapContext did not return after cancellation")
+	}
+}
+
+// TestMapContextUncancelledIdentical: a live background context changes
+// nothing relative to plain Map.
+func TestMapContextUncancelledIdentical(t *testing.T) {
+	mk := func() []Job[int] {
+		jobs := make([]Job[int], 6)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job[int]{
+				Key: Key{Experiment: "plain", Seed: int64(i)},
+				Fn:  func(Ctx) (int, error) { return i * i, nil },
+			}
+		}
+		return jobs
+	}
+	r1 := New(Options{Workers: 3, Metrics: nil})
+	r2 := New(Options{Workers: 3, Metrics: nil})
+	want, err1 := Map(r1, mk())
+	got, err2 := MapContext(context.Background(), r2, mk())
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: plain=%v ctx=%v", err1, err2)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: ctx variant %d != plain %d", i, got[i], want[i])
+		}
+	}
+}

@@ -38,6 +38,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -86,6 +87,10 @@ type Ctx struct {
 	Key Key
 	// Seed is Key.DerivedSeed(), precomputed.
 	Seed int64
+	// Context carries the batch's cancellation signal (context.Background
+	// for plain Map calls — never nil). Long-running jobs should thread it
+	// into their own cancellable work so a cancelled batch stops promptly.
+	Context context.Context
 }
 
 // Job pairs a key with the function computing its result.
@@ -246,6 +251,17 @@ type jobState[T any] struct {
 // from the cache. If any job fails, Map returns the lowest-index failure
 // after all jobs have settled — partial results are never returned.
 func Map[T any](r *Runner, jobs []Job[T]) ([]T, error) {
+	return MapContext(context.Background(), r, jobs)
+}
+
+// MapContext is Map with cooperative cancellation, checked at job boundaries:
+// once ctx is done, jobs that have not started are failed with the context's
+// error instead of running, already-running jobs see the same signal through
+// their Ctx.Context, and MapContext returns an error after every in-flight
+// job has settled. As with any failure, partial results are never returned;
+// cancellation cannot corrupt the cache because failed jobs are never
+// cached. An un-cancelled MapContext is bit-identical to Map.
+func MapContext[T any](ctx context.Context, r *Runner, jobs []Job[T]) ([]T, error) {
 	start := time.Now()
 	states := make([]jobState[T], len(jobs))
 
@@ -297,10 +313,14 @@ func Map[T any](r *Runner, jobs []Job[T]) ([]T, error) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
+					if err := ctx.Err(); err != nil {
+						states[i].err = fmt.Errorf("runner: job not started: %w", err)
+						continue
+					}
 					j := jobs[i]
 					r.metrics.JobStarted(time.Since(enqueued))
 					jobStart := time.Now()
-					states[i].result, states[i].err = runJob(j)
+					states[i].result, states[i].err = runJob(ctx, j)
 					_, panicked := states[i].err.(*PanicError)
 					r.metrics.JobCompleted(time.Since(jobStart), states[i].err != nil, panicked)
 				}
@@ -362,7 +382,7 @@ func Map[T any](r *Runner, jobs []Job[T]) ([]T, error) {
 }
 
 // runJob executes one job with panic isolation.
-func runJob[T any](j Job[T]) (result T, err error) {
+func runJob[T any](ctx context.Context, j Job[T]) (result T, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			buf := make([]byte, 16*1024)
@@ -370,12 +390,17 @@ func runJob[T any](j Job[T]) (result T, err error) {
 			err = &PanicError{Key: j.Key, Value: v, Stack: buf}
 		}
 	}()
-	return j.Fn(Ctx{Key: j.Key, Seed: j.Key.DerivedSeed()})
+	return j.Fn(Ctx{Key: j.Key, Seed: j.Key.DerivedSeed(), Context: ctx})
 }
 
 // One runs a single job through the runner (a one-element Map).
 func One[T any](r *Runner, j Job[T]) (T, error) {
-	res, err := Map(r, []Job[T]{j})
+	return OneContext(context.Background(), r, j)
+}
+
+// OneContext runs a single job with cancellation (a one-element MapContext).
+func OneContext[T any](ctx context.Context, r *Runner, j Job[T]) (T, error) {
+	res, err := MapContext(ctx, r, []Job[T]{j})
 	if err != nil {
 		var zero T
 		return zero, err

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheEntry is one in-flight or completed response. Followers wait on ready;
+// after it closes, exactly one of body/err is set.
+type cacheEntry struct {
+	ready chan struct{}
+	body  []byte
+	err   error
+}
+
+// lruCache is an LRU response cache with single-flight semantics: the first
+// request for a fingerprint becomes the leader and computes; concurrent
+// duplicates block on the entry and serve the leader's bytes. Errored entries
+// are evicted on completion so a cancelled or failed leader never poisons the
+// key for later callers.
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // value: *lruItem
+}
+
+type lruItem struct {
+	key   string
+	entry *cacheEntry
+}
+
+// newLRUCache returns a cache holding at most capacity entries. A zero or
+// negative capacity disables caching entirely: begin always elects a leader
+// and store drops the result.
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// begin looks up key. It returns the entry to wait on and whether the caller
+// is the leader (the entry's computer). A leader must finish the entry with
+// complete(). Non-leaders must wait for the entry's ready channel and then
+// read body/err.
+func (c *lruCache) begin(key string) (e *cacheEntry, leader bool) {
+	if c.cap <= 0 {
+		return &cacheEntry{ready: make(chan struct{})}, true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruItem).entry, false
+	}
+	e = &cacheEntry{ready: make(chan struct{})}
+	el := c.order.PushFront(&lruItem{key: key, entry: e})
+	c.entries[key] = el
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruItem).key)
+	}
+	return e, true
+}
+
+// complete publishes the leader's result and wakes all waiters. On error the
+// entry is evicted (waiters already holding it still observe the error).
+func (c *lruCache) complete(key string, e *cacheEntry, body []byte, err error) {
+	e.body, e.err = body, err
+	close(e.ready)
+	if err == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok && el.Value.(*lruItem).entry == e {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+// len reports the number of cached (or in-flight) entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

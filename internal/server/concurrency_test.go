@@ -1,0 +1,139 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestConcurrentIdenticalRequestsCoalesce: N identical requests fired at
+// once produce byte-identical bodies, exactly one cache miss (the leader
+// computes, everyone else coalesces or hits), and a cache-hit counter that
+// accounts for the other N-1.
+func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
+	m := &obs.Metrics{}
+	_, ts := newTestServer(t, Options{Metrics: m})
+	const n = 32
+	body := inlineRequest(t, "bnb", 7, 80, 11, nil)
+
+	type result struct {
+		status int
+		cache  string
+		body   []byte
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/schedule", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			results[i] = result{resp.StatusCode, resp.Header.Get("X-Cache"), buf.Bytes()}
+		}(i)
+	}
+	wg.Wait()
+
+	misses := 0
+	for i, r := range results {
+		if r.status != 200 {
+			t.Fatalf("request %d: status %d, body %s", i, r.status, r.body)
+		}
+		if r.cache == "miss" {
+			misses++
+		}
+		if !bytes.Equal(r.body, results[0].body) {
+			t.Errorf("request %d served different bytes:\n%s\n%s", i, r.body, results[0].body)
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d cache misses across %d identical requests, want exactly 1", misses, n)
+	}
+	s := m.Snapshot()
+	if s.ServeCacheHits != n-1 {
+		t.Errorf("serve_cache_hits = %d, want %d", s.ServeCacheHits, n-1)
+	}
+	if s.ServeOK != n {
+		t.Errorf("serve_ok = %d, want %d", s.ServeOK, n)
+	}
+}
+
+// TestServe100ConcurrentMixed: 100 concurrent requests across all six
+// algorithms and several instances, zero failures, and — determinism under
+// concurrency — byte-identical bodies within each distinct request.
+func TestServe100ConcurrentMixed(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	const n = 100
+	// 18 distinct request bodies (6 algorithms x 3 instances), each repeated
+	// five or six times across the burst.
+	bodies := make(map[string][]byte)
+	keys := make([]string, 0, 18)
+	for _, algo := range Algorithms {
+		for seed := int64(0); seed < 3; seed++ {
+			k := fmt.Sprintf("%s-%d", algo, seed)
+			// Plain A* keeps the whole frontier in memory, so it gets a
+			// smaller instance plus a raised node budget; the rest take a
+			// slightly larger one.
+			if algo == "astar" {
+				bodies[k] = inlineRequest(t, algo, 6, 60, 20+seed, map[string]any{"max_nodes": 1 << 23})
+			} else {
+				bodies[k] = inlineRequest(t, algo, 7, 80, 20+seed, nil)
+			}
+			keys = append(keys, k)
+		}
+	}
+
+	type result struct {
+		key    string
+		status int
+		body   []byte
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := keys[i%len(keys)]
+			resp, err := http.Post(ts.URL+"/schedule", "application/json", bytes.NewReader(bodies[k]))
+			if err != nil {
+				t.Errorf("request %d (%s): %v", i, k, err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			results[i] = result{k, resp.StatusCode, buf.Bytes()}
+		}(i)
+	}
+	wg.Wait()
+
+	first := make(map[string][]byte)
+	for i, r := range results {
+		if r.status != 200 {
+			t.Fatalf("request %d (%s): status %d, body %s", i, r.key, r.status, r.body)
+		}
+		if want, ok := first[r.key]; ok {
+			if !bytes.Equal(r.body, want) {
+				t.Errorf("request %d (%s) served different bytes than an earlier identical request", i, r.key)
+			}
+		} else {
+			first[r.key] = r.body
+		}
+		var resp ScheduleResponse
+		if err := json.Unmarshal(r.body, &resp); err != nil {
+			t.Fatalf("request %d (%s): undecodable body: %v", i, r.key, err)
+		}
+	}
+}

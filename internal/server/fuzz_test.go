@@ -1,0 +1,73 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzScheduleRequest drives the request decode/validate/materialize path
+// with arbitrary bytes. The invariants under test:
+//
+//   - decodeScheduleRequest never panics and never returns (nil, nil);
+//   - an accepted request has a deterministic fingerprint;
+//   - an accepted request's workload either materializes into validated
+//     library types or fails with a client-fault error — it never panics,
+//     whatever the payload's numbers are.
+//
+// Seeds come from testdata/requests, which doubles as documentation of the
+// wire format.
+func FuzzScheduleRequest(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("testdata", "requests", "*.json"))
+	if err != nil || len(seeds) == 0 {
+		f.Fatalf("no seed corpus: %v (%d files)", err, len(seeds))
+	}
+	for _, path := range seeds {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeScheduleRequest(bytes.NewReader(data))
+		if err != nil {
+			if req != nil {
+				t.Fatal("decode returned both a request and an error")
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("decode returned neither a request nor an error")
+		}
+		fp1, fp2 := req.fingerprint(), req.fingerprint()
+		if fp1 != fp2 || fp1 == "" {
+			t.Fatalf("fingerprint not deterministic: %q vs %q", fp1, fp2)
+		}
+		// Materializing a corpus workload at a large scale is legitimate but
+		// too slow for a fuzz iteration; the validation path above is the
+		// target, trace synthesis is covered elsewhere.
+		if req.Bench != "" && req.Scale > 2 {
+			return
+		}
+		w, err := req.workload()
+		if err != nil {
+			var rerr *requestError
+			if !errors.As(err, &rerr) {
+				t.Fatalf("workload() failed with a non-client error: %v", err)
+			}
+			return
+		}
+		if w.Trace == nil || w.Profile == nil {
+			t.Fatal("workload() returned nil trace or profile without an error")
+		}
+		if err := w.Profile.Validate(); err != nil {
+			t.Fatalf("materialized profile does not validate: %v", err)
+		}
+		if err := w.Trace.Validate(w.Profile.NumFuncs()); err != nil {
+			t.Fatalf("materialized trace does not validate: %v", err)
+		}
+	})
+}

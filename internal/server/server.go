@@ -1,0 +1,364 @@
+// Package server exposes the scheduling engine as an HTTP service: POST a
+// trace+profile payload (inline or a named corpus entry) plus an algorithm
+// name, get back the schedule, its simulated make-span, and the gap to the
+// §5 lower bound.
+//
+// The service is deliberately boring in shape — a bounded queue in front of
+// a fixed worker pool, an LRU single-flight response cache keyed by the
+// engine's canonical job fingerprint, and cooperative cancellation threaded
+// through every search — because the point is to demonstrate that the
+// engine's determinism survives concurrency: identical requests produce
+// byte-identical response bodies whether they were computed, coalesced onto
+// an in-flight leader, or served from cache.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/astar"
+	"repro/internal/dacapo"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultWorkers        = 4
+	DefaultQueueDepth     = 64
+	DefaultCacheSize      = 256
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxTimeout     = 2 * time.Minute
+	DefaultMaxBodyBytes   = 8 << 20
+)
+
+// errDeadline is the cancellation cause installed by the per-request timeout;
+// requests that die of it answer 504.
+var errDeadline = errors.New("server: request deadline exceeded")
+
+// errDraining is the cancellation cause installed by Shutdown; requests that
+// die of it answer 503.
+var errDraining = errors.New("server: shutting down")
+
+// Options configures a Server. Zero values take the package defaults.
+type Options struct {
+	// Workers is the number of goroutines computing schedules.
+	Workers int
+	// QueueDepth bounds the requests waiting for a worker; beyond it the
+	// server answers 429 instead of buffering unboundedly.
+	QueueDepth int
+	// CacheSize is the LRU response-cache capacity in entries; negative
+	// disables caching (zero means DefaultCacheSize).
+	CacheSize int
+	// DefaultTimeout applies when a request does not set timeout_ms;
+	// MaxTimeout clamps whatever the request asks for.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes caps the request body; larger payloads answer 413.
+	MaxBodyBytes int64
+	// Metrics receives the service counters (nil is safe and means the
+	// process-wide default sink).
+	Metrics *obs.Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = DefaultWorkers
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = DefaultCacheSize
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = DefaultRequestTimeout
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = DefaultMaxTimeout
+	}
+	if o.DefaultTimeout > o.MaxTimeout {
+		o.DefaultTimeout = o.MaxTimeout
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.Default()
+	}
+	return o
+}
+
+// job is one leader request handed to the worker pool.
+type job struct {
+	req      *ScheduleRequest
+	key      string
+	entry    *cacheEntry
+	enqueued time.Time
+}
+
+// Server is the scheduling service: an http.Handler plus the worker pool
+// behind it.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	cache *lruCache
+	// qmu guards enqueues against Shutdown's close: senders hold it shared
+	// and re-check draining, Shutdown closes the channel holding it
+	// exclusively, so a send can never race the close.
+	qmu      sync.RWMutex
+	queue    chan job
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	shutdown sync.Once
+	rootCtx  context.Context
+	cancel   context.CancelCauseFunc
+	m        *obs.Metrics
+}
+
+// New builds a Server and starts its worker pool. Callers must Shutdown it
+// to release the workers.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		cache: newLRUCache(opts.CacheSize),
+		queue: make(chan job, opts.QueueDepth),
+		m:     opts.Metrics,
+	}
+	s.rootCtx, s.cancel = context.WithCancelCause(context.Background())
+	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
+	s.mux.HandleFunc("GET /algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
+	// The observability surface rides along on the same listener. It is
+	// mounted on its concrete paths, not "/": a catch-all would swallow
+	// method mismatches (GET /schedule should be 405, not the obs 404).
+	oh := obs.Handler()
+	s.mux.Handle("GET /metrics", oh)
+	s.mux.Handle("GET /healthz", oh)
+	s.mux.Handle("GET /debug/", oh)
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the service: new scheduling requests are bounced with 503,
+// queued and running jobs are cancelled (their waiters get 503/504), and the
+// worker pool is joined. It is idempotent and safe to call concurrently with
+// requests.
+func (s *Server) Shutdown() {
+	s.shutdown.Do(func() {
+		s.cancel(errDraining)
+		s.qmu.Lock()
+		s.draining.Store(true)
+		close(s.queue)
+		s.qmu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+// worker is the pool loop: pop, compute under the request's deadline,
+// publish into the cache entry.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.m.ServeQueue(-1)
+		s.runJob(j)
+	}
+}
+
+// enqueue offers j to the worker pool without blocking, reporting whether it
+// was accepted. It holds qmu shared so the send cannot race Shutdown's close.
+func (s *Server) enqueue(j job) bool {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.draining.Load() {
+		return false
+	}
+	select {
+	case s.queue <- j:
+		s.m.ServeQueue(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// runJob computes one leader request and completes its cache entry.
+func (s *Server) runJob(j job) {
+	d := j.req.timeout(s.opts.DefaultTimeout, s.opts.MaxTimeout)
+	// The deadline covers queue wait too — a request is a promise to answer
+	// within its budget, not to start within it.
+	d -= time.Since(j.enqueued)
+	if d <= 0 {
+		s.cache.complete(j.key, j.entry, nil, fmt.Errorf("%w: %w", astar.ErrCancelled, errDeadline))
+		return
+	}
+	ctx, cancel := context.WithTimeoutCause(s.rootCtx, d, errDeadline)
+	defer cancel()
+	body, err := s.compute(ctx, j.req)
+	s.cache.complete(j.key, j.entry, body, err)
+}
+
+// compute runs the request and marshals the response body.
+func (s *Server) compute(ctx context.Context, req *ScheduleRequest) ([]byte, error) {
+	w, err := req.workload()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := execute(ctx, req, w)
+	if err != nil {
+		// The simulator's interrupt sentinel does not carry the cause; graft
+		// it on so the handler can tell a deadline from a drain.
+		if errors.Is(err, sim.ErrInterrupted) {
+			if c := context.Cause(ctx); c != nil {
+				err = fmt.Errorf("%w: %w", err, c)
+			}
+		}
+		return nil, err
+	}
+	return marshalResponse(resp)
+}
+
+// handleSchedule is POST /schedule.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	s.m.ServeRequest()
+	if s.draining.Load() {
+		s.m.ServeRejected()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	req, err := decodeScheduleRequest(r.Body)
+	if err != nil {
+		s.m.ServeDone(false, false)
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+
+	key := req.fingerprint()
+	entry, leader := s.cache.begin(key)
+	if leader {
+		if !s.enqueue(job{req: req, key: key, entry: entry, enqueued: time.Now()}) {
+			// Queue full or draining: bounce with backpressure and evict the
+			// stillborn entry so the next caller can lead.
+			s.cache.complete(key, entry, nil, errDraining)
+			s.m.ServeRejected()
+			writeError(w, http.StatusTooManyRequests, "scheduling queue is full, retry later")
+			return
+		}
+	} else {
+		s.m.ServeCacheHit()
+	}
+
+	select {
+	case <-entry.ready:
+	case <-r.Context().Done():
+		// The client went away. The computation keeps running for any
+		// coalesced followers; this response is dead either way.
+		s.m.ServeDone(false, true)
+		return
+	}
+	if entry.err != nil {
+		status := statusFor(entry.err)
+		s.m.ServeDone(false, status == http.StatusGatewayTimeout)
+		writeError(w, status, entry.err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// Cache status travels in a header, never the body: hit and miss must
+	// serve byte-identical documents.
+	if leader {
+		w.Header().Set("X-Cache", "miss")
+	} else {
+		w.Header().Set("X-Cache", "hit")
+	}
+	w.Write(entry.body)
+	s.m.ServeDone(true, false)
+}
+
+// handleAlgorithms is GET /algorithms.
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"algorithms": Algorithms})
+}
+
+// handleBenchmarks is GET /benchmarks.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"benchmarks": dacapo.Names()})
+}
+
+// statusFor maps a computation error to its HTTP status.
+func statusFor(err error) int {
+	var rerr *requestError
+	switch {
+	case errors.As(err, &rerr):
+		return rerr.status
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errDeadline),
+		errors.Is(err, astar.ErrCancelled),
+		errors.Is(err, sim.ErrInterrupted),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+// ListenAndServe runs the service on addr until ctx is cancelled, then
+// drains: the listener stops accepting, in-flight requests are answered
+// (cancelled ones with 503/504), and the worker pool is joined before
+// returning. The ready callback, if non-nil, receives the bound address once
+// the listener is up (useful with ":0").
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	hs := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		s.Shutdown()
+		return err
+	case <-ctx.Done():
+	}
+	// Drain order: flip the reject flag and cancel running searches first so
+	// in-flight handlers finish fast, then let the HTTP server wait for them.
+	s.Shutdown()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return hs.Shutdown(sctx)
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the serve-smoke golden responses")
+
+// smokeRequests returns one deterministic request per algorithm. The corpus
+// entries exercise the named-benchmark path; the searches run on a fixed
+// inline instance small enough to finish instantly.
+func smokeRequests(t *testing.T) map[string][]byte {
+	t.Helper()
+	reqs := map[string][]byte{}
+	for _, algo := range []string{"astar", "beam", "bnb"} {
+		reqs[algo] = inlineRequest(t, algo, 6, 60, 3, nil)
+	}
+	for _, algo := range []string{"iar", "jikes", "v8"} {
+		b, err := json.Marshal(map[string]any{"algo": algo, "bench": "antlr", "max_calls": 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs[algo] = b
+	}
+	return reqs
+}
+
+// TestServeSmoke drives a real server through one request per algorithm and
+// compares every response body byte-for-byte against the checked-in goldens
+// (go test -run TestServeSmoke -update ./internal/server/ rewrites them).
+// This is the `make serve-smoke` gate: any drift in the wire format or in
+// any scheduler's output shows up as a diff here.
+func TestServeSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for algo, body := range smokeRequests(t) {
+		t.Run(algo, func(t *testing.T) {
+			status, _, got := post(t, ts.URL, body)
+			if status != 200 {
+				t.Fatalf("status = %d, body %s", status, got)
+			}
+			golden := filepath.Join("testdata", "golden", algo+".json")
+			if *updateGolden {
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create the goldens)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("response drifted from %s:\n got: %s\nwant: %s", golden, got, want)
+			}
+		})
+	}
+}

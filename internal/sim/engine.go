@@ -351,8 +351,12 @@ func RunPolicy(tr *trace.Trace, p *profile.Profile, pol Policy, cfg Config, opts
 	nextSample := period // first sampling tick fires at t = period
 
 	callNum := make([]int64, nf)
+	intr := opts.Interrupt
 	var execT int64
 	for i, f := range tr.Calls {
+		if intr != nil && i%interruptStride == 0 && interrupted(intr) {
+			return nil, ErrInterrupted
+		}
 		callNum[f]++
 		for _, r := range pol.BeforeCall(f, callNum[f], execT) {
 			if err := enqueue(r.Func, r.Level, execT); err != nil {

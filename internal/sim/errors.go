@@ -1,11 +1,18 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/trace"
 )
+
+// ErrInterrupted reports that a run was abandoned because Options.Interrupt
+// fired. The simulated numbers accumulated so far are meaningless and are
+// never returned — Run and RunPolicy yield a nil Result alongside this
+// error.
+var ErrInterrupted = errors.New("sim: run interrupted")
 
 // ErrNoReadyVersion reports that execution reached a call at a time when no
 // compiled version of the function existed — a schedule that executes before

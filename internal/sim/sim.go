@@ -109,6 +109,29 @@ type Options struct {
 	// allocation-free, held to by BenchmarkRunCallsRecorderOff and
 	// TestRecorderDisabledZeroAlloc.
 	Recorder *obs.Recorder
+	// Interrupt, when non-nil, makes Run and RunPolicy abandon the
+	// simulation once the channel is closed (or receives): the execution
+	// loop polls it every interruptStride calls and returns ErrInterrupted.
+	// This is how a serving layer cancels a long replay — typically wired
+	// to a context's Done channel. A nil channel costs nothing; polling
+	// never changes the numbers of a run that finishes.
+	Interrupt <-chan struct{}
+}
+
+// interruptStride is how many calls the execution loop commits between
+// Interrupt polls. Interruption only ever aborts a run, so the stride trades
+// promptness against per-call overhead without affecting surviving runs.
+const interruptStride = 1024
+
+// interrupted is the non-blocking Interrupt poll (a nil channel is never
+// ready).
+func interrupted(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // validate reports the first Options error, or nil.
@@ -291,8 +314,12 @@ func runCalls(tr *trace.Trace, p *profile.Profile, versions []versionList, res *
 		res.CallLevels = make([]profile.Level, 0, tr.Len())
 	}
 	rec := opts.Recorder
+	intr := opts.Interrupt
 	var execT int64
 	for i, f := range tr.Calls {
+		if intr != nil && i%interruptStride == 0 && interrupted(intr) {
+			return ErrInterrupted
+		}
 		start := execT
 		if ready := versions[f].firstReady(); ready > start {
 			start = ready
