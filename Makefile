@@ -9,7 +9,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check test race runner-race fuzz-smoke serve-smoke bench bench-guard bench-json bench-json-search golden ci
+.PHONY: all build vet fmt-check test race runner-race fuzz-smoke serve-smoke bench bench-guard bench-json bench-json-search bench-json-online golden ci
 
 all: build
 
@@ -38,13 +38,16 @@ runner-race:
 
 # Short fuzz passes over both trace codecs (seed corpus in
 # internal/trace/testdata/fuzz/), the BnB state-key canonicalization
-# (seed corpus in internal/astar/testdata/fuzz/), and the scheduling
-# service's request decoder (seed corpus in internal/server/testdata/requests/).
+# (seed corpus in internal/astar/testdata/fuzz/), the scheduling
+# service's request decoder (seed corpus in internal/server/testdata/requests/),
+# and the streaming workload spec codec + renderer (seed corpus in
+# internal/workload/testdata/fuzz/).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzReadText -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzStateKey -fuzztime=$(FUZZTIME) ./internal/astar/
 	$(GO) test -run='^$$' -fuzz=FuzzScheduleRequest -fuzztime=$(FUZZTIME) ./internal/server/
+	$(GO) test -run='^$$' -fuzz=FuzzWorkloadSpec -fuzztime=$(FUZZTIME) ./internal/workload/
 
 # One request per algorithm through a real scheduling server, each response
 # diffed byte-for-byte against internal/server/testdata/golden/. Run
@@ -89,8 +92,18 @@ bench-json-search:
 		| $(GO) run ./cmd/benchjson -o BENCH_search.json
 	@echo "wrote BENCH_search.json"
 
+# Machine-readable online-scheduling benchmarks: the replanning IAR scheduler
+# across the lookahead ladder (regret vs offline IAR reported as a custom
+# metric), the three schedulers head-to-head at one bounded window, and the
+# workload generator itself, collected into BENCH_online.json.
+bench-json-online:
+	@{ $(GO) test -run='^$$' -bench='BenchmarkOnlineWindow|BenchmarkOnlineSchedulers|BenchmarkWorkloadRender' \
+		-benchmem -benchtime=3x ./internal/online/; } \
+		| $(GO) run ./cmd/benchjson -o BENCH_online.json
+	@echo "wrote BENCH_online.json"
+
 # Regenerate the experiment golden files after an intentional output change.
 golden:
 	$(GO) test ./internal/experiments -run TestGolden -update
 
-ci: fmt-check vet build race runner-race fuzz-smoke serve-smoke bench-guard bench-json bench-json-search
+ci: fmt-check vet build race runner-race fuzz-smoke serve-smoke bench-guard bench-json bench-json-search bench-json-online

@@ -16,7 +16,7 @@ import (
 // internal/runner pool; -par bounds the pool and -stats reports what it did.
 func cmdExp(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("exp: missing experiment name (fig5|fig6|fig7|fig8|table1|table2|astar|bnb|priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt|all)")
+		return fmt.Errorf("exp: missing experiment name (fig5|fig6|fig7|fig8|table1|table2|astar|bnb|priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt|online|all)")
 	}
 	which := args[0]
 	fs, scale, bench := expFlags("exp " + which)
@@ -167,6 +167,12 @@ func cmdExp(args []string) error {
 				return err
 			}
 			return experiments.RenderInline(rows, os.Stdout)
+		case "online":
+			rows, err := experiments.OnlineStudy(opts)
+			if err != nil {
+				return err
+			}
+			return experiments.RenderOnline(rows, os.Stdout)
 		case "periodsweep":
 			periods := []int64{50000, 200000, 500000, 2000000}
 			rows, err := experiments.PeriodSweep(opts, periods)
@@ -182,7 +188,7 @@ func cmdExp(args []string) error {
 
 	if which == "all" {
 		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "table2", "astar",
-			"priority", "variation", "predict", "ksweep", "periodsweep", "interp", "inline", "scalesweep", "mt"} {
+			"priority", "variation", "predict", "ksweep", "periodsweep", "interp", "inline", "scalesweep", "mt", "online"} {
 			if err := run(name); err != nil {
 				return err
 			}

@@ -4,8 +4,10 @@
 // Usage:
 //
 //	jitsched exp fig5|fig6|fig7|fig8|table1|table2|astar|all [-scale F] [-bench NAME] [-md] [-par N] [-stats] [-obs-addr HOST:PORT]
-//	jitsched exp bnb|priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt
+//	jitsched exp bnb|priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt|online
 //	jitsched gen -bench NAME [-scale F] [-o FILE] [-format binary|text]
+//	jitsched gen-workload -spec FILE|-preset NAME [-o FILE] [-format binary|text] [-profile-out FILE]
+//	jitsched online -spec FILE|-preset NAME [-sched iar|v8|sampled] [-window N] [-workers N] [-k K]
 //	jitsched stats -i FILE
 //	jitsched schedule -bench NAME [-scale F] [-algo iar|base|opt|bnb] [-model default|oracle]
 //	jitsched simulate -bench NAME [-scale F] [-algo ...] [-workers N] [-timeline] [-trace-out FILE]
@@ -41,6 +43,10 @@ func main() {
 		err = cmdExp(os.Args[2:])
 	case "gen":
 		err = cmdGen(os.Args[2:])
+	case "gen-workload":
+		err = cmdGenWorkload(os.Args[2:])
+	case "online":
+		err = cmdOnline(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
 	case "schedule":
@@ -68,9 +74,12 @@ func usage() {
 commands:
   exp fig5|fig6|fig7|fig8|table1|table2|astar|all   reproduce a paper result
   exp bnb    extended search-feasibility frontier (branch-and-bound to 12 funcs)
-  exp priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt
+  exp priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt|online
              extension studies (§5.1, §5.3, §7, §8)
   gen        generate a synthetic DaCapo-like trace to a file
+  gen-workload  render a streaming multi-tenant workload spec (-example for a template)
+  online     replay a streaming workload through an online scheduler with
+             bounded lookahead and report regret vs offline IAR
   stats      summarize a trace file
   schedule   print a compilation schedule for a workload
   simulate   simulate a schedule/policy and report the make-span

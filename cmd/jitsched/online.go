@@ -1,0 +1,171 @@
+package main
+
+// The online subcommands: gen-workload renders a streaming multi-tenant
+// workload spec to trace/profile files, online replays one through the
+// bounded-lookahead commitment harness and reports regret against offline
+// IAR.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/online"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// loadSpec resolves the -spec/-preset pair: a spec file on disk, or one of
+// the experiment suite's pinned streaming workloads by name.
+func loadSpec(specPath, preset string) (*workload.Spec, error) {
+	switch {
+	case specPath != "" && preset != "":
+		return nil, fmt.Errorf("pass -spec or -preset, not both")
+	case specPath != "":
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.ReadSpec(f)
+	case preset != "":
+		for _, s := range experiments.OnlineSpecs() {
+			if s.Name == preset {
+				return s, nil
+			}
+		}
+		var names []string
+		for _, s := range experiments.OnlineSpecs() {
+			names = append(names, s.Name)
+		}
+		return nil, fmt.Errorf("unknown preset %q (have %v)", preset, names)
+	default:
+		return nil, fmt.Errorf("pass -spec FILE or -preset NAME (try -example for a template)")
+	}
+}
+
+func cmdGenWorkload(args []string) error {
+	fs := flag.NewFlagSet("gen-workload", flag.ExitOnError)
+	specPath := fs.String("spec", "", "workload spec file (JSON)")
+	preset := fs.String("preset", "", "pinned experiment workload name (e.g. stream-mix)")
+	example := fs.Bool("example", false, "print an example spec to stdout and exit")
+	out := fs.String("o", "", "output trace file (default: <name>.trace)")
+	format := fs.String("format", "binary", "binary or text")
+	profileOut := fs.String("profile-out", "", "also write the combined timing profile to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *example {
+		return workload.WriteSpec(os.Stdout, experiments.OnlineSpecs()[0])
+	}
+	s, err := loadSpec(*specPath, *preset)
+	if err != nil {
+		return err
+	}
+	tr, p, err := s.Render()
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = s.Name + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch *format {
+	case "binary":
+		err = trace.WriteBinary(f, tr)
+	case "text":
+		err = trace.WriteText(f, tr)
+	default:
+		return fmt.Errorf("gen-workload: unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d calls, %d functions, %d cohorts\n",
+		path, tr.Len(), tr.UniqueFuncs(), len(s.Cohorts))
+	if *profileOut != "" {
+		pf, err := os.Create(*profileOut)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := profile.WriteText(pf, p); err != nil {
+			return err
+		}
+		if err := pf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d functions, %d levels\n", *profileOut, p.NumFuncs(), p.Levels)
+	}
+	return nil
+}
+
+func cmdOnline(args []string) error {
+	fs := flag.NewFlagSet("online", flag.ExitOnError)
+	specPath := fs.String("spec", "", "workload spec file (JSON)")
+	preset := fs.String("preset", "", "pinned experiment workload name (e.g. stream-mix)")
+	schedName := fs.String("sched", "iar", "online scheduler: iar, v8, or sampled")
+	window := fs.Int("window", 0, "lookahead window in calls (0 = unbounded)")
+	workers := fs.Int("workers", 1, "compile workers")
+	iarK := fs.Int64("k", 0, "IAR K constant (0 = paper default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := loadSpec(*specPath, *preset)
+	if err != nil {
+		return err
+	}
+	tr, p, err := s.Render()
+	if err != nil {
+		return err
+	}
+
+	sched, err := experiments.NewOnlineScheduler(*schedName, p, *iarK)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{CompileWorkers: *workers}
+	res, err := online.Run(tr, p, sched, online.Options{Window: *window, Config: cfg})
+	if err != nil {
+		return err
+	}
+
+	offSched, err := core.IAR(tr, p, core.IAROptions{K: *iarK})
+	if err != nil {
+		return err
+	}
+	offRes, err := sim.Run(tr, p, offSched, cfg, sim.Options{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload   %s (%d calls, %d functions)\n", s.Name, tr.Len(), tr.UniqueFuncs())
+	fmt.Printf("scheduler  %s, window ", *schedName)
+	if *window == 0 {
+		fmt.Printf("unbounded")
+	} else {
+		fmt.Printf("%d", *window)
+	}
+	fmt.Printf(", %d compile worker(s)\n", *workers)
+	fmt.Printf("make-span  %d (offline IAR %d)\n", res.Sim.MakeSpan, offRes.MakeSpan)
+	fmt.Printf("regret     %.2f%%\n", online.Regret(res.Sim.MakeSpan, offRes.MakeSpan))
+	fmt.Printf("bubbles    %d (%d ticks)\n", res.Sim.BubbleCount, res.Sim.TotalBubble)
+	fmt.Printf("commits    %d (%d forced on-demand, %d dropped)\n",
+		len(res.Schedule), res.Forced, res.Dropped)
+	if iar, ok := sched.(*online.IAR); ok {
+		fmt.Printf("replans    %d\n", iar.Replans())
+	}
+	return nil
+}

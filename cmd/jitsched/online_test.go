@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestCmdOnlinePreset(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdOnline([]string{"-preset", "stream-mix", "-sched", "iar", "-window", "1024"})
+	})
+	for _, want := range []string{"stream-mix", "window 1024", "regret", "replans"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("online output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdOnlineUnboundedMatchesOffline(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdOnline([]string{"-preset", "stream-bursty", "-sched", "iar"})
+	})
+	if !strings.Contains(out, "regret     0.00%") {
+		t.Errorf("unbounded iar should report zero regret:\n%s", out)
+	}
+	if !strings.Contains(out, "window unbounded") {
+		t.Errorf("window line:\n%s", out)
+	}
+}
+
+func TestCmdOnlineErrors(t *testing.T) {
+	if err := cmdOnline([]string{"-preset", "no-such"}); err == nil {
+		t.Error("want error for unknown preset")
+	}
+	if err := cmdOnline(nil); err == nil {
+		t.Error("want error when neither -spec nor -preset is given")
+	}
+	if err := cmdOnline([]string{"-preset", "stream-mix", "-spec", "x.json"}); err == nil {
+		t.Error("want error when both -spec and -preset are given")
+	}
+	if err := cmdOnline([]string{"-preset", "stream-mix", "-sched", "nope"}); err == nil {
+		t.Error("want error for unknown scheduler")
+	}
+}
+
+func TestCmdGenWorkloadSpecFile(t *testing.T) {
+	dir := t.TempDir()
+
+	// -example emits a spec the command itself accepts back.
+	example := captureStdout(t, func() error {
+		return cmdGenWorkload([]string{"-example"})
+	})
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(example), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "w.trace")
+	profPath := filepath.Join(dir, "w.prof")
+	out := captureStdout(t, func() error {
+		return cmdGenWorkload([]string{"-spec", specPath, "-o", tracePath, "-profile-out", profPath})
+	})
+	if !strings.Contains(out, "wrote "+tracePath) || !strings.Contains(out, "wrote "+profPath) {
+		t.Errorf("gen-workload output:\n%s", out)
+	}
+
+	// The written trace is readable by stats, and online accepts the spec.
+	statsOut := captureStdout(t, func() error {
+		return cmdStats([]string{"-i", tracePath})
+	})
+	if !strings.Contains(statsOut, "calls") {
+		t.Errorf("stats on generated workload trace:\n%s", statsOut)
+	}
+	captureStdout(t, func() error {
+		return cmdOnline([]string{"-spec", specPath, "-sched", "v8", "-window", "256"})
+	})
+}
+
+func TestCmdExpOnline(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdExp([]string{"online"})
+	})
+	for _, want := range []string{"regret", "stream-mix", "stream-phased", "stream-bursty", "inf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exp online output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdGenWorkloadExampleParses(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdGenWorkload([]string{"-example"})
+	})
+	if _, err := workload.ParseSpec([]byte(out)); err != nil {
+		t.Fatalf("-example output does not parse as a spec: %v\n%s", err, out)
+	}
+}

@@ -203,3 +203,24 @@ func TestGoldenMT(t *testing.T) {
 	}
 	checkGolden(t, "mt.txt", b.Bytes())
 }
+
+// TestGoldenOnline pins the regret-vs-window figure: the streaming corpus,
+// the window ladder, and every scheduler's regret against offline IAR. The
+// unbounded IAR rows must show exactly 0.00 regret — the backbone
+// invariant surfacing in the figure itself.
+func TestGoldenOnline(t *testing.T) {
+	rows, err := OnlineStudy(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Scheduler == "iar" && r.Window == 0 && r.Regret != 0 {
+			t.Errorf("%s: unbounded online IAR has regret %.4f%%, want exactly 0", r.Spec, r.Regret)
+		}
+	}
+	var b bytes.Buffer
+	if err := RenderOnline(rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "online.txt", b.Bytes())
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/online"
+	"repro/internal/profile"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// OnlineWindows is the lookahead ladder of the regret-vs-window figure,
+// narrowest first; 0 means unbounded.
+var OnlineWindows = []int{256, 1024, 4096, 16384, 0}
+
+// OnlineSamplePeriod is the Sampled scheduler's tick distance in the study.
+const OnlineSamplePeriod = 100
+
+// OnlineSpecs returns the study's pinned streaming corpus: three
+// multi-tenant workloads exercising the generator's three arrival
+// processes and phase shifts. The specs are part of the golden contract —
+// changing them changes testdata/online.txt.
+func OnlineSpecs() []*workload.Spec {
+	return []*workload.Spec{
+		{
+			Name: "stream-mix", Seed: 101, Length: 24000,
+			Cohorts: []workload.Cohort{
+				{Bench: "luindex", Scale: 0.05},
+				{Bench: "lusearch", Scale: 0.05},
+			},
+			Phases: []workload.Phase{
+				{Weight: 1, Process: workload.ProcessSteady},
+				{Weight: 1, Process: workload.ProcessPoisson},
+			},
+		},
+		{
+			Name: "stream-phased", Seed: 202, Length: 24000,
+			Cohorts: []workload.Cohort{
+				{Bench: "antlr", Scale: 0.05},
+				{Bench: "eclipse", Scale: 0.05},
+				{Bench: "pmd", Scale: 0.05},
+			},
+			Phases: []workload.Phase{
+				{Weight: 1, Process: workload.ProcessSteady, Mix: []float64{3, 1, 0}},
+				{Weight: 1, Process: workload.ProcessPoisson, Mix: []float64{1, 3, 1}},
+				{Weight: 1, Process: workload.ProcessSteady, Mix: []float64{0, 1, 3}},
+			},
+		},
+		{
+			Name: "stream-bursty", Seed: 303, Length: 24000,
+			Cohorts: []workload.Cohort{
+				{Bench: "jython", Scale: 0.05},
+				{Bench: "hsqldb", Scale: 0.05},
+			},
+			Phases: []workload.Phase{
+				{Weight: 1, Process: workload.ProcessBursty, BurstMean: 16},
+			},
+		},
+	}
+}
+
+// OnlineSchedulers names the study's schedulers in render order.
+var OnlineSchedulers = []string{"iar", "v8", "sampled"}
+
+// NewOnlineScheduler builds one of the study's schedulers by name over a
+// profile — the single construction point the study, the CLI, and the
+// scheduling service share.
+func NewOnlineScheduler(name string, p *profile.Profile, iarK int64) (online.Scheduler, error) {
+	switch name {
+	case "iar":
+		return online.NewIAR(p, core.IAROptions{K: iarK}, 0), nil
+	case "v8":
+		return online.NewV8Style(p, profile.Level(p.Levels-1))
+	case "sampled":
+		return online.NewSampled(p, nil, OnlineSamplePeriod)
+	default:
+		return nil, fmt.Errorf("experiments: unknown online scheduler %q (have %v)", name, OnlineSchedulers)
+	}
+}
+
+// OnlineRow is one (workload, scheduler, window) cell of the regret figure.
+type OnlineRow struct {
+	Spec      string
+	Scheduler string
+	// Window is the lookahead in calls; 0 means unbounded.
+	Window int
+	// MakeSpan is the online run's make-span; Offline is offline IAR's on
+	// the same workload; Regret is their gap in percent (negative when the
+	// online run beats the offline plan).
+	MakeSpan int64
+	Offline  int64
+	Regret   float64
+	// Commits counts committed compile events; Forced the on-demand subset.
+	Commits int
+	Forced  int
+}
+
+// onlineSpan is the per-job result of one online run.
+type onlineSpan struct {
+	MakeSpan int64
+	Commits  int
+	Forced   int
+}
+
+// OnlineStudy runs the regret-vs-window figure: every scheduler crossed
+// with every window on the pinned streaming corpus, against offline IAR on
+// the same traces. Each cell is one runner job (the render is deterministic,
+// so jobs re-render their spec instead of sharing pointers), and rows come
+// back in corpus × scheduler × window order regardless of worker count.
+func OnlineStudy(opts Options) ([]OnlineRow, error) {
+	specs := OnlineSpecs()
+
+	offlineJobs := make([]runner.Job[int64], len(specs))
+	for i, s := range specs {
+		s := s
+		offlineJobs[i] = runner.Job[int64]{
+			Key: runner.Key{
+				Experiment: "online", Benchmark: s.Name, Scheme: "offline-iar",
+				Scale: 1, Detail: fmt.Sprintf("K=%d seed=%d", opts.IARK, s.Seed),
+			},
+			Fn: func(ctx runner.Ctx) (int64, error) {
+				tr, p, err := s.Render()
+				if err != nil {
+					return 0, err
+				}
+				sched, err := core.IAR(tr, p, core.IAROptions{K: opts.IARK})
+				if err != nil {
+					return 0, err
+				}
+				res, err := sim.Run(tr, p, sched, sim.DefaultConfig(), sim.Options{
+					Interrupt: ctx.Context.Done(),
+				})
+				if err != nil {
+					return 0, err
+				}
+				return res.MakeSpan, nil
+			},
+		}
+	}
+	offline, err := runner.Map(opts.runner(), offlineJobs)
+	if err != nil {
+		return nil, err
+	}
+
+	type cell struct {
+		spec  *workload.Spec
+		sched string
+		win   int
+	}
+	var cells []cell
+	for _, s := range specs {
+		for _, sched := range OnlineSchedulers {
+			for _, win := range OnlineWindows {
+				cells = append(cells, cell{s, sched, win})
+			}
+		}
+	}
+	jobs := make([]runner.Job[onlineSpan], len(cells))
+	for i, c := range cells {
+		c := c
+		jobs[i] = runner.Job[onlineSpan]{
+			Key: runner.Key{
+				Experiment: "online", Benchmark: c.spec.Name, Scheme: c.sched,
+				Scale: 1, Detail: fmt.Sprintf("K=%d seed=%d window=%d", opts.IARK, c.spec.Seed, c.win),
+			},
+			Fn: func(ctx runner.Ctx) (onlineSpan, error) {
+				tr, p, err := c.spec.Render()
+				if err != nil {
+					return onlineSpan{}, err
+				}
+				sched, err := NewOnlineScheduler(c.sched, p, opts.IARK)
+				if err != nil {
+					return onlineSpan{}, err
+				}
+				res, err := online.Run(tr, p, sched, online.Options{
+					Window:    c.win,
+					Config:    sim.DefaultConfig(),
+					Interrupt: ctx.Context.Done(),
+					Metrics:   obs.Default(),
+				})
+				if err != nil {
+					return onlineSpan{}, err
+				}
+				return onlineSpan{
+					MakeSpan: res.Sim.MakeSpan,
+					Commits:  len(res.Schedule),
+					Forced:   res.Forced,
+				}, nil
+			},
+		}
+	}
+	spans, err := runner.Map(opts.runner(), jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	offlineByName := make(map[string]int64, len(specs))
+	for i, s := range specs {
+		offlineByName[s.Name] = offline[i]
+	}
+	rows := make([]OnlineRow, len(cells))
+	for i, c := range cells {
+		off := offlineByName[c.spec.Name]
+		rows[i] = OnlineRow{
+			Spec:      c.spec.Name,
+			Scheduler: c.sched,
+			Window:    c.win,
+			MakeSpan:  spans[i].MakeSpan,
+			Offline:   off,
+			Regret:    online.Regret(spans[i].MakeSpan, off),
+			Commits:   spans[i].Commits,
+			Forced:    spans[i].Forced,
+		}
+	}
+	return rows, nil
+}
+
+// RenderOnline writes the regret-vs-window figure.
+func RenderOnline(rows []OnlineRow, w io.Writer) error {
+	t := report.NewTable("Online scheduling: regret vs lookahead window (offline IAR = 0%)",
+		"workload", "scheduler", "window", "make-span", "regret %", "commits", "forced")
+	for _, r := range rows {
+		win := fmt.Sprintf("%d", r.Window)
+		if r.Window == 0 {
+			win = "inf"
+		}
+		t.AddRow(
+			r.Spec,
+			r.Scheduler,
+			win,
+			fmt.Sprintf("%d", r.MakeSpan),
+			report.F2(r.Regret),
+			fmt.Sprintf("%d", r.Commits),
+			fmt.Sprintf("%d", r.Forced),
+		)
+	}
+	return t.Render(w)
+}

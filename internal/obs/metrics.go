@@ -20,8 +20,13 @@ type Metrics struct {
 	queueWaitNS   atomic.Int64
 	jobWallNS     atomic.Int64
 	maxJobWallNS  atomic.Int64
+	jobsCancelled atomic.Int64
 	simRuns       atomic.Int64
 	simTicks      atomic.Int64
+
+	onlineRuns    atomic.Int64
+	onlineCommits atomic.Int64
+	onlineForced  atomic.Int64
 
 	searchRuns      atomic.Int64
 	searchExpanded  atomic.Int64
@@ -77,6 +82,15 @@ func (m *Metrics) JobCompleted(wall time.Duration, failed, panicked bool) {
 	}
 }
 
+// JobCancelled records a job that ended because its batch's context was
+// cancelled — counted separately from genuine failures.
+func (m *Metrics) JobCancelled() {
+	if m == nil {
+		return
+	}
+	m.jobsCancelled.Add(1)
+}
+
 // CacheHit records jobs answered from the runner's result cache.
 func (m *Metrics) CacheHit(n int64) {
 	if m == nil {
@@ -100,6 +114,18 @@ func (m *Metrics) SimRun(ticks int64) {
 	}
 	m.simRuns.Add(1)
 	m.simTicks.Add(ticks)
+}
+
+// OnlineRun records one completed online-harness run: how many compile
+// events it committed and how many of those were forced on-demand
+// fallbacks.
+func (m *Metrics) OnlineRun(commits, forced int64) {
+	if m == nil {
+		return
+	}
+	m.onlineRuns.Add(1)
+	m.onlineCommits.Add(commits)
+	m.onlineForced.Add(forced)
 }
 
 // SearchRun records one completed (or budget-aborted) tree search: nodes
@@ -176,6 +202,9 @@ type Snapshot struct {
 	JobsCompleted int64 `json:"jobs_completed"`
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsPanicked  int64 `json:"jobs_panicked"`
+	// JobsCancelled counts jobs ended by their batch context's cancellation
+	// (not genuine failures, not successes).
+	JobsCancelled int64 `json:"jobs_cancelled"`
 	CacheHits     int64 `json:"cache_hits"`
 	Deduped       int64 `json:"deduped"`
 	// QueueWait is the summed time jobs spent waiting for a worker;
@@ -186,6 +215,11 @@ type Snapshot struct {
 	// SimRuns counts completed simulations; SimTicks sums their make-spans.
 	SimRuns  int64 `json:"sim_runs"`
 	SimTicks int64 `json:"sim_ticks"`
+	// OnlineRuns counts online-harness runs; OnlineCommits sums their
+	// committed compile events; OnlineForced the forced on-demand subset.
+	OnlineRuns    int64 `json:"online_runs"`
+	OnlineCommits int64 `json:"online_commits"`
+	OnlineForced  int64 `json:"online_forced"`
 	// SearchRuns counts tree searches; the others sum their per-run node and
 	// prune counters.
 	SearchRuns      int64 `json:"search_runs"`
@@ -218,6 +252,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		JobsCompleted: m.jobsCompleted.Load(),
 		JobsFailed:    m.jobsFailed.Load(),
 		JobsPanicked:  m.jobsPanicked.Load(),
+		JobsCancelled: m.jobsCancelled.Load(),
 		CacheHits:     m.cacheHits.Load(),
 		Deduped:       m.deduped.Load(),
 		QueueWait:     time.Duration(m.queueWaitNS.Load()),
@@ -225,6 +260,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		MaxJobWall:    time.Duration(m.maxJobWallNS.Load()),
 		SimRuns:       m.simRuns.Load(),
 		SimTicks:      m.simTicks.Load(),
+
+		OnlineRuns:    m.onlineRuns.Load(),
+		OnlineCommits: m.onlineCommits.Load(),
+		OnlineForced:  m.onlineForced.Load(),
 
 		SearchRuns:      m.searchRuns.Load(),
 		SearchExpanded:  m.searchExpanded.Load(),
@@ -245,11 +284,12 @@ func (m *Metrics) Snapshot() Snapshot {
 // String renders the snapshot as one log-friendly line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"obs: %d jobs started, %d completed (%d failed, %d panicked), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks), %d searches (%d expanded, %d stored, %d table hits, %d pruned), %d served (%d ok, %d cancelled, %d errored, %d serve cache hits, %d rejected, depth %d)",
-		s.JobsStarted, s.JobsCompleted, s.JobsFailed, s.JobsPanicked,
+		"obs: %d jobs started, %d completed (%d failed, %d panicked, %d job-cancelled), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks), %d online runs (%d commits, %d forced), %d searches (%d expanded, %d stored, %d table hits, %d pruned), %d served (%d ok, %d cancelled, %d errored, %d serve cache hits, %d rejected, depth %d)",
+		s.JobsStarted, s.JobsCompleted, s.JobsFailed, s.JobsPanicked, s.JobsCancelled,
 		s.CacheHits, s.Deduped,
 		s.QueueWait.Round(time.Microsecond), s.JobWall.Round(time.Microsecond),
 		s.MaxJobWall.Round(time.Microsecond), s.SimRuns, s.SimTicks,
+		s.OnlineRuns, s.OnlineCommits, s.OnlineForced,
 		s.SearchRuns, s.SearchExpanded, s.SearchStored, s.SearchTableHits, s.SearchPruned,
 		s.ServeRequests, s.ServeOK, s.ServeCancelled, s.ServeErrors,
 		s.ServeCacheHits, s.ServeRejected, s.ServeQueueDepth)

@@ -1,0 +1,283 @@
+// Package online is the online counterpart of the paper's offline OCSP
+// study: schedulers observe the call stream through a bounded lookahead
+// window and irrevocably commit compile events as simulated time advances,
+// the way a real JIT must. The gap to the offline schedule — the regret —
+// is the price of not knowing the future.
+//
+// # Commitment model
+//
+// The engine replays the trace call by call under exactly the timing model
+// of internal/sim (one execution worker, W >= 1 compile workers, bubbles
+// while execution waits for code). Before each call i it shows the
+// scheduler the visible prefix — the first min(i+window, N) calls, i.e.
+// everything executed so far plus the next window-1 future calls — and the
+// current simulated time. Whatever compile events the scheduler returns are
+// committed immediately: each is assigned to the earliest-free compile
+// worker with its arrival at the current time, and can never be revoked or
+// reordered. Commitments are monotone per function: an event at or below
+// the function's highest committed level is dropped (it could only build a
+// version that "latest finished at or before t" lookups would use to
+// downgrade later calls).
+//
+// With window = 0 (unbounded), the scheduler sees the whole trace before
+// the first call and time is still zero, so every commitment lands exactly
+// where a static sim.Run schedule would: an unbounded online run of a plan
+// is bit-identical to the offline replay of that plan. That identity is the
+// backbone of the package's tests.
+//
+// If execution reaches a call whose function has no committed compilation,
+// the engine force-commits a lowest-level compile at the current time — the
+// on-demand fallback every real runtime has — and counts it in
+// Result.Forced.
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Scheduler is an online compilation scheduler. Observe is called once
+// before each call executes, with the call's index, the visible prefix of
+// the trace (the scheduler must treat it as read-only and may retain
+// nothing of it), and the current simulated time. The returned events are
+// committed in order at the current time; returning nil commits nothing.
+type Scheduler interface {
+	Observe(i int, visible *trace.Trace, now int64) ([]sim.CompileEvent, error)
+}
+
+// Options configures an online run.
+type Options struct {
+	// Window is the lookahead: before call i the scheduler sees calls
+	// [0, i+Window). 0 means unbounded — the whole trace is visible from the
+	// start, reproducing the offline setting. Window >= 1 guarantees the
+	// current call is always visible.
+	Window int
+	// Config selects the machine configuration (sim.DefaultConfig() if the
+	// worker count is zero).
+	Config sim.Config
+	// RecordCalls captures per-call start times and code levels.
+	RecordCalls bool
+	// Interrupt, when non-nil, abandons the run once the channel is closed,
+	// returning sim.ErrInterrupted — the same contract as sim.Options.
+	Interrupt <-chan struct{}
+	// Metrics, when non-nil, receives the run's online counters.
+	Metrics *obs.Metrics
+}
+
+// interruptStride matches internal/sim: the execution loop polls Interrupt
+// every this many calls.
+const interruptStride = 1024
+
+// Result reports an online run: the simulated execution (the same fields a
+// static sim.Run yields) plus the commitment record.
+type Result struct {
+	// Sim is the execution result; with an unbounded window it is
+	// field-for-field identical to replaying Schedule through sim.Run.
+	Sim *sim.Result
+	// Schedule is the committed compile sequence, in commitment order —
+	// including forced on-demand compiles, excluding dropped non-upgrades.
+	Schedule sim.Schedule
+	// Forced counts lowest-level compiles the engine had to commit because
+	// execution reached a function the scheduler never covered.
+	Forced int
+	// Dropped counts scheduler events skipped because the function already
+	// had a commitment at that level or higher.
+	Dropped int
+	// Window echoes Options.Window.
+	Window int
+}
+
+// Regret is the online run's make-span excess over an offline reference, in
+// percent: 100 * (online - offline) / offline.
+func Regret(online, offline int64) float64 {
+	if offline <= 0 {
+		return 0
+	}
+	return 100 * float64(online-offline) / float64(offline)
+}
+
+// versionList mirrors internal/sim's: one function's finished compilations
+// ordered by finish time, for "latest finished at or before t" lookups.
+type versionList struct {
+	done   []int64
+	levels []profile.Level
+}
+
+func (v *versionList) insert(done int64, l profile.Level) {
+	i := len(v.done)
+	for i > 0 && v.done[i-1] > done {
+		i--
+	}
+	v.done = append(v.done, 0)
+	v.levels = append(v.levels, 0)
+	copy(v.done[i+1:], v.done[i:])
+	copy(v.levels[i+1:], v.levels[i:])
+	v.done[i] = done
+	v.levels[i] = l
+}
+
+func (v *versionList) latestAt(t int64) (profile.Level, bool) {
+	for i := len(v.done) - 1; i >= 0; i-- {
+		if v.done[i] <= t {
+			return v.levels[i], true
+		}
+	}
+	return 0, false
+}
+
+func (v *versionList) firstReady() int64 {
+	if len(v.done) == 0 {
+		return -1
+	}
+	return v.done[0]
+}
+
+// workerPool assigns compile jobs to the earliest-free of w workers,
+// exactly as internal/sim does.
+type workerPool struct {
+	free []int64
+}
+
+func (p *workerPool) assign(arrival, duration int64) (int, int64, int64) {
+	best := 0
+	for i, f := range p.free {
+		if f < p.free[best] {
+			best = i
+		}
+	}
+	start := p.free[best]
+	if arrival > start {
+		start = arrival
+	}
+	done := start + duration
+	p.free[best] = done
+	return best, start, done
+}
+
+func interrupted(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Run replays the trace under the online commitment model.
+func Run(tr *trace.Trace, p *profile.Profile, sched Scheduler, opts Options) (*Result, error) {
+	if opts.Window < 0 {
+		return nil, fmt.Errorf("online: Window must be non-negative, got %d", opts.Window)
+	}
+	cfg := opts.Config
+	if cfg.CompileWorkers == 0 {
+		cfg = sim.DefaultConfig()
+	}
+	if cfg.CompileWorkers < 1 {
+		return nil, fmt.Errorf("online: Config.CompileWorkers must be >= 1, got %d", cfg.CompileWorkers)
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("online: nil Scheduler")
+	}
+	if err := tr.Validate(p.NumFuncs()); err != nil {
+		return nil, err
+	}
+
+	nf := p.NumFuncs()
+	res := &Result{
+		Sim:    &sim.Result{FirstReady: make([]int64, nf)},
+		Window: opts.Window,
+	}
+	if opts.RecordCalls {
+		res.Sim.CallStarts = make([]int64, 0, tr.Len())
+		res.Sim.CallLevels = make([]profile.Level, 0, tr.Len())
+	}
+	versions := make([]versionList, nf)
+	pool := &workerPool{free: make([]int64, cfg.CompileWorkers)}
+	committed := make([]profile.Level, nf)
+	for i := range committed {
+		committed[i] = -1
+	}
+
+	// commit irrevocably assigns one compile event at the given time.
+	commit := func(ev sim.CompileEvent, now int64) {
+		w, start, done := pool.assign(now, p.CompileTime(ev.Func, ev.Level))
+		res.Sim.Compiles = append(res.Sim.Compiles,
+			sim.CompileRecord{Event: ev, Start: start, Done: done, Worker: w})
+		versions[ev.Func].insert(done, ev.Level)
+		res.Sim.CompileBusy += done - start
+		if done > res.Sim.CompileEnd {
+			res.Sim.CompileEnd = done
+		}
+		committed[ev.Func] = ev.Level
+		res.Schedule = append(res.Schedule, ev)
+	}
+
+	intr := opts.Interrupt
+	n := tr.Len()
+	var execT int64
+	for i, f := range tr.Calls {
+		if intr != nil && i%interruptStride == 0 && interrupted(intr) {
+			return nil, sim.ErrInterrupted
+		}
+		hi := n
+		if opts.Window > 0 && i+opts.Window < n {
+			hi = i + opts.Window
+		}
+		events, err := sched.Observe(i, tr.Slice(0, hi), execT)
+		if err != nil {
+			return nil, fmt.Errorf("online: scheduler at call %d: %w", i, err)
+		}
+		for _, ev := range events {
+			if ev.Func < 0 || int(ev.Func) >= nf {
+				return nil, fmt.Errorf("online: scheduler committed unknown function %d at call %d", ev.Func, i)
+			}
+			if ev.Level < 0 || int(ev.Level) >= p.Levels {
+				return nil, fmt.Errorf("online: scheduler committed level %d outside [0,%d) at call %d", ev.Level, p.Levels, i)
+			}
+			if ev.Level <= committed[ev.Func] {
+				res.Dropped++
+				continue
+			}
+			commit(ev, execT)
+		}
+		if versions[f].firstReady() < 0 {
+			// On-demand fallback: nothing of f was ever committed, and the
+			// executor is about to block on it forever.
+			commit(sim.CompileEvent{Func: f, Level: 0}, execT)
+			res.Forced++
+		}
+
+		start := execT
+		if ready := versions[f].firstReady(); ready > start {
+			start = ready
+		}
+		if start > execT {
+			res.Sim.TotalBubble += start - execT
+			res.Sim.BubbleCount++
+		}
+		level, ok := versions[f].latestAt(start)
+		if !ok {
+			return nil, fmt.Errorf("online: internal: no ready version of function %d at time %d", f, start)
+		}
+		dur := p.ExecTime(f, level)
+		if opts.RecordCalls {
+			res.Sim.CallStarts = append(res.Sim.CallStarts, start)
+			res.Sim.CallLevels = append(res.Sim.CallLevels, level)
+		}
+		res.Sim.TotalExec += dur
+		execT = start + dur
+	}
+	res.Sim.MakeSpan = execT
+	for f := range versions {
+		res.Sim.FirstReady[f] = versions[f].firstReady()
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.OnlineRun(int64(len(res.Schedule)), int64(res.Forced))
+		opts.Metrics.SimRun(res.Sim.MakeSpan)
+	}
+	return res, nil
+}

@@ -1,0 +1,415 @@
+package online_test
+
+// The backbone invariant of the online harness — an unbounded-window online
+// IAR run is bit-identical to the offline core.IAR schedule replayed through
+// sim.Run — plus the commitment-model properties every online run must hold:
+// the §5 lower bound, exact make-span accounting, compile-worker
+// non-overlap, per-call level reconstruction from the commit records, and
+// arrival-respecting compiles (nothing starts before it was committed).
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dacapo"
+	"repro/internal/obs"
+	"repro/internal/online"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// corpus loads every DaCapo-derived benchmark at a small scale — the same
+// nine traces the offline golden tests run over, shrunk to keep the suite
+// fast while preserving each benchmark's structure.
+func corpus(t *testing.T) []*dacapo.Workload {
+	t.Helper()
+	var ws []*dacapo.Workload
+	for _, name := range dacapo.Names() {
+		b, err := dacapo.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := b.Load(0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// TestUnboundedIARBitIdentical holds the harness to the ISSUE's backbone
+// invariant on the full corpus, for one and several compile workers.
+func TestUnboundedIARBitIdentical(t *testing.T) {
+	for _, w := range corpus(t) {
+		for _, workers := range []int{1, 2, 4} {
+			cfg := sim.Config{CompileWorkers: workers}
+			offline, err := core.IAR(w.Trace, w.Profile, core.IAROptions{})
+			if err != nil {
+				t.Fatalf("%s: offline IAR: %v", w.Bench.Name, err)
+			}
+			want, err := sim.Run(w.Trace, w.Profile, offline, cfg, sim.Options{RecordCalls: true})
+			if err != nil {
+				t.Fatalf("%s: offline replay: %v", w.Bench.Name, err)
+			}
+			res, err := online.Run(w.Trace, w.Profile, online.NewIAR(w.Profile, core.IAROptions{}, 0),
+				online.Options{Window: 0, Config: cfg, RecordCalls: true})
+			if err != nil {
+				t.Fatalf("%s: online run: %v", w.Bench.Name, err)
+			}
+			if res.Forced != 0 || res.Dropped != 0 {
+				t.Fatalf("%s/w%d: unbounded IAR forced %d, dropped %d; want 0, 0",
+					w.Bench.Name, workers, res.Forced, res.Dropped)
+			}
+			if !reflect.DeepEqual(res.Schedule, offline) {
+				t.Fatalf("%s/w%d: committed schedule differs from offline IAR", w.Bench.Name, workers)
+			}
+			if !reflect.DeepEqual(res.Sim, want) {
+				t.Fatalf("%s/w%d: online result differs from offline replay:\nonline:  %+v\noffline: %+v",
+					w.Bench.Name, workers, res.Sim, want)
+			}
+		}
+	}
+}
+
+// TestWindowWideningNeverHurts checks that on the fixed corpus, each
+// scheduler's make-span is non-increasing as the lookahead window widens —
+// shrinking the window never improves the result. (This is an empirical
+// property of heuristics held on a pinned deterministic corpus, not a
+// theorem; the corpus is part of the contract.)
+//
+// The reactive schedulers hold it through the unbounded window. Replanning
+// IAR holds it over the bounded ladder only: its unbounded run IS the
+// one-shot offline plan (the backbone invariant above), and incremental
+// commitment under a wide bounded window beats that plan on most of the
+// corpus — replans order hot-function upgrades ahead of cold functions'
+// initial compiles, which the offline schedule's init-then-upgrade layout
+// never does. TestBoundedIARBeatsOfflineSomewhere pins that crossover.
+func TestWindowWideningNeverHurts(t *testing.T) {
+	scheds := map[string]struct {
+		mk      func(p *profile.Profile) online.Scheduler
+		windows []int
+	}{
+		"iar": {
+			mk: func(p *profile.Profile) online.Scheduler {
+				return online.NewIAR(p, core.IAROptions{}, 0)
+			},
+			windows: []int{16, 64, 256, 1024, 4096},
+		},
+		"v8": {
+			mk: func(p *profile.Profile) online.Scheduler {
+				s, err := online.NewV8Style(p, profile.Level(p.Levels-1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			windows: []int{16, 64, 256, 1024, 4096, 0},
+		},
+		"sampled": {
+			mk: func(p *profile.Profile) online.Scheduler {
+				s, err := online.NewSampled(p, nil, 100)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			windows: []int{16, 64, 256, 1024, 4096, 0},
+		},
+	}
+	for _, w := range corpus(t) {
+		for name, sc := range scheds {
+			prev := int64(-1)
+			prevWin := 0
+			for _, win := range sc.windows {
+				res, err := online.Run(w.Trace, w.Profile, sc.mk(w.Profile),
+					online.Options{Window: win, Config: sim.DefaultConfig()})
+				if err != nil {
+					t.Fatalf("%s/%s/window=%d: %v", w.Bench.Name, name, win, err)
+				}
+				if prev >= 0 && res.Sim.MakeSpan > prev {
+					t.Errorf("%s/%s: window %d make-span %d worse than window %d's %d",
+						w.Bench.Name, name, win, res.Sim.MakeSpan, prevWin, prev)
+				}
+				prev, prevWin = res.Sim.MakeSpan, win
+			}
+		}
+	}
+}
+
+// TestBoundedIARBeatsOfflineSomewhere pins the crossover that keeps IAR's
+// unbounded window out of the monotone ladder above: on this corpus, a wide
+// bounded window with replanning achieves a LOWER make-span than offline
+// IAR on at least one benchmark. Offline IAR is a heuristic (the paper puts
+// it ~14% above the feasibility limit), and deferred commitment is one of
+// the gaps. If this test ever fails, the monotone ladder above can be
+// extended to the unbounded window.
+func TestBoundedIARBeatsOfflineSomewhere(t *testing.T) {
+	beats := 0
+	for _, w := range corpus(t) {
+		bounded, err := online.Run(w.Trace, w.Profile, online.NewIAR(w.Profile, core.IAROptions{}, 0),
+			online.Options{Window: 4096, Config: sim.DefaultConfig()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unbounded, err := online.Run(w.Trace, w.Profile, online.NewIAR(w.Profile, core.IAROptions{}, 0),
+			online.Options{Window: 0, Config: sim.DefaultConfig()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bounded.Sim.MakeSpan < unbounded.Sim.MakeSpan {
+			beats++
+		}
+	}
+	if beats == 0 {
+		t.Error("window=4096 never beat the offline plan — the ladder in TestWindowWideningNeverHurts can include window 0 again")
+	}
+}
+
+// checkCommitted verifies the §5 and accounting properties on an online
+// run's result, reconstructing per-call levels independently from the
+// commit records (the online analogue of the sim package's property suite).
+func checkCommitted(t *testing.T, tr *trace.Trace, p *profile.Profile, cfg sim.Config, res *online.Result) {
+	t.Helper()
+	r := res.Sim
+	if r.MakeSpan != r.TotalExec+r.TotalBubble {
+		t.Fatalf("MakeSpan %d != TotalExec %d + TotalBubble %d", r.MakeSpan, r.TotalExec, r.TotalBubble)
+	}
+	var lb int64
+	for _, f := range tr.Calls {
+		lb += p.BestExecTime(f)
+	}
+	if r.MakeSpan < lb {
+		t.Fatalf("MakeSpan %d below the §5 lower bound %d", r.MakeSpan, lb)
+	}
+	if len(res.Schedule) != len(r.Compiles) {
+		t.Fatalf("%d committed events but %d compile records", len(res.Schedule), len(r.Compiles))
+	}
+	busyUntil := make(map[int]int64)
+	for i, c := range r.Compiles {
+		if c.Event != res.Schedule[i] {
+			t.Fatalf("compile record %d is %+v, committed event is %+v", i, c.Event, res.Schedule[i])
+		}
+		if c.Worker < 0 || c.Worker >= cfg.CompileWorkers {
+			t.Fatalf("compile %d on worker %d outside [0,%d)", i, c.Worker, cfg.CompileWorkers)
+		}
+		if got, want := c.Done-c.Start, p.CompileTime(c.Event.Func, c.Event.Level); got != want {
+			t.Fatalf("compile %d spans %d ticks, profile says %d", i, got, want)
+		}
+		if c.Start < busyUntil[c.Worker] {
+			t.Fatalf("worker %d overlaps: compile %d starts at %d before previous job ends at %d",
+				c.Worker, i, c.Start, busyUntil[c.Worker])
+		}
+		busyUntil[c.Worker] = c.Done
+	}
+	if len(r.CallStarts) != tr.Len() || len(r.CallLevels) != tr.Len() {
+		t.Fatalf("recorded %d starts / %d levels for %d calls", len(r.CallStarts), len(r.CallLevels), tr.Len())
+	}
+	prevEnd := int64(0)
+	for i, f := range tr.Calls {
+		start := r.CallStarts[i]
+		if start < prevEnd {
+			t.Fatalf("call %d starts at %d before call %d finished at %d", i, start, i-1, prevEnd)
+		}
+		latestDone, latestLevel := int64(-1), profile.Level(-1)
+		for _, c := range r.Compiles {
+			if c.Event.Func == f && c.Done <= start && c.Done >= latestDone {
+				latestDone, latestLevel = c.Done, c.Event.Level
+			}
+		}
+		if latestDone < 0 {
+			t.Fatalf("call %d of func %d started at %d before any compilation finished", i, f, start)
+		}
+		if r.CallLevels[i] != latestLevel {
+			t.Fatalf("call %d of func %d ran at level %d, latest finished compilation is level %d",
+				i, f, r.CallLevels[i], latestLevel)
+		}
+		prevEnd = start + p.ExecTime(f, r.CallLevels[i])
+	}
+	if tr.Len() > 0 && r.MakeSpan != prevEnd {
+		t.Fatalf("MakeSpan %d != last call end %d", r.MakeSpan, prevEnd)
+	}
+}
+
+// streamCorpus renders a small multi-tenant streaming workload for the
+// scheduler property runs.
+func streamCorpus(t *testing.T) (*trace.Trace, *profile.Profile) {
+	t.Helper()
+	spec := &workload.Spec{
+		Name: "prop-stream", Seed: 7, Length: 6000,
+		Cohorts: []workload.Cohort{{Bench: "luindex", Scale: 0.05}, {Bench: "fop", Scale: 0.05}},
+		Phases: []workload.Phase{
+			{Weight: 1, Process: workload.ProcessSteady},
+			{Weight: 1, Process: workload.ProcessBursty, Mix: []float64{1, 3}},
+		},
+	}
+	tr, p, err := spec.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, p
+}
+
+// TestCommittedScheduleProperties drives every scheduler through bounded
+// windows on both DaCapo and streaming traces and holds each committed
+// schedule to the property suite.
+func TestCommittedScheduleProperties(t *testing.T) {
+	type workloadCase struct {
+		name string
+		tr   *trace.Trace
+		p    *profile.Profile
+	}
+	var cases []workloadCase
+	for _, w := range corpus(t)[:3] {
+		cases = append(cases, workloadCase{w.Bench.Name, w.Trace, w.Profile})
+	}
+	str, sp := streamCorpus(t)
+	cases = append(cases, workloadCase{"stream", str, sp})
+
+	scheds := map[string]func(p *profile.Profile) online.Scheduler{
+		"iar": func(p *profile.Profile) online.Scheduler {
+			return online.NewIAR(p, core.IAROptions{}, 0)
+		},
+		"v8": func(p *profile.Profile) online.Scheduler {
+			s, err := online.NewV8Style(p, profile.Level(p.Levels-1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"sampled": func(p *profile.Profile) online.Scheduler {
+			s, err := online.NewSampled(p, nil, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+	for _, c := range cases {
+		for name, mk := range scheds {
+			for _, win := range []int{1, 64, 1024, 0} {
+				cfg := sim.Config{CompileWorkers: 2}
+				res, err := online.Run(c.tr, c.p, mk(c.p),
+					online.Options{Window: win, Config: cfg, RecordCalls: true})
+				if err != nil {
+					t.Fatalf("%s/%s/window=%d: %v", c.name, name, win, err)
+				}
+				checkCommitted(t, c.tr, c.p, cfg, res)
+			}
+		}
+	}
+}
+
+// nullScheduler commits nothing; the engine's forced on-demand fallback
+// must carry the whole run.
+type nullScheduler struct{}
+
+func (nullScheduler) Observe(int, *trace.Trace, int64) ([]sim.CompileEvent, error) {
+	return nil, nil
+}
+
+func TestForcedFallbackCoversEverything(t *testing.T) {
+	w := corpus(t)[0]
+	cfg := sim.DefaultConfig()
+	res, err := online.Run(w.Trace, w.Profile, nullScheduler{},
+		online.Options{Config: cfg, Window: 1, RecordCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Forced != w.Trace.UniqueFuncs() {
+		t.Fatalf("forced %d compiles, want one per unique function (%d)", res.Forced, w.Trace.UniqueFuncs())
+	}
+	for _, ev := range res.Schedule {
+		if ev.Level != 0 {
+			t.Fatalf("forced commit at level %d, want 0", ev.Level)
+		}
+	}
+	checkCommitted(t, w.Trace, w.Profile, cfg, res)
+}
+
+// dupScheduler re-commits {f, 0} for the current call's function every
+// time — everything after the first per function must be dropped.
+type dupScheduler struct{}
+
+func (dupScheduler) Observe(i int, visible *trace.Trace, now int64) ([]sim.CompileEvent, error) {
+	return []sim.CompileEvent{{Func: visible.Calls[i], Level: 0}}, nil
+}
+
+func TestNonUpgradesAreDropped(t *testing.T) {
+	w := corpus(t)[0]
+	res, err := online.Run(w.Trace, w.Profile, dupScheduler{},
+		online.Options{Config: sim.DefaultConfig(), Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Forced != 0 {
+		t.Fatalf("forced %d compiles despite the scheduler covering every call", res.Forced)
+	}
+	if want := w.Trace.Len() - w.Trace.UniqueFuncs(); res.Dropped != want {
+		t.Fatalf("dropped %d events, want %d", res.Dropped, want)
+	}
+	if len(res.Schedule) != w.Trace.UniqueFuncs() {
+		t.Fatalf("committed %d events, want %d", len(res.Schedule), w.Trace.UniqueFuncs())
+	}
+}
+
+func TestInterrupt(t *testing.T) {
+	w := corpus(t)[0]
+	ch := make(chan struct{})
+	close(ch)
+	_, err := online.Run(w.Trace, w.Profile, online.NewIAR(w.Profile, core.IAROptions{}, 0),
+		online.Options{Config: sim.DefaultConfig(), Interrupt: ch})
+	if err != sim.ErrInterrupted {
+		t.Fatalf("got %v, want sim.ErrInterrupted", err)
+	}
+}
+
+func TestRunValidates(t *testing.T) {
+	w := corpus(t)[0]
+	sched := online.NewIAR(w.Profile, core.IAROptions{}, 0)
+	if _, err := online.Run(w.Trace, w.Profile, sched, online.Options{Window: -1}); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := online.Run(w.Trace, w.Profile, nil, online.Options{}); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	if _, err := online.Run(w.Trace, w.Profile, sched, online.Options{Config: sim.Config{CompileWorkers: -1}}); err == nil {
+		t.Error("negative worker count accepted")
+	}
+}
+
+func TestMetricsReported(t *testing.T) {
+	w := corpus(t)[0]
+	var m obs.Metrics
+	res, err := online.Run(w.Trace, w.Profile, nullScheduler{},
+		online.Options{Config: sim.DefaultConfig(), Window: 1, Metrics: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.OnlineRuns != 1 {
+		t.Fatalf("OnlineRuns = %d, want 1", snap.OnlineRuns)
+	}
+	if snap.OnlineCommits != int64(len(res.Schedule)) || snap.OnlineForced != int64(res.Forced) {
+		t.Fatalf("metrics report %d commits / %d forced, result says %d / %d",
+			snap.OnlineCommits, snap.OnlineForced, len(res.Schedule), res.Forced)
+	}
+	if snap.SimRuns != 1 {
+		t.Fatalf("SimRuns = %d, want 1", snap.SimRuns)
+	}
+}
+
+func TestRegret(t *testing.T) {
+	if got := online.Regret(110, 100); got != 10 {
+		t.Fatalf("Regret(110,100) = %g, want 10", got)
+	}
+	if got := online.Regret(100, 100); got != 0 {
+		t.Fatalf("Regret(100,100) = %g, want 0", got)
+	}
+	if got := online.Regret(50, 0); got != 0 {
+		t.Fatalf("Regret(50,0) = %g, want 0", got)
+	}
+}

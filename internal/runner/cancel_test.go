@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func cancelJobs(n int, ran *atomic.Int64) []Job[int] {
@@ -89,6 +91,54 @@ func TestMapContextMidRunCancel(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("MapContext did not return after cancellation")
+	}
+}
+
+// TestCancelledCountedDistinctly: jobs ended by the batch context land in
+// the Cancelled counters — runner stats and obs metrics — not in Failures,
+// while genuine failures still do.
+func TestCancelledCountedDistinctly(t *testing.T) {
+	var m obs.Metrics
+	r := New(Options{Workers: 2, Metrics: &m})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make([]Job[int], 3)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Key: Key{Experiment: "distinct", Seed: int64(i)},
+			Fn: func(c Ctx) (int, error) {
+				cancel()
+				<-c.Context.Done()
+				return 0, c.Context.Err()
+			},
+		}
+	}
+	if _, err := MapContext(ctx, r, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want it to wrap context.Canceled", err)
+	}
+	st := r.Stats()
+	if st.Cancelled == 0 {
+		t.Fatal("no jobs counted as cancelled")
+	}
+	if st.Failures != 0 {
+		t.Fatalf("%d cancelled jobs folded into Failures", st.Failures)
+	}
+	snap := m.Snapshot()
+	if snap.JobsCancelled == 0 || snap.JobsFailed != 0 {
+		t.Fatalf("metrics: %d cancelled / %d failed, want >0 / 0", snap.JobsCancelled, snap.JobsFailed)
+	}
+
+	// A genuine failure under a live context still counts as a failure.
+	r2 := New(Options{Workers: 1, Metrics: nil})
+	_, err := MapContext(context.Background(), r2, []Job[int]{{
+		Key: Key{Experiment: "genuine"},
+		Fn:  func(Ctx) (int, error) { return 0, errors.New("boom") },
+	}})
+	if err == nil {
+		t.Fatal("genuine failure succeeded")
+	}
+	if st2 := r2.Stats(); st2.Failures != 1 || st2.Cancelled != 0 {
+		t.Fatalf("genuine failure counted as %d failed / %d cancelled", st2.Failures, st2.Cancelled)
 	}
 }
 

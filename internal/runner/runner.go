@@ -39,6 +39,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -120,9 +121,12 @@ type Stats struct {
 	CacheHits int64
 	Deduped   int64
 	// Failures counts executed jobs that returned an error or panicked;
-	// Panics counts the panicked subset.
-	Failures int64
-	Panics   int64
+	// Panics counts the panicked subset. Jobs ended by their batch
+	// context's cancellation are counted in Cancelled instead — they are
+	// neither successes nor genuine failures.
+	Failures  int64
+	Panics    int64
+	Cancelled int64
 	// WallTime accumulates the wall-clock duration of every Map call.
 	WallTime time.Duration
 	// PerScheme counts executed jobs by Key.Scheme (Key.Experiment when the
@@ -133,8 +137,8 @@ type Stats struct {
 // Summary renders the stats as one line, with per-scheme totals in sorted
 // order.
 func (s Stats) Summary() string {
-	out := fmt.Sprintf("runner: %d jobs run, %d cache hits, %d deduped, %d failed, wall %v",
-		s.JobsRun, s.CacheHits, s.Deduped, s.Failures, s.WallTime.Round(time.Millisecond))
+	out := fmt.Sprintf("runner: %d jobs run, %d cache hits, %d deduped, %d failed, %d cancelled, wall %v",
+		s.JobsRun, s.CacheHits, s.Deduped, s.Failures, s.Cancelled, s.WallTime.Round(time.Millisecond))
 	if len(s.PerScheme) > 0 {
 		names := make([]string, 0, len(s.PerScheme))
 		for n := range s.PerScheme {
@@ -254,6 +258,19 @@ func Map[T any](r *Runner, jobs []Job[T]) ([]T, error) {
 	return MapContext(context.Background(), r, jobs)
 }
 
+// cancelledErr reports whether a job's error came from its batch context
+// being cancelled or timing out — as opposed to the job genuinely failing.
+// A panic is always a genuine failure, even one raised mid-cancellation.
+func cancelledErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if _, ok := err.(*PanicError); ok {
+		return false
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // MapContext is Map with cooperative cancellation, checked at job boundaries:
 // once ctx is done, jobs that have not started are failed with the context's
 // error instead of running, already-running jobs see the same signal through
@@ -315,6 +332,7 @@ func MapContext[T any](ctx context.Context, r *Runner, jobs []Job[T]) ([]T, erro
 				for i := range idx {
 					if err := ctx.Err(); err != nil {
 						states[i].err = fmt.Errorf("runner: job not started: %w", err)
+						r.metrics.JobCancelled()
 						continue
 					}
 					j := jobs[i]
@@ -322,7 +340,14 @@ func MapContext[T any](ctx context.Context, r *Runner, jobs []Job[T]) ([]T, erro
 					jobStart := time.Now()
 					states[i].result, states[i].err = runJob(ctx, j)
 					_, panicked := states[i].err.(*PanicError)
-					r.metrics.JobCompleted(time.Since(jobStart), states[i].err != nil, panicked)
+					if cancelledErr(states[i].err) {
+						// The batch context won, not the job: count it as
+						// cancelled, not failed.
+						r.metrics.JobCompleted(time.Since(jobStart), false, false)
+						r.metrics.JobCancelled()
+					} else {
+						r.metrics.JobCompleted(time.Since(jobStart), states[i].err != nil, panicked)
+					}
 				}
 			}()
 		}
@@ -339,13 +364,17 @@ func MapContext[T any](ctx context.Context, r *Runner, jobs []Job[T]) ([]T, erro
 	}
 
 	// Fill the cache and the counters.
-	var failures, panics int64
+	var failures, panics, cancelled int64
 	r.mu.Lock()
 	for _, i := range leaders {
 		if states[i].err != nil {
-			failures++
-			if _, ok := states[i].err.(*PanicError); ok {
-				panics++
+			if cancelledErr(states[i].err) {
+				cancelled++
+			} else {
+				failures++
+				if _, ok := states[i].err.(*PanicError); ok {
+					panics++
+				}
 			}
 			continue
 		}
@@ -358,6 +387,7 @@ func MapContext[T any](ctx context.Context, r *Runner, jobs []Job[T]) ([]T, erro
 	r.stats.Deduped += dedup
 	r.stats.Failures += failures
 	r.stats.Panics += panics
+	r.stats.Cancelled += cancelled
 	r.stats.WallTime += time.Since(start)
 	for _, i := range leaders {
 		name := jobs[i].Key.Scheme

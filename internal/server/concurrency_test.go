@@ -69,16 +69,16 @@ func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 	}
 }
 
-// TestServe100ConcurrentMixed: 100 concurrent requests across all six
-// algorithms and several instances, zero failures, and — determinism under
+// TestServe100ConcurrentMixed: 100 concurrent requests across every
+// algorithm and several instances, zero failures, and — determinism under
 // concurrency — byte-identical bodies within each distinct request.
 func TestServe100ConcurrentMixed(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	const n = 100
-	// 18 distinct request bodies (6 algorithms x 3 instances), each repeated
-	// five or six times across the burst.
+	// One distinct request body per (algorithm, instance) pair, each
+	// repeated several times across the burst.
 	bodies := make(map[string][]byte)
-	keys := make([]string, 0, 18)
+	keys := make([]string, 0, 3*len(Algorithms))
 	for _, algo := range Algorithms {
 		for seed := int64(0); seed < 3; seed++ {
 			k := fmt.Sprintf("%s-%d", algo, seed)

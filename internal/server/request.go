@@ -14,6 +14,7 @@ import (
 	"repro/internal/astar"
 	"repro/internal/core"
 	"repro/internal/dacapo"
+	"repro/internal/online"
 	"repro/internal/policy"
 	"repro/internal/profile"
 	"repro/internal/runner"
@@ -42,7 +43,7 @@ const customSamplePeriod = 400000
 
 // Algorithms lists the schedulers a request may ask for, in the order the
 // /algorithms endpoint reports them.
-var Algorithms = []string{"iar", "astar", "beam", "bnb", "jikes", "v8"}
+var Algorithms = []string{"iar", "astar", "beam", "bnb", "jikes", "v8", "online-iar"}
 
 // TracePayload is an inline call sequence.
 type TracePayload struct {
@@ -72,7 +73,8 @@ type ProfilePayload struct {
 // ScheduleRequest is the POST /schedule payload. Exactly one of Bench or the
 // Trace+Profile pair selects the workload.
 type ScheduleRequest struct {
-	// Algo is the scheduler to run: iar, astar, beam, bnb, jikes, or v8.
+	// Algo is the scheduler to run: iar, astar, beam, bnb, jikes, v8, or
+	// online-iar (the bounded-lookahead replanning variant).
 	Algo string `json:"algo"`
 	// Bench names a built-in corpus entry (the synthetic DaCapo suite).
 	Bench string `json:"bench,omitempty"`
@@ -97,6 +99,9 @@ type ScheduleRequest struct {
 	MaxNodes int `json:"max_nodes,omitempty"`
 	// BeamWidth, when positive, overrides the beam width (beam only).
 	BeamWidth int `json:"beam_width,omitempty"`
+	// Window, when positive, bounds the online scheduler's lookahead to that
+	// many calls (online-iar only; 0 means unbounded).
+	Window int `json:"window,omitempty"`
 }
 
 // ScheduleEvent is one compilation event of a returned schedule.
@@ -185,7 +190,7 @@ func (req *ScheduleRequest) validate() error {
 		}
 	}
 	if !algoOK {
-		return badRequest("unknown algorithm %q (want one of iar, astar, beam, bnb, jikes, v8)", req.Algo)
+		return badRequest("unknown algorithm %q (want one of iar, astar, beam, bnb, jikes, v8, online-iar)", req.Algo)
 	}
 	inline := req.Trace != nil || req.Profile != nil
 	if inline && req.Bench != "" {
@@ -233,6 +238,12 @@ func (req *ScheduleRequest) validate() error {
 	if req.BeamWidth < 0 {
 		return badRequest("beam_width must be non-negative, got %d", req.BeamWidth)
 	}
+	if req.Window < 0 {
+		return badRequest("window must be non-negative, got %d", req.Window)
+	}
+	if req.Window > 0 && req.Algo != "online-iar" {
+		return badRequest("window applies to online-iar only")
+	}
 	return nil
 }
 
@@ -260,8 +271,8 @@ func (req *ScheduleRequest) fingerprint() string {
 		Benchmark:  req.Bench,
 		Scheme:     req.Algo,
 		Scale:      req.Scale,
-		Detail: fmt.Sprintf("model=%s maxcalls=%d maxnodes=%d beam=%d inline=%x",
-			req.Model, req.MaxCalls, req.MaxNodes, req.BeamWidth, req.contentHash()),
+		Detail: fmt.Sprintf("model=%s maxcalls=%d maxnodes=%d beam=%d window=%d inline=%x",
+			req.Model, req.MaxCalls, req.MaxNodes, req.BeamWidth, req.Window, req.contentHash()),
 	}
 	return k.Fingerprint()
 }
@@ -388,6 +399,21 @@ func execute(ctx context.Context, req *ScheduleRequest, w *dacapo.Workload) (*Sc
 		if err != nil {
 			return nil, badRequest("iar: %v", err)
 		}
+	case "online-iar":
+		var res *online.Result
+		res, err = online.Run(tr, p, online.NewIAR(p, core.IAROptions{Model: model}, 0), online.Options{
+			Window:    req.Window,
+			Config:    cfg,
+			Interrupt: ctx.Done(),
+		})
+		if err != nil {
+			if errors.Is(err, sim.ErrInterrupted) {
+				return nil, err
+			}
+			return nil, badRequest("online-iar: %v", err)
+		}
+		sched = res.Schedule
+		simRes = res.Sim
 	case "astar", "beam", "bnb":
 		var sr *astar.Result
 		switch req.Algo {

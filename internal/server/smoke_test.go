@@ -27,6 +27,11 @@ func smokeRequests(t *testing.T) map[string][]byte {
 		}
 		reqs[algo] = b
 	}
+	b, err := json.Marshal(map[string]any{"algo": "online-iar", "bench": "antlr", "max_calls": 300, "window": 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs["online-iar"] = b
 	return reqs
 }
 

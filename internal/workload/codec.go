@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The spec wire format is strict JSON: unknown fields are rejected so a
+// typo'd knob fails loudly instead of silently rendering the default, and
+// every accepted spec re-encodes to an equivalent one (FuzzWorkloadSpec
+// holds the codec to that round trip).
+
+// ParseSpec decodes and validates a spec from its JSON form.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workload: malformed spec: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("workload: trailing data after the spec document")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ReadSpec decodes and validates a spec from a reader.
+func ReadSpec(r io.Reader) (*Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSpec(data)
+}
+
+// WriteSpec encodes the spec as indented JSON, the same form ParseSpec
+// accepts.
+func WriteSpec(w io.Writer, s *Spec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

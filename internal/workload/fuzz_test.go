@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzWorkloadSpec feeds arbitrary JSON through the spec codec and, for
+// anything accepted, demands the full pipeline holds: the spec re-encodes
+// and re-parses to an equivalent document, the render is deterministic and
+// structurally valid, and the rendered trace survives the binary codec.
+// Expensive specs (long renders, big cohort scales) are skipped, not
+// shrunk — the fuzzer explores the codec and generator logic, not the
+// benchmark loader's throughput.
+func FuzzWorkloadSpec(f *testing.F) {
+	f.Add(`{"name":"one","seed":1,"length":64,"cohorts":[{"bench":"fop","scale":0.01}]}`)
+	f.Add(`{"name":"two","seed":-9,"length":128,"cohorts":[{"bench":"luindex","scale":0.01},{"bench":"lusearch","scale":0.01}]}`)
+	f.Add(`{"name":"phases","seed":7,"length":200,"cohorts":[{"bench":"antlr","scale":0.01}],` +
+		`"phases":[{"weight":1,"process":"steady"},{"weight":2,"process":"poisson"}]}`)
+	f.Add(`{"name":"bursty","seed":3,"length":150,"cohorts":[{"bench":"pmd","scale":0.01},{"bench":"hsqldb","scale":0.01}],` +
+		`"phases":[{"weight":1,"process":"bursty","burst_mean":4,"mix":[1,3]}]}`)
+	f.Add(`{"name":"silenced","seed":11,"length":90,"cohorts":[{"bench":"bloat","scale":0.01},{"bench":"eclipse","scale":0.01}],` +
+		`"phases":[{"weight":1,"process":"steady","mix":[0,1]}]}`)
+	f.Add(`{"name":"empty","seed":0,"length":0,"cohorts":[{"bench":"jython","scale":0.01}]}`)
+	f.Add(`{"name":"bad","seed":1,"length":10,"cohorts":[{"bench":"nope"}]}`)
+	f.Add(`not json at all`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := ParseSpec([]byte(data))
+		if err != nil {
+			return
+		}
+		// Keep accepted-but-expensive specs out of the render path; the
+		// codec properties above already ran on them.
+		if s.Length > 4096 {
+			return
+		}
+		for _, c := range s.Cohorts {
+			if c.Scale > 0.02 || c.Scale == 0 {
+				return
+			}
+		}
+
+		var enc bytes.Buffer
+		if err := WriteSpec(&enc, s); err != nil {
+			t.Fatalf("re-encode of accepted spec failed: %v", err)
+		}
+		again, err := ParseSpec(enc.Bytes())
+		if err != nil {
+			t.Fatalf("re-parse of re-encoded spec failed: %v\nspec: %s", err, enc.Bytes())
+		}
+		var enc2 bytes.Buffer
+		if err := WriteSpec(&enc2, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc.Bytes(), enc2.Bytes()) {
+			t.Fatalf("spec encoding unstable:\n%s\nvs\n%s", enc.Bytes(), enc2.Bytes())
+		}
+
+		tr, p, err := s.Render()
+		if err != nil {
+			t.Fatalf("accepted spec failed to render: %v\nspec: %s", err, enc.Bytes())
+		}
+		if tr.Len() != s.Length {
+			t.Fatalf("rendered %d calls for Length %d", tr.Len(), s.Length)
+		}
+		if err := tr.Validate(p.NumFuncs()); err != nil {
+			t.Fatalf("rendered trace invalid: %v", err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("combined profile invalid: %v", err)
+		}
+		tr2, _, err := s.Render()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr2.Calls) != len(tr.Calls) {
+			t.Fatal("second render changed length")
+		}
+		for i := range tr.Calls {
+			if tr.Calls[i] != tr2.Calls[i] {
+				t.Fatalf("render not deterministic at call %d", i)
+			}
+		}
+
+		var bin bytes.Buffer
+		if err := trace.WriteBinary(&bin, tr); err != nil {
+			t.Fatalf("rendered trace failed to encode: %v", err)
+		}
+		back, err := trace.ReadBinary(&bin)
+		if err != nil {
+			t.Fatalf("rendered trace failed to decode: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatal("trace codec round trip changed length")
+		}
+		for i := range tr.Calls {
+			if back.Calls[i] != tr.Calls[i] {
+				t.Fatalf("trace codec round trip changed call %d", i)
+			}
+		}
+	})
+}

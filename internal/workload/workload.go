@@ -1,0 +1,318 @@
+// Package workload is a servegen-style streaming trace generator: it
+// composes several DaCapo-derived benchmark streams ("tenant cohorts") into
+// one call sequence whose arrival process shifts over time. A Spec describes
+// the composition declaratively — cohorts, phases, mixing processes — and
+// Render turns it into an ordinary trace.Trace plus a combined timing
+// profile, so everything downstream (schedulers, the simulator, the online
+// harness) consumes streaming workloads through the same types as the
+// paper's single-program traces.
+//
+// Rendering is deterministic: a Spec's Seed fully determines the output,
+// byte for byte, regardless of GOMAXPROCS or call site. The differential
+// tests hold the package to that, and the online experiments lean on it —
+// the same Spec is rendered independently inside every runner job.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dacapo"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// Bounds on a Spec, enforced by Validate. They keep a single render's work
+// within what one job can reasonably own (the fuzz harness and the HTTP
+// surface both feed untrusted specs through Validate).
+const (
+	// MaxLength bounds the rendered call count.
+	MaxLength = 1 << 22
+	// MaxCohorts bounds the tenant count.
+	MaxCohorts = 8
+	// MaxPhases bounds the phase count.
+	MaxPhases = 16
+	// MaxCohortScale bounds a cohort's trace-length multiplier.
+	MaxCohortScale = 4.0
+	// MaxBurstMean bounds the bursty process's mean run length.
+	MaxBurstMean = 64.0
+)
+
+// DefaultCohortScale is a cohort's trace-length multiplier when the spec
+// leaves it zero: a tenth of the benchmark's default scaled size, so a
+// several-cohort stream stays laptop-fast.
+const DefaultCohortScale = 0.1
+
+// DefaultBurstMean is the bursty process's mean run length when the spec
+// leaves it zero.
+const DefaultBurstMean = 8.0
+
+// Mixing processes a phase may use.
+const (
+	// ProcessSteady interleaves cohorts deterministically in proportion to
+	// the mix weights (weighted round-robin) — the no-noise baseline.
+	ProcessSteady = "steady"
+	// ProcessPoisson draws each call's cohort independently by the mix
+	// weights — memoryless arrivals, the classic open-system model.
+	ProcessPoisson = "poisson"
+	// ProcessBursty draws a cohort by the mix weights and lets it run for a
+	// geometrically distributed burst — tenants arrive in request batches.
+	ProcessBursty = "bursty"
+)
+
+// Cohort is one tenant: a DaCapo-derived benchmark stream feeding the mix.
+type Cohort struct {
+	// Bench names the internal/dacapo benchmark supplying the cohort's call
+	// stream and timing profile.
+	Bench string `json:"bench"`
+	// Scale multiplies the benchmark's default scaled trace length for this
+	// cohort's stream (DefaultCohortScale if zero). The stream wraps around
+	// when the rendered workload outlives it.
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// Phase is one segment of the rendered stream: a share of the total length
+// during which one arrival process and one cohort mix hold. Multi-phase
+// specs model period shifts — tenants coming and going, load moving between
+// services.
+type Phase struct {
+	// Weight is the phase's share of Spec.Length, relative to the other
+	// phases' weights. Must be positive.
+	Weight float64 `json:"weight"`
+	// Process selects the mixing process: steady, poisson, or bursty.
+	Process string `json:"process"`
+	// BurstMean is the bursty process's mean run length
+	// (DefaultBurstMean if zero; ignored by the other processes).
+	BurstMean float64 `json:"burst_mean,omitempty"`
+	// Mix weighs the cohorts during this phase, indexed like Spec.Cohorts.
+	// Empty means uniform. A zero entry silences that cohort for the phase.
+	Mix []float64 `json:"mix,omitempty"`
+}
+
+// Spec declares a streaming workload. The zero Spec is invalid; fill in at
+// least one cohort and a length.
+type Spec struct {
+	// Name labels the rendered trace.
+	Name string `json:"name"`
+	// Seed drives every stochastic draw of the render.
+	Seed int64 `json:"seed"`
+	// Length is the rendered call count.
+	Length int `json:"length"`
+	// Cohorts are the tenant streams feeding the mix.
+	Cohorts []Cohort `json:"cohorts"`
+	// Phases segment the stream; empty means one steady phase.
+	Phases []Phase `json:"phases,omitempty"`
+}
+
+// Validate reports the first spec error, or nil.
+func (s *Spec) Validate() error {
+	if s.Length < 0 || s.Length > MaxLength {
+		return fmt.Errorf("workload: Length must be in [0,%d], got %d", MaxLength, s.Length)
+	}
+	if len(s.Cohorts) == 0 {
+		return fmt.Errorf("workload: spec needs at least one cohort")
+	}
+	if len(s.Cohorts) > MaxCohorts {
+		return fmt.Errorf("workload: %d cohorts exceed the limit %d", len(s.Cohorts), MaxCohorts)
+	}
+	for i, c := range s.Cohorts {
+		if _, err := dacapo.ByName(c.Bench); err != nil {
+			return fmt.Errorf("workload: cohort %d: %w", i, err)
+		}
+		if c.Scale < 0 || c.Scale > MaxCohortScale {
+			return fmt.Errorf("workload: cohort %d: scale must be in [0,%g], got %g", i, MaxCohortScale, c.Scale)
+		}
+	}
+	if len(s.Phases) > MaxPhases {
+		return fmt.Errorf("workload: %d phases exceed the limit %d", len(s.Phases), MaxPhases)
+	}
+	for i, ph := range s.Phases {
+		if ph.Weight <= 0 {
+			return fmt.Errorf("workload: phase %d: weight must be positive, got %g", i, ph.Weight)
+		}
+		switch ph.Process {
+		case ProcessSteady, ProcessPoisson, ProcessBursty:
+		default:
+			return fmt.Errorf("workload: phase %d: unknown process %q (want steady, poisson, or bursty)", i, ph.Process)
+		}
+		if ph.BurstMean < 0 || ph.BurstMean > MaxBurstMean {
+			return fmt.Errorf("workload: phase %d: burst mean must be in [0,%g], got %g", i, MaxBurstMean, ph.BurstMean)
+		}
+		if ph.BurstMean != 0 && ph.BurstMean < 1 {
+			return fmt.Errorf("workload: phase %d: burst mean must be >= 1, got %g", i, ph.BurstMean)
+		}
+		if len(ph.Mix) != 0 && len(ph.Mix) != len(s.Cohorts) {
+			return fmt.Errorf("workload: phase %d: mix has %d weights for %d cohorts", i, len(ph.Mix), len(s.Cohorts))
+		}
+		var sum float64
+		for j, w := range ph.Mix {
+			if w < 0 {
+				return fmt.Errorf("workload: phase %d: mix weight %d is negative", i, j)
+			}
+			sum += w
+		}
+		if len(ph.Mix) != 0 && sum <= 0 {
+			return fmt.Errorf("workload: phase %d: mix weights sum to zero", i)
+		}
+	}
+	return nil
+}
+
+// stream is one cohort's prepared call source: its generated calls with the
+// cohort's FuncID offset into the combined profile, consumed round-robin.
+type stream struct {
+	calls  []trace.FuncID
+	offset trace.FuncID
+	cursor int
+}
+
+// next yields the stream's next call, wrapping around when exhausted — a
+// tenant's workload loops, it does not stop serving.
+func (st *stream) next() trace.FuncID {
+	f := st.calls[st.cursor] + st.offset
+	st.cursor++
+	if st.cursor == len(st.calls) {
+		st.cursor = 0
+	}
+	return f
+}
+
+// Render materializes the spec: the mixed call sequence plus the combined
+// timing profile (cohort profiles concatenated, FuncIDs offset so tenants
+// never collide). Same spec, same bytes — rendering draws only from the
+// spec's Seed.
+func (s *Spec) Render() (*trace.Trace, *profile.Profile, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	streams := make([]*stream, len(s.Cohorts))
+	combined := &profile.Profile{}
+	for i, c := range s.Cohorts {
+		b, err := dacapo.ByName(c.Bench)
+		if err != nil {
+			return nil, nil, err
+		}
+		scale := c.Scale
+		if scale == 0 {
+			scale = DefaultCohortScale
+		}
+		w, err := b.Load(scale)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: cohort %d (%s): %w", i, c.Bench, err)
+		}
+		if w.Trace.Len() == 0 {
+			return nil, nil, fmt.Errorf("workload: cohort %d (%s): empty stream", i, c.Bench)
+		}
+		if i == 0 {
+			combined.Levels = w.Profile.Levels
+		} else if w.Profile.Levels != combined.Levels {
+			return nil, nil, fmt.Errorf("workload: cohort %d (%s): %d profile levels, cohort 0 has %d",
+				i, c.Bench, w.Profile.Levels, combined.Levels)
+		}
+		streams[i] = &stream{calls: w.Trace.Calls, offset: trace.FuncID(len(combined.Funcs))}
+		combined.Funcs = append(combined.Funcs, w.Profile.Funcs...)
+	}
+
+	phases := s.Phases
+	if len(phases) == 0 {
+		phases = []Phase{{Weight: 1, Process: ProcessSteady}}
+	}
+
+	rng := rand.New(rand.NewSource(s.Seed))
+	calls := make([]trace.FuncID, 0, s.Length)
+	var cumW, totW float64
+	for _, ph := range phases {
+		totW += ph.Weight
+	}
+	emittedBefore := 0
+	for _, ph := range phases {
+		cumW += ph.Weight
+		// Largest-prefix split: phase p owns calls [len*cum(p-1)/tot,
+		// len*cum(p)/tot), so rounding never loses or duplicates a slot.
+		bound := int(float64(s.Length) * cumW / totW)
+		if bound > s.Length {
+			bound = s.Length
+		}
+		phaseLen := bound - emittedBefore
+		emittedBefore = bound
+		if phaseLen <= 0 {
+			continue
+		}
+		mixPhase(rng, &calls, phaseLen, ph, streams)
+	}
+	// Float rounding can leave the last boundary a hair short of Length;
+	// the final phase absorbs the remainder.
+	if rem := s.Length - len(calls); rem > 0 {
+		mixPhase(rng, &calls, rem, phases[len(phases)-1], streams)
+	}
+	return trace.New(s.Name, calls), combined, nil
+}
+
+// mixPhase appends phaseLen calls drawn from the streams under one phase's
+// process and mix.
+func mixPhase(rng *rand.Rand, calls *[]trace.FuncID, phaseLen int, ph Phase, streams []*stream) {
+	weights := ph.Mix
+	if len(weights) == 0 {
+		weights = make([]float64, len(streams))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+
+	// pick draws one cohort index by the mix weights.
+	pick := func() int {
+		u := rng.Float64() * sum
+		for i, w := range weights {
+			u -= w
+			if u < 0 {
+				return i
+			}
+		}
+		return len(weights) - 1
+	}
+
+	switch ph.Process {
+	case ProcessSteady:
+		// Weighted round-robin on accumulated credit: deterministic, and the
+		// emitted proportions track the weights within one call at any prefix.
+		credit := make([]float64, len(streams))
+		for n := 0; n < phaseLen; n++ {
+			best := -1
+			for i := range credit {
+				credit[i] += weights[i] / sum
+				if weights[i] > 0 && (best < 0 || credit[i] > credit[best]) {
+					best = i
+				}
+			}
+			credit[best]--
+			*calls = append(*calls, streams[best].next())
+		}
+	case ProcessPoisson:
+		for n := 0; n < phaseLen; n++ {
+			*calls = append(*calls, streams[pick()].next())
+		}
+	case ProcessBursty:
+		mean := ph.BurstMean
+		if mean == 0 {
+			mean = DefaultBurstMean
+		}
+		for n := 0; n < phaseLen; {
+			i := pick()
+			// Geometric with the configured mean: success probability 1/mean,
+			// capped the way trace.Generate caps its bursts.
+			burst := 1
+			for float64(burst) < 64*mean && rng.Float64() > 1/mean {
+				burst++
+			}
+			for k := 0; k < burst && n < phaseLen; k++ {
+				*calls = append(*calls, streams[i].next())
+				n++
+			}
+		}
+	}
+}
