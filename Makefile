@@ -9,7 +9,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check test race runner-race fuzz-smoke serve-smoke bench bench-guard bench-json bench-json-search bench-json-online golden ci
+.PHONY: all build vet fmt-check test race runner-race fuzz-smoke serve-smoke bench bench-guard bench-json bench-json-search bench-json-online bench-json-serve golden ci
 
 all: build
 
@@ -47,6 +47,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadText -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzStateKey -fuzztime=$(FUZZTIME) ./internal/astar/
 	$(GO) test -run='^$$' -fuzz=FuzzScheduleRequest -fuzztime=$(FUZZTIME) ./internal/server/
+	$(GO) test -run='^$$' -fuzz=FuzzBatchRequest -fuzztime=$(FUZZTIME) ./internal/server/
 	$(GO) test -run='^$$' -fuzz=FuzzWorkloadSpec -fuzztime=$(FUZZTIME) ./internal/workload/
 
 # One request per algorithm through a real scheduling server, each response
@@ -102,8 +103,19 @@ bench-json-online:
 		| $(GO) run ./cmd/benchjson -o BENCH_online.json
 	@echo "wrote BENCH_online.json"
 
+# Serving-path load record: replay the stream-mix workload preset as ≥10k
+# HTTP requests against an in-process scheduling service and write
+# BENCH_serve.json (latency percentiles, cache hit rate, queue wait,
+# per-tenant accounting). The driver gates itself: a p99 above 2s or a cache
+# hit rate below 0.95 fails the target, so serving-path latency and
+# single-flight regressions fail CI without a separate checker.
+bench-json-serve:
+	$(GO) run ./cmd/jitsched bench-serve -preset stream-mix -requests 12000 -concurrency 32 \
+		-o BENCH_serve.json -max-p99 2s -min-hit-rate 0.95
+	@echo "wrote BENCH_serve.json"
+
 # Regenerate the experiment golden files after an intentional output change.
 golden:
 	$(GO) test ./internal/experiments -run TestGolden -update
 
-ci: fmt-check vet build race runner-race fuzz-smoke serve-smoke bench-guard bench-json bench-json-search bench-json-online
+ci: fmt-check vet build race runner-race fuzz-smoke serve-smoke bench-guard bench-json bench-json-search bench-json-online bench-json-serve

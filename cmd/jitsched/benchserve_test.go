@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCmdBenchServe runs a small replay end to end and checks the written
+// record is a sane BENCH_serve.json document.
+func TestCmdBenchServe(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	err := cmdBenchServe([]string{
+		"-preset", "stream-bursty",
+		"-requests", "300",
+		"-concurrency", "8",
+		"-o", out,
+		"-max-p99", "30s", // generous: this asserts plumbing, not performance
+		"-min-hit-rate", "0.5",
+	})
+	if err != nil {
+		t.Fatalf("bench-serve: %v", err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchServeReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("undecodable report: %v", err)
+	}
+	if rep.Name != "bench-serve" || rep.Preset != "stream-bursty" {
+		t.Errorf("report identifies as %q/%q", rep.Name, rep.Preset)
+	}
+	if rep.Status["200"] != 300 {
+		t.Errorf("status counts %v, want 300 × 200", rep.Status)
+	}
+	if rep.Cache.Misses+rep.Cache.Coalesced+rep.Cache.Hits != 300 {
+		t.Errorf("cache dispositions %+v do not sum to 300", rep.Cache)
+	}
+	if rep.Cache.Misses > rep.DistinctFingerprints {
+		t.Errorf("%d misses for %d distinct fingerprints — single-flight or caching broke",
+			rep.Cache.Misses, rep.DistinctFingerprints)
+	}
+	if rep.Latency.P99 <= 0 || rep.Latency.P50 > rep.Latency.P99 {
+		t.Errorf("latency percentiles inconsistent: %+v", rep.Latency)
+	}
+	if len(rep.Tenants) != 2 { // stream-bursty has two cohorts
+		t.Errorf("tenant breakdown %v, want both cohorts", rep.Tenants)
+	}
+	total := 0
+	for _, tn := range rep.Tenants {
+		total += tn.Requests
+	}
+	if total != 300 {
+		t.Errorf("per-tenant requests sum to %d, want 300", total)
+	}
+}
+
+// TestCmdBenchServeGateFailure: an unreachable hit-rate gate must fail the
+// run after writing the record — the self-gating contract the CI target
+// relies on.
+func TestCmdBenchServeGateFailure(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	err := cmdBenchServe([]string{
+		"-preset", "stream-mix",
+		"-requests", "50",
+		"-concurrency", "4",
+		"-o", out,
+		"-min-hit-rate", "1.1", // impossible by construction
+	})
+	if err == nil || !strings.Contains(err.Error(), "hit rate") {
+		t.Fatalf("want a hit-rate gate failure, got %v", err)
+	}
+	if _, statErr := os.Stat(out); statErr != nil {
+		t.Errorf("gate failure must still leave the record behind: %v", statErr)
+	}
+}
+
+// TestCmdBenchServeUnknownPreset: a bad preset is rejected with the list.
+func TestCmdBenchServeUnknownPreset(t *testing.T) {
+	err := cmdBenchServe([]string{"-preset", "nope", "-requests", "1"})
+	if err == nil || !strings.Contains(err.Error(), "unknown preset") {
+		t.Fatalf("want unknown-preset error, got %v", err)
+	}
+}

@@ -12,6 +12,8 @@
 //	jitsched schedule -bench NAME [-scale F] [-algo iar|base|opt|bnb] [-model default|oracle]
 //	jitsched simulate -bench NAME [-scale F] [-algo ...] [-workers N] [-timeline] [-trace-out FILE]
 //	jitsched serve [-addr HOST:PORT] [-workers N] [-queue N] [-cache N] [-timeout D] [-max-timeout D] [-max-body N]
+//	              [-tenant-rate R] [-tenant-burst N] [-tenant-inflight N] [-max-batch N]
+//	jitsched bench-serve [-preset NAME] [-requests N] [-concurrency N] [-o FILE] [-max-p99 D] [-min-hit-rate F]
 //
 // Experiments fan their independent simulations out over an internal/runner
 // worker pool (-par bounds it; -par 1 forces the serial path). All
@@ -55,6 +57,8 @@ func main() {
 		err = cmdSimulate(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "bench-serve":
+		err = cmdBenchServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -84,7 +88,11 @@ commands:
   schedule   print a compilation schedule for a workload
   simulate   simulate a schedule/policy and report the make-span
              (-timeline for an ASCII schedule, -trace-out for Chrome tracing)
-  serve      run the scheduling service over HTTP (POST /schedule)
+  serve      run the scheduling service over HTTP (POST /schedule and
+             /schedule/batch, with optional per-tenant admission control)
+  bench-serve  replay a streaming workload preset as HTTP load against an
+             in-process service and write BENCH_serve.json (self-gating via
+             -max-p99 and -min-hit-rate)
 
 run 'jitsched <command> -h' for flags.
 `)

@@ -26,6 +26,10 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", server.DefaultRequestTimeout, "default per-request timeout")
 	maxTimeout := fs.Duration("max-timeout", server.DefaultMaxTimeout, "cap on a request's timeout_ms")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes before 413")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant sustained requests/second (0 disables admission control)")
+	tenantBurst := fs.Int("tenant-burst", 0, "per-tenant token-bucket depth (default max(1, rate))")
+	tenantInflight := fs.Int("tenant-inflight", 0, "per-tenant in-flight request quota (0 disables)")
+	maxBatch := fs.Int("max-batch", server.DefaultMaxBatchItems, "max items per /schedule/batch request")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,6 +45,11 @@ func cmdServe(args []string) error {
 		MaxTimeout:     *maxTimeout,
 		MaxBodyBytes:   *maxBody,
 		Metrics:        obs.Default(),
+
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		TenantMaxInFlight: *tenantInflight,
+		MaxBatchItems:     *maxBatch,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

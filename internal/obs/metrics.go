@@ -34,13 +34,26 @@ type Metrics struct {
 	searchTableHits atomic.Int64
 	searchPruned    atomic.Int64
 
-	serveRequests   atomic.Int64
-	serveOK         atomic.Int64
-	serveErrors     atomic.Int64
-	serveCacheHits  atomic.Int64
-	serveCancelled  atomic.Int64
-	serveRejected   atomic.Int64
-	serveQueueDepth atomic.Int64
+	serveRequests    atomic.Int64
+	serveOK          atomic.Int64
+	serveErrors      atomic.Int64
+	serveCacheHits   atomic.Int64
+	serveCoalesced   atomic.Int64
+	serveCancelled   atomic.Int64
+	serveClientGone  atomic.Int64
+	serveRejected    atomic.Int64
+	serveQueueDepth  atomic.Int64
+	serveQueueWaitNS atomic.Int64
+	serveBatches     atomic.Int64
+	serveBatchItems  atomic.Int64
+
+	// Labeled serve counters: per-tenant traffic and 429s, per-cache-shard
+	// hits. Maps under a mutex rather than atomics — tenant names arrive at
+	// runtime — on the rejection/accounting path, never the hot compute path.
+	labeledMu      sync.Mutex
+	tenantRequests map[string]int64
+	tenantRejects  map[string]int64
+	shardHits      map[int]int64
 }
 
 var (
@@ -169,13 +182,92 @@ func (m *Metrics) ServeDone(ok, cancelled bool) {
 	}
 }
 
-// ServeCacheHit records a request answered from the service's result cache
-// (including waiters coalesced onto an in-flight computation).
+// ServeCacheHit records a request answered from a completed entry of the
+// service's result cache. Followers coalesced onto a still-in-flight leader
+// are counted by ServeCoalesced instead — they were deduplicated, not served
+// from cache.
 func (m *Metrics) ServeCacheHit() {
 	if m == nil {
 		return
 	}
 	m.serveCacheHits.Add(1)
+}
+
+// ServeCoalesced records a request that shared another request's in-flight
+// computation (X-Cache: coalesced).
+func (m *Metrics) ServeCoalesced() {
+	if m == nil {
+		return
+	}
+	m.serveCoalesced.Add(1)
+}
+
+// ServeClientGone records a request whose client disconnected before the
+// response was ready — not a timeout, not an error: nobody was left to
+// answer.
+func (m *Metrics) ServeClientGone() {
+	if m == nil {
+		return
+	}
+	m.serveClientGone.Add(1)
+}
+
+// ServeQueueWait records the time one job spent queued before a worker
+// picked it up.
+func (m *Metrics) ServeQueueWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.serveQueueWaitNS.Add(int64(d))
+}
+
+// ServeBatch records one batch request carrying items entries.
+func (m *Metrics) ServeBatch(items int64) {
+	if m == nil {
+		return
+	}
+	m.serveBatches.Add(1)
+	m.serveBatchItems.Add(items)
+}
+
+// ServeTenant records one request attributed to tenant (after admission).
+func (m *Metrics) ServeTenant(tenant string) {
+	if m == nil {
+		return
+	}
+	m.labeledMu.Lock()
+	if m.tenantRequests == nil {
+		m.tenantRequests = make(map[string]int64)
+	}
+	m.tenantRequests[tenant]++
+	m.labeledMu.Unlock()
+}
+
+// ServeTenantRejected records one admission-control 429 for tenant.
+func (m *Metrics) ServeTenantRejected(tenant string) {
+	if m == nil {
+		return
+	}
+	m.labeledMu.Lock()
+	if m.tenantRejects == nil {
+		m.tenantRejects = make(map[string]int64)
+	}
+	m.tenantRejects[tenant]++
+	m.labeledMu.Unlock()
+}
+
+// ServeShardHit records a completed-entry hit or in-flight coalesce landing
+// on cache shard (negative shards — caching disabled — are dropped).
+func (m *Metrics) ServeShardHit(shard int) {
+	if m == nil || shard < 0 {
+		return
+	}
+	m.labeledMu.Lock()
+	if m.shardHits == nil {
+		m.shardHits = make(map[int]int64)
+	}
+	m.shardHits[shard]++
+	m.labeledMu.Unlock()
 }
 
 // ServeRejected records a request bounced with backpressure (queue full or
@@ -228,17 +320,33 @@ type Snapshot struct {
 	SearchTableHits int64 `json:"search_table_hits"`
 	SearchPruned    int64 `json:"search_pruned"`
 	// ServeRequests counts scheduling-service requests accepted for
-	// processing; ServeOK/ServeErrors/ServeCancelled split their outcomes;
-	// ServeCacheHits counts requests answered from the service cache;
-	// ServeRejected counts backpressure bounces (429/503); ServeQueueDepth
-	// is the current queue-depth gauge.
-	ServeRequests   int64 `json:"serve_requests"`
-	ServeOK         int64 `json:"serve_ok"`
-	ServeErrors     int64 `json:"serve_errors"`
-	ServeCancelled  int64 `json:"serve_cancelled"`
-	ServeCacheHits  int64 `json:"serve_cache_hits"`
-	ServeRejected   int64 `json:"serve_rejected"`
-	ServeQueueDepth int64 `json:"serve_queue_depth"`
+	// processing; ServeOK/ServeErrors/ServeCancelled/ServeClientGone split
+	// their outcomes (client-gone: the client disconnected before the answer
+	// was ready — distinct from a timeout); ServeCacheHits counts requests
+	// answered from a completed cache entry and ServeCoalesced followers
+	// deduplicated onto an in-flight leader; ServeRejected counts
+	// backpressure bounces (429/503); ServeQueueDepth is the current
+	// queue-depth gauge and ServeQueueWait the summed time jobs waited for a
+	// worker; ServeBatches/ServeBatchItems count batch envelopes and the
+	// items inside them.
+	ServeRequests   int64         `json:"serve_requests"`
+	ServeOK         int64         `json:"serve_ok"`
+	ServeErrors     int64         `json:"serve_errors"`
+	ServeCancelled  int64         `json:"serve_cancelled"`
+	ServeClientGone int64         `json:"serve_client_gone"`
+	ServeCacheHits  int64         `json:"serve_cache_hits"`
+	ServeCoalesced  int64         `json:"serve_coalesced"`
+	ServeRejected   int64         `json:"serve_rejected"`
+	ServeQueueDepth int64         `json:"serve_queue_depth"`
+	ServeQueueWait  time.Duration `json:"serve_queue_wait_ns"`
+	ServeBatches    int64         `json:"serve_batches"`
+	ServeBatchItems int64         `json:"serve_batch_items"`
+	// ServeTenantRequests/ServeTenantRejects break serve traffic and
+	// admission-control 429s down by tenant; ServeShardHits breaks cache
+	// hits+coalesces down by cache shard. Empty maps are omitted.
+	ServeTenantRequests map[string]int64 `json:"serve_tenant_requests,omitempty"`
+	ServeTenantRejects  map[string]int64 `json:"serve_tenant_rejects,omitempty"`
+	ServeShardHits      map[int]int64    `json:"serve_shard_hits,omitempty"`
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each counter is
@@ -275,22 +383,61 @@ func (m *Metrics) Snapshot() Snapshot {
 		ServeOK:         m.serveOK.Load(),
 		ServeErrors:     m.serveErrors.Load(),
 		ServeCancelled:  m.serveCancelled.Load(),
+		ServeClientGone: m.serveClientGone.Load(),
 		ServeCacheHits:  m.serveCacheHits.Load(),
+		ServeCoalesced:  m.serveCoalesced.Load(),
 		ServeRejected:   m.serveRejected.Load(),
 		ServeQueueDepth: m.serveQueueDepth.Load(),
+		ServeQueueWait:  time.Duration(m.serveQueueWaitNS.Load()),
+		ServeBatches:    m.serveBatches.Load(),
+		ServeBatchItems: m.serveBatchItems.Load(),
+
+		ServeTenantRequests: m.copyLabeled(&m.tenantRequests),
+		ServeTenantRejects:  m.copyLabeled(&m.tenantRejects),
+		ServeShardHits:      m.copyLabeledInt(&m.shardHits),
 	}
+}
+
+// copyLabeled snapshots one string-labeled counter map (nil when empty).
+func (m *Metrics) copyLabeled(src *map[string]int64) map[string]int64 {
+	m.labeledMu.Lock()
+	defer m.labeledMu.Unlock()
+	if len(*src) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(*src))
+	for k, v := range *src {
+		out[k] = v
+	}
+	return out
+}
+
+// copyLabeledInt snapshots one int-labeled counter map (nil when empty).
+func (m *Metrics) copyLabeledInt(src *map[int]int64) map[int]int64 {
+	m.labeledMu.Lock()
+	defer m.labeledMu.Unlock()
+	if len(*src) == 0 {
+		return nil
+	}
+	out := make(map[int]int64, len(*src))
+	for k, v := range *src {
+		out[k] = v
+	}
+	return out
 }
 
 // String renders the snapshot as one log-friendly line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"obs: %d jobs started, %d completed (%d failed, %d panicked, %d job-cancelled), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks), %d online runs (%d commits, %d forced), %d searches (%d expanded, %d stored, %d table hits, %d pruned), %d served (%d ok, %d cancelled, %d errored, %d serve cache hits, %d rejected, depth %d)",
+		"obs: %d jobs started, %d completed (%d failed, %d panicked, %d job-cancelled), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks), %d online runs (%d commits, %d forced), %d searches (%d expanded, %d stored, %d table hits, %d pruned), %d served (%d ok, %d cancelled, %d client-gone, %d errored, %d serve cache hits, %d coalesced, %d rejected, %d tenants throttled, depth %d, serve queue wait %v, %d batches/%d items)",
 		s.JobsStarted, s.JobsCompleted, s.JobsFailed, s.JobsPanicked, s.JobsCancelled,
 		s.CacheHits, s.Deduped,
 		s.QueueWait.Round(time.Microsecond), s.JobWall.Round(time.Microsecond),
 		s.MaxJobWall.Round(time.Microsecond), s.SimRuns, s.SimTicks,
 		s.OnlineRuns, s.OnlineCommits, s.OnlineForced,
 		s.SearchRuns, s.SearchExpanded, s.SearchStored, s.SearchTableHits, s.SearchPruned,
-		s.ServeRequests, s.ServeOK, s.ServeCancelled, s.ServeErrors,
-		s.ServeCacheHits, s.ServeRejected, s.ServeQueueDepth)
+		s.ServeRequests, s.ServeOK, s.ServeCancelled, s.ServeClientGone, s.ServeErrors,
+		s.ServeCacheHits, s.ServeCoalesced, s.ServeRejected, len(s.ServeTenantRejects),
+		s.ServeQueueDepth, s.ServeQueueWait.Round(time.Microsecond),
+		s.ServeBatches, s.ServeBatchItems)
 }

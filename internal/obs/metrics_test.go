@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -14,8 +15,62 @@ func TestMetricsNilSafe(t *testing.T) {
 	m.CacheHit(3)
 	m.Deduped(2)
 	m.SimRun(100)
-	if s := m.Snapshot(); s != (Snapshot{}) {
+	m.ServeCoalesced()
+	m.ServeClientGone()
+	m.ServeQueueWait(time.Second)
+	m.ServeBatch(3)
+	m.ServeTenant("t")
+	m.ServeTenantRejected("t")
+	m.ServeShardHit(1)
+	if s := m.Snapshot(); !reflect.DeepEqual(s, Snapshot{}) {
 		t.Errorf("nil metrics snapshot = %+v, want zero", s)
+	}
+}
+
+// TestMetricsServeLabeled: the per-tenant and per-shard maps count without
+// cross-talk and snapshot as independent copies.
+func TestMetricsServeLabeled(t *testing.T) {
+	var m Metrics
+	m.ServeTenant("a")
+	m.ServeTenant("a")
+	m.ServeTenant("b")
+	m.ServeTenantRejected("b")
+	m.ServeShardHit(0)
+	m.ServeShardHit(3)
+	m.ServeShardHit(3)
+	m.ServeShardHit(-1) // caching disabled: dropped
+	s := m.Snapshot()
+	if s.ServeTenantRequests["a"] != 2 || s.ServeTenantRequests["b"] != 1 {
+		t.Errorf("tenant requests = %v", s.ServeTenantRequests)
+	}
+	if s.ServeTenantRejects["b"] != 1 || len(s.ServeTenantRejects) != 1 {
+		t.Errorf("tenant rejects = %v", s.ServeTenantRejects)
+	}
+	if s.ServeShardHits[0] != 1 || s.ServeShardHits[3] != 2 || len(s.ServeShardHits) != 2 {
+		t.Errorf("shard hits = %v", s.ServeShardHits)
+	}
+	// The snapshot is a copy: mutating it must not leak back.
+	s.ServeTenantRequests["a"] = 99
+	if got := m.Snapshot().ServeTenantRequests["a"]; got != 2 {
+		t.Errorf("snapshot aliases the live map: %d", got)
+	}
+}
+
+// TestMetricsServeOutcomes: client-gone is its own outcome, not a timeout.
+func TestMetricsServeOutcomes(t *testing.T) {
+	var m Metrics
+	m.ServeDone(true, false)
+	m.ServeDone(false, true)
+	m.ServeDone(false, false)
+	m.ServeClientGone()
+	m.ServeCacheHit()
+	m.ServeCoalesced()
+	s := m.Snapshot()
+	if s.ServeOK != 1 || s.ServeCancelled != 1 || s.ServeErrors != 1 || s.ServeClientGone != 1 {
+		t.Errorf("outcomes = ok %d cancelled %d errors %d client-gone %d", s.ServeOK, s.ServeCancelled, s.ServeErrors, s.ServeClientGone)
+	}
+	if s.ServeCacheHits != 1 || s.ServeCoalesced != 1 {
+		t.Errorf("cache split = hits %d coalesced %d, want 1/1", s.ServeCacheHits, s.ServeCoalesced)
 	}
 }
 

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// BatchRequest is the POST /schedule/batch envelope: an ordered list of
+// ScheduleRequest documents. Items are raw so each one is decoded (and
+// rejected) independently — one malformed item costs that item its slot,
+// not the whole batch.
+type BatchRequest struct {
+	Items []json.RawMessage `json:"items"`
+}
+
+// BatchItemResult is one item's outcome, at the index of its request.
+// Status mirrors what the item would have received from POST /schedule;
+// 200 items carry the response document and its cache disposition
+// (miss/coalesced/hit), everything else an error message.
+type BatchItemResult struct {
+	Status   int             `json:"status"`
+	Cache    string          `json:"cache,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Response json.RawMessage `json:"response,omitempty"`
+}
+
+// BatchResponse is the POST /schedule/batch result.
+type BatchResponse struct {
+	Items []BatchItemResult `json:"items"`
+}
+
+// decodeBatchRequest parses and bounds a batch envelope.
+func decodeBatchRequest(r io.Reader, maxItems int) (*BatchRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var env BatchRequest
+	if err := dec.Decode(&env); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, &requestError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)}
+		}
+		return nil, badRequest("malformed batch: %v", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, badRequest("malformed batch: trailing data after the JSON document")
+	}
+	if len(env.Items) == 0 {
+		return nil, badRequest("batch has no items")
+	}
+	if len(env.Items) > maxItems {
+		return nil, &requestError{status: http.StatusRequestEntityTooLarge,
+			msg: fmt.Sprintf("batch has %d items, limit %d", len(env.Items), maxItems)}
+	}
+	return &env, nil
+}
+
+// batchPending is one admitted item waiting on its cache entry.
+type batchPending struct {
+	entry   *cacheEntry
+	state   beginState
+	release func()
+}
+
+// handleBatch is POST /schedule/batch: validate every item, admit each
+// against its tenant's limits, dedup shared work through the single-flight
+// cache (identical fingerprints — within the batch or against concurrent
+// /schedule traffic — elect one leader), fan leaders out through the worker
+// pool, and answer per-item status in request order.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.m.ServeRequest()
+	if s.draining.Load() {
+		s.m.ServeRejected()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	env, err := decodeBatchRequest(r.Body, s.opts.MaxBatchItems)
+	if err != nil {
+		s.m.ServeDone(false, false)
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	s.m.ServeBatch(int64(len(env.Items)))
+
+	results := make([]BatchItemResult, len(env.Items))
+	pendings := make([]*batchPending, len(env.Items))
+	for i, raw := range env.Items {
+		req, err := decodeScheduleRequest(bytes.NewReader(raw))
+		if err == nil {
+			err = applyTenantHeader(req, r)
+		}
+		if err != nil {
+			results[i] = BatchItemResult{Status: statusFor(err), Error: err.Error()}
+			continue
+		}
+		tenant := req.tenant()
+		s.m.ServeTenant(tenant)
+		release, _, admitted := s.tenants.admit(tenant)
+		if !admitted {
+			s.m.ServeRejected()
+			s.m.ServeTenantRejected(tenant)
+			results[i] = BatchItemResult{Status: http.StatusTooManyRequests,
+				Error: fmt.Sprintf("tenant %q is over its admission limits, retry later", tenant)}
+			continue
+		}
+		entry, state, accepted := s.lease(req)
+		if !accepted {
+			release()
+			s.m.ServeRejected()
+			results[i] = BatchItemResult{Status: http.StatusTooManyRequests,
+				Error: "scheduling queue is full, retry later"}
+			continue
+		}
+		pendings[i] = &batchPending{entry: entry, state: state, release: release}
+	}
+
+	// Wait for every leased item. A client disconnect abandons the response
+	// (computations keep running for any coalesced followers); release is
+	// idempotent, so the blanket cleanup below is safe either way.
+	defer func() {
+		for _, p := range pendings {
+			if p != nil {
+				p.release()
+			}
+		}
+	}()
+	for _, p := range pendings {
+		if p == nil {
+			continue
+		}
+		select {
+		case <-p.entry.ready:
+			p.release()
+		case <-r.Context().Done():
+			s.m.ServeClientGone()
+			return
+		}
+	}
+
+	for i, p := range pendings {
+		if p == nil {
+			continue
+		}
+		if p.entry.err != nil {
+			results[i] = BatchItemResult{Status: statusFor(p.entry.err), Error: p.entry.err.Error()}
+			continue
+		}
+		results[i] = BatchItemResult{
+			Status:   http.StatusOK,
+			Cache:    p.state.String(),
+			Response: json.RawMessage(p.entry.body),
+		}
+	}
+	writeJSON(w, BatchResponse{Items: results})
+	s.m.ServeDone(true, false)
+}

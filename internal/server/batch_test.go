@@ -1,0 +1,230 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// postBatch sends one /schedule/batch request built from raw item bodies.
+func postBatch(t *testing.T, url string, items ...[]byte) (int, *BatchResponse, []byte) {
+	t.Helper()
+	// Splice the items in verbatim (json.Marshal would reject the
+	// deliberately malformed ones some tests send).
+	var env bytes.Buffer
+	env.WriteString(`{"items":[`)
+	for i, it := range items {
+		if i > 0 {
+			env.WriteByte(',')
+		}
+		env.Write(it)
+	}
+	env.WriteString(`]}`)
+	resp, err := http.Post(url+"/schedule/batch", "application/json", bytes.NewReader(env.Bytes()))
+	if err != nil {
+		t.Fatalf("POST /schedule/batch: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != 200 {
+		return resp.StatusCode, nil, buf.Bytes()
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("undecodable batch response %s: %v", buf.Bytes(), err)
+	}
+	return resp.StatusCode, &out, buf.Bytes()
+}
+
+// TestBatchHappyPathMixed: distinct items across algorithms all come back
+// 200 in request order, each a valid schedule document matching what the
+// single endpoint serves for the same request.
+func TestBatchHappyPathMixed(t *testing.T) {
+	m := &obs.Metrics{}
+	_, ts := newTestServer(t, Options{Metrics: m})
+	items := [][]byte{
+		inlineRequest(t, "iar", 5, 30, 1, nil),
+		inlineRequest(t, "bnb", 6, 60, 2, nil),
+		[]byte(`{"algo":"jikes","bench":"antlr","max_calls":300}`),
+	}
+	status, out, raw := postBatch(t, ts.URL, items...)
+	if status != 200 {
+		t.Fatalf("batch status %d, body %s", status, raw)
+	}
+	if len(out.Items) != len(items) {
+		t.Fatalf("%d results for %d items", len(out.Items), len(items))
+	}
+	wantAlgos := []string{"iar", "bnb", "jikes"}
+	for i, it := range out.Items {
+		if it.Status != 200 || it.Error != "" {
+			t.Fatalf("item %d: status %d error %q", i, it.Status, it.Error)
+		}
+		if it.Cache != "miss" {
+			t.Errorf("item %d: cache %q, want miss on first sight", i, it.Cache)
+		}
+		var resp ScheduleResponse
+		if err := json.Unmarshal(it.Response, &resp); err != nil {
+			t.Fatalf("item %d: undecodable response: %v", i, err)
+		}
+		if resp.Algo != wantAlgos[i] {
+			t.Errorf("item %d: algo %q, want %q — results out of order", i, resp.Algo, wantAlgos[i])
+		}
+		// The batch serves the same document the single endpoint would
+		// (modulo the envelope's JSON re-compaction dropping the newline).
+		single, _, body := post(t, ts.URL, items[i])
+		if single != 200 {
+			t.Fatalf("single-endpoint check for item %d: status %d", i, single)
+		}
+		if !bytes.Equal(it.Response, bytes.TrimRight(body, "\n")) {
+			t.Errorf("item %d: batch bytes differ from the single endpoint's:\n%s\n%s", i, it.Response, body)
+		}
+	}
+	if s := m.Snapshot(); s.ServeBatches != 1 || s.ServeBatchItems != 3 {
+		t.Errorf("batch counters = %d/%d, want 1/3", s.ServeBatches, s.ServeBatchItems)
+	}
+}
+
+// TestBatchDedupsSharedWork: identical items inside one batch elect exactly
+// one leader; the rest coalesce onto it and serve its exact bytes.
+func TestBatchDedupsSharedWork(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	item := inlineRequest(t, "bnb", 7, 80, 3, nil)
+	status, out, raw := postBatch(t, ts.URL, item, item, item, item)
+	if status != 200 {
+		t.Fatalf("batch status %d, body %s", status, raw)
+	}
+	misses := 0
+	for i, it := range out.Items {
+		if it.Status != 200 {
+			t.Fatalf("item %d: status %d error %q", i, it.Status, it.Error)
+		}
+		if it.Cache == "miss" {
+			misses++
+		}
+		if !bytes.Equal(it.Response, out.Items[0].Response) {
+			t.Errorf("item %d served different bytes than item 0", i)
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d misses across 4 identical items, want exactly 1 (dedup broke)", misses)
+	}
+}
+
+// TestBatchPerItemValidation: a bad item costs its slot, not the batch.
+// (Syntactically invalid JSON fails the envelope itself — see
+// TestBatchEnvelopeErrors — so the per-item failures here are well-formed
+// documents that fail ScheduleRequest validation.)
+func TestBatchPerItemValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	status, out, raw := postBatch(t, ts.URL,
+		inlineRequest(t, "iar", 5, 30, 4, nil),
+		[]byte(`{"algo":"quantum","bench":"antlr"}`),
+		[]byte(`{"algo":"iar","bench":"antlr","frobnicate":1}`),
+		[]byte(`{"algo":"iar","bench":"avrora"}`),
+	)
+	if status != 200 {
+		t.Fatalf("batch status %d, body %s", status, raw)
+	}
+	want := []int{200, 400, 400, 404}
+	for i, it := range out.Items {
+		if it.Status != want[i] {
+			t.Errorf("item %d: status %d, want %d (error %q)", i, it.Status, want[i], it.Error)
+		}
+		if want[i] != 200 && it.Error == "" {
+			t.Errorf("item %d: failed without an error message", i)
+		}
+		if want[i] != 200 && len(it.Response) != 0 {
+			t.Errorf("item %d: failed item carries a response", i)
+		}
+	}
+}
+
+// TestBatchEnvelopeErrors: the envelope itself is validated and bounded.
+func TestBatchEnvelopeErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxBatchItems: 4})
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"malformed", `{nope`, 400},
+		{"empty-items", `{"items":[]}`, 400},
+		{"no-items", `{}`, 400},
+		{"unknown-field", `{"items":[{"algo":"iar","bench":"antlr"}],"frobnicate":1}`, 400},
+		{"trailing", `{"items":[{"algo":"iar","bench":"antlr"}]} garbage`, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/schedule/batch", "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+		})
+	}
+	t.Run("too-many-items", func(t *testing.T) {
+		items := make([][]byte, 5)
+		for i := range items {
+			items[i] = []byte(fmt.Sprintf(`{"algo":"iar","bench":"antlr","max_calls":%d}`, 100+i))
+		}
+		status, _, raw := postBatch(t, ts.URL, items...)
+		if status != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status %d, body %s; want 413", status, raw)
+		}
+	})
+}
+
+// TestBatchTenantAdmission: per-tenant limits apply item by item — the
+// burst's worth succeed, the overflow item gets its own 429, and the
+// envelope still answers 200.
+func TestBatchTenantAdmission(t *testing.T) {
+	m := &obs.Metrics{}
+	_, ts := newTestServer(t, Options{TenantRate: 0.001, TenantBurst: 2, Metrics: m})
+	items := [][]byte{
+		inlineRequest(t, "iar", 5, 30, 10, map[string]any{"tenant": "acme"}),
+		inlineRequest(t, "iar", 5, 30, 11, map[string]any{"tenant": "acme"}),
+		inlineRequest(t, "iar", 5, 30, 12, map[string]any{"tenant": "acme"}),
+	}
+	status, out, raw := postBatch(t, ts.URL, items...)
+	if status != 200 {
+		t.Fatalf("batch status %d, body %s", status, raw)
+	}
+	got := []int{out.Items[0].Status, out.Items[1].Status, out.Items[2].Status}
+	if got[0] != 200 || got[1] != 200 || got[2] != http.StatusTooManyRequests {
+		t.Fatalf("item statuses %v, want [200 200 429]", got)
+	}
+	if s := m.Snapshot(); s.ServeTenantRejects["acme"] != 1 {
+		t.Errorf("tenant rejects = %v, want acme:1", s.ServeTenantRejects)
+	}
+}
+
+// TestBatchDraining: a draining server bounces the whole envelope with 503.
+func TestBatchDraining(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	srv.Shutdown()
+	status, _, raw := postBatch(t, ts.URL, inlineRequest(t, "iar", 4, 20, 1, nil))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, body %s; want 503", status, raw)
+	}
+}
+
+// TestBatchWrongMethod: GET is 405, mirroring /schedule.
+func TestBatchWrongMethod(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/schedule/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /schedule/batch = %d, want 405", resp.StatusCode)
+	}
+}

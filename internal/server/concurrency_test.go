@@ -45,13 +45,20 @@ func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 	}
 	wg.Wait()
 
-	misses := 0
+	misses, coalesced, hits := 0, 0, 0
 	for i, r := range results {
 		if r.status != 200 {
 			t.Fatalf("request %d: status %d, body %s", i, r.status, r.body)
 		}
-		if r.cache == "miss" {
+		switch r.cache {
+		case "miss":
 			misses++
+		case "coalesced":
+			coalesced++
+		case "hit":
+			hits++
+		default:
+			t.Errorf("request %d: X-Cache = %q", i, r.cache)
 		}
 		if !bytes.Equal(r.body, results[0].body) {
 			t.Errorf("request %d served different bytes:\n%s\n%s", i, r.body, results[0].body)
@@ -60,12 +67,92 @@ func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 	if misses != 1 {
 		t.Errorf("%d cache misses across %d identical requests, want exactly 1", misses, n)
 	}
+	if coalesced+hits != n-1 {
+		t.Errorf("coalesced %d + hits %d across %d identical requests, want %d combined", coalesced, hits, n, n-1)
+	}
 	s := m.Snapshot()
-	if s.ServeCacheHits != n-1 {
-		t.Errorf("serve_cache_hits = %d, want %d", s.ServeCacheHits, n-1)
+	if s.ServeCacheHits != int64(hits) || s.ServeCoalesced != int64(coalesced) {
+		t.Errorf("serve_cache_hits = %d / serve_coalesced = %d, want %d / %d to match the headers",
+			s.ServeCacheHits, s.ServeCoalesced, hits, coalesced)
 	}
 	if s.ServeOK != n {
 		t.Errorf("serve_ok = %d, want %d", s.ServeOK, n)
+	}
+}
+
+// TestServeSingleFlightUnderEvictionPressure: the end-to-end regression for
+// the in-flight-eviction bug. A one-entry cache under two interleaved slow
+// fingerprints used to evict whichever leader was least recently used, so
+// concurrent duplicates elected second leaders and recomputed. Now exactly
+// one miss per fingerprint may occur, every duplicate coalesces (or hits),
+// and all bodies within a fingerprint are byte-identical.
+func TestServeSingleFlightUnderEvictionPressure(t *testing.T) {
+	m := &obs.Metrics{}
+	_, ts := newTestServer(t, Options{CacheSize: 1, Metrics: m})
+	const (
+		keys       = 2
+		dupsPerKey = 16
+	)
+	// Seeds picked so both 9-function BnB instances take ~500ms: slow enough
+	// that every duplicate below lands while its leader is still in flight,
+	// fast enough to keep the test bounded.
+	seeds := [keys]int64{45, 48}
+	bodies := make([][]byte, keys)
+	for k := range bodies {
+		bodies[k] = inlineRequest(t, "bnb", 9, 100, seeds[k], nil)
+	}
+
+	type result struct {
+		status int
+		cache  string
+		body   []byte
+	}
+	results := make([]result, keys*dupsPerKey)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < keys*dupsPerKey; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			k := i % keys // interleave the two fingerprints
+			resp, err := http.Post(ts.URL+"/schedule", "application/json", bytes.NewReader(bodies[k]))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			results[i] = result{resp.StatusCode, resp.Header.Get("X-Cache"), buf.Bytes()}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	var first [keys][]byte
+	var misses [keys]int
+	for i, r := range results {
+		k := i % keys
+		if r.status != 200 {
+			t.Fatalf("request %d: status %d, body %s", i, r.status, r.body)
+		}
+		if r.cache == "miss" {
+			misses[k]++
+		}
+		if first[k] == nil {
+			first[k] = r.body
+		} else if !bytes.Equal(r.body, first[k]) {
+			t.Errorf("request %d (fingerprint %d) served different bytes", i, k)
+		}
+	}
+	for k, n := range misses {
+		if n != 1 {
+			t.Errorf("fingerprint %d: %d cache misses, want exactly 1 — single-flight broke under eviction pressure", k, n)
+		}
+	}
+	if s := m.Snapshot(); s.ServeOK != keys*dupsPerKey {
+		t.Errorf("serve_ok = %d, want %d", s.ServeOK, keys*dupsPerKey)
 	}
 }
 

@@ -71,3 +71,58 @@ func FuzzScheduleRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBatchRequest drives the batch-envelope decode path plus per-item
+// decode/validate with arbitrary bytes. Invariants:
+//
+//   - decodeBatchRequest never panics and never returns (nil, nil);
+//   - an accepted envelope is non-empty and within the item limit;
+//   - every item either decodes into a request with a deterministic
+//     fingerprint or fails with a client-fault error — item handling is
+//     isolated, so one bad item must not prevent classifying the others.
+func FuzzBatchRequest(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("testdata", "batch", "*.json"))
+	if err != nil || len(seeds) == 0 {
+		f.Fatalf("no seed corpus: %v (%d files)", err, len(seeds))
+	}
+	for _, path := range seeds {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	const maxItems = 8
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := decodeBatchRequest(bytes.NewReader(data), maxItems)
+		if err != nil {
+			if env != nil {
+				t.Fatal("decode returned both an envelope and an error")
+			}
+			var rerr *requestError
+			if !errors.As(err, &rerr) {
+				t.Fatalf("envelope rejected with a non-client error: %v", err)
+			}
+			return
+		}
+		if env == nil {
+			t.Fatal("decode returned neither an envelope nor an error")
+		}
+		if len(env.Items) == 0 || len(env.Items) > maxItems {
+			t.Fatalf("accepted envelope with %d items, limit %d", len(env.Items), maxItems)
+		}
+		for i, raw := range env.Items {
+			req, err := decodeScheduleRequest(bytes.NewReader(raw))
+			if err != nil {
+				var rerr *requestError
+				if !errors.As(err, &rerr) {
+					t.Fatalf("item %d rejected with a non-client error: %v", i, err)
+				}
+				continue
+			}
+			if fp1, fp2 := req.fingerprint(), req.fingerprint(); fp1 != fp2 || fp1 == "" {
+				t.Fatalf("item %d: fingerprint not deterministic: %q vs %q", i, fp1, fp2)
+			}
+		}
+	})
+}

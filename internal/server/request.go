@@ -102,6 +102,10 @@ type ScheduleRequest struct {
 	// Window, when positive, bounds the online scheduler's lookahead to that
 	// many calls (online-iar only; 0 means unbounded).
 	Window int `json:"window,omitempty"`
+	// Tenant attributes the request for admission control and per-tenant
+	// accounting. The X-Tenant header overrides it; empty means the shared
+	// "default" tenant. Tenants never share cache entries.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ScheduleEvent is one compilation event of a returned schedule.
@@ -244,7 +248,18 @@ func (req *ScheduleRequest) validate() error {
 	if req.Window > 0 && req.Algo != "online-iar" {
 		return badRequest("window applies to online-iar only")
 	}
+	if err := validTenant(req.Tenant); err != nil {
+		return err
+	}
 	return nil
+}
+
+// tenant resolves the request's effective tenant (DefaultTenant when unset).
+func (req *ScheduleRequest) tenant() string {
+	if req.Tenant == "" {
+		return DefaultTenant
+	}
+	return req.Tenant
 }
 
 // timeout resolves the request's effective deadline against the server's
@@ -271,8 +286,8 @@ func (req *ScheduleRequest) fingerprint() string {
 		Benchmark:  req.Bench,
 		Scheme:     req.Algo,
 		Scale:      req.Scale,
-		Detail: fmt.Sprintf("model=%s maxcalls=%d maxnodes=%d beam=%d window=%d inline=%x",
-			req.Model, req.MaxCalls, req.MaxNodes, req.BeamWidth, req.Window, req.contentHash()),
+		Detail: fmt.Sprintf("model=%s maxcalls=%d maxnodes=%d beam=%d window=%d tenant=%s inline=%x",
+			req.Model, req.MaxCalls, req.MaxNodes, req.BeamWidth, req.Window, req.tenant(), req.contentHash()),
 	}
 	return k.Fingerprint()
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,7 @@ const (
 	DefaultRequestTimeout = 30 * time.Second
 	DefaultMaxTimeout     = 2 * time.Minute
 	DefaultMaxBodyBytes   = 8 << 20
+	DefaultMaxBatchItems  = 64
 )
 
 // errDeadline is the cancellation cause installed by the per-request timeout;
@@ -63,6 +65,17 @@ type Options struct {
 	MaxTimeout     time.Duration
 	// MaxBodyBytes caps the request body; larger payloads answer 413.
 	MaxBodyBytes int64
+	// TenantRate, when positive, is the per-tenant sustained request rate in
+	// requests/second (token bucket; TenantBurst is its depth, defaulting to
+	// max(1, TenantRate)). TenantMaxInFlight, when positive, caps a tenant's
+	// concurrently processing requests. Exceeding either answers 429 with a
+	// Retry-After header. Zero values disable admission control.
+	TenantRate        float64
+	TenantBurst       int
+	TenantMaxInFlight int
+	// MaxBatchItems caps the items of one POST /schedule/batch envelope
+	// (zero means DefaultMaxBatchItems).
+	MaxBatchItems int
 	// Metrics receives the service counters (nil is safe and means the
 	// process-wide default sink).
 	Metrics *obs.Metrics
@@ -90,6 +103,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if o.MaxBatchItems <= 0 {
+		o.MaxBatchItems = DefaultMaxBatchItems
+	}
 	if o.Metrics == nil {
 		o.Metrics = obs.Default()
 	}
@@ -107,9 +123,10 @@ type job struct {
 // Server is the scheduling service: an http.Handler plus the worker pool
 // behind it.
 type Server struct {
-	opts  Options
-	mux   *http.ServeMux
-	cache *lruCache
+	opts    Options
+	mux     *http.ServeMux
+	cache   *shardedCache
+	tenants *tenantGovernor
 	// qmu guards enqueues against Shutdown's close: senders hold it shared
 	// and re-check draining, Shutdown closes the channel holding it
 	// exclusively, so a send can never race the close.
@@ -130,12 +147,18 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:  opts,
 		mux:   http.NewServeMux(),
-		cache: newLRUCache(opts.CacheSize),
+		cache: newShardedCache(opts.CacheSize),
+		tenants: newTenantGovernor(tenantLimits{
+			Rate:        opts.TenantRate,
+			Burst:       opts.TenantBurst,
+			MaxInFlight: opts.TenantMaxInFlight,
+		}),
 		queue: make(chan job, opts.QueueDepth),
 		m:     opts.Metrics,
 	}
 	s.rootCtx, s.cancel = context.WithCancelCause(context.Background())
 	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /schedule/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
 	// The observability surface rides along on the same listener. It is
@@ -178,6 +201,7 @@ func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
 		s.m.ServeQueue(-1)
+		s.m.ServeQueueWait(time.Since(j.enqueued))
 		s.runJob(j)
 	}
 }
@@ -235,6 +259,58 @@ func (s *Server) compute(ctx context.Context, req *ScheduleRequest) ([]byte, err
 	return marshalResponse(resp)
 }
 
+// applyTenantHeader merges the X-Tenant header into the decoded request; the
+// header wins over the body's tenant field.
+func applyTenantHeader(req *ScheduleRequest, r *http.Request) error {
+	if h := r.Header.Get("X-Tenant"); h != "" {
+		if err := validTenant(h); err != nil {
+			return err
+		}
+		req.Tenant = h
+	}
+	return nil
+}
+
+// admitTenant runs admission control for one request and writes the 429
+// (with Retry-After) on rejection. The returned release must be called when
+// the request finishes processing; ok=false means the response is written.
+func (s *Server) admitTenant(w http.ResponseWriter, tenant string) (release func(), ok bool) {
+	s.m.ServeTenant(tenant)
+	release, retryAfter, ok := s.tenants.admit(tenant)
+	if !ok {
+		s.m.ServeRejected()
+		s.m.ServeTenantRejected(tenant)
+		w.Header().Set("Retry-After", retryAfterHeader(retryAfter))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q is over its admission limits, retry later", tenant))
+		return nil, false
+	}
+	return release, true
+}
+
+// lease runs one request through the single-flight cache and, when leading,
+// the worker queue. It reports the entry to wait on and the begin state;
+// ok=false means the queue bounced the leader (backpressure) and the
+// stillborn entry was evicted so the next caller can lead.
+func (s *Server) lease(req *ScheduleRequest) (entry *cacheEntry, state beginState, ok bool) {
+	key := req.fingerprint()
+	entry, state = s.cache.begin(key)
+	switch state {
+	case beginLead:
+		if !s.enqueue(job{req: req, key: key, entry: entry, enqueued: time.Now()}) {
+			s.cache.complete(key, entry, nil, errDraining)
+			return nil, state, false
+		}
+	case beginHit:
+		s.m.ServeCacheHit()
+		s.m.ServeShardHit(s.cache.shardIndex(key))
+	case beginCoalesced:
+		s.m.ServeCoalesced()
+		s.m.ServeShardHit(s.cache.shardIndex(key))
+	}
+	return entry, state, true
+}
+
 // handleSchedule is POST /schedule.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	s.m.ServeRequest()
@@ -245,50 +321,57 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	req, err := decodeScheduleRequest(r.Body)
+	if err == nil {
+		err = applyTenantHeader(req, r)
+	}
 	if err != nil {
 		s.m.ServeDone(false, false)
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
+	release, admitted := s.admitTenant(w, req.tenant())
+	if !admitted {
+		return
+	}
+	defer release()
 
-	key := req.fingerprint()
-	entry, leader := s.cache.begin(key)
-	if leader {
-		if !s.enqueue(job{req: req, key: key, entry: entry, enqueued: time.Now()}) {
-			// Queue full or draining: bounce with backpressure and evict the
-			// stillborn entry so the next caller can lead.
-			s.cache.complete(key, entry, nil, errDraining)
-			s.m.ServeRejected()
-			writeError(w, http.StatusTooManyRequests, "scheduling queue is full, retry later")
-			return
-		}
-	} else {
-		s.m.ServeCacheHit()
+	entry, state, accepted := s.lease(req)
+	if !accepted {
+		s.m.ServeRejected()
+		w.Header().Set("Retry-After", retryAfterHeader(time.Second))
+		writeError(w, http.StatusTooManyRequests, "scheduling queue is full, retry later")
+		return
 	}
 
 	select {
 	case <-entry.ready:
 	case <-r.Context().Done():
 		// The client went away. The computation keeps running for any
-		// coalesced followers; this response is dead either way.
-		s.m.ServeDone(false, true)
+		// coalesced followers; this response is dead either way — but it is
+		// a client disconnect, not a timeout, and is counted as such.
+		s.m.ServeClientGone()
 		return
 	}
 	if entry.err != nil {
+		if r.Context().Err() != nil {
+			// 499-style: the computation died of cancellation and the client
+			// is gone; there is nobody to answer, so write nothing.
+			s.m.ServeClientGone()
+			return
+		}
 		status := statusFor(entry.err)
 		s.m.ServeDone(false, status == http.StatusGatewayTimeout)
 		writeError(w, status, entry.err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	// Cache status travels in a header, never the body: hit and miss must
-	// serve byte-identical documents.
-	if leader {
-		w.Header().Set("X-Cache", "miss")
-	} else {
-		w.Header().Set("X-Cache", "hit")
-	}
-	w.Write(entry.body)
+	// Cache status travels in a header, never the body: miss, coalesced, and
+	// hit must serve byte-identical documents. A coalesced follower shared an
+	// in-flight computation; only a completed entry reports hit.
+	w.Header().Set("X-Cache", state.String())
+	w.Header().Set("Content-Length", strconv.Itoa(len(entry.body)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(entry.body) // a failed write means the client left mid-body
 	s.m.ServeDone(true, false)
 }
 
@@ -311,26 +394,52 @@ func statusFor(err error) int {
 	case errors.Is(err, errDraining):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, errDeadline),
-		errors.Is(err, astar.ErrCancelled),
-		errors.Is(err, sim.ErrInterrupted),
-		errors.Is(err, context.DeadlineExceeded),
-		errors.Is(err, context.Canceled):
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// A deliberate cancellation is not a gateway timeout. When the
+		// client is gone the handler writes nothing at all (499-style); a
+		// cancel reaching a live client means the work was torn down under
+		// it — the service's unavailability, not the upstream's slowness.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, astar.ErrCancelled), errors.Is(err, sim.ErrInterrupted):
+		// Cancelled with no recognizable cause attached: the per-request
+		// deadline machinery is the only remaining source.
 		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
+// writeJSON marshals v before touching the ResponseWriter: once a status
+// line is committed an encoding failure could only be appended as body
+// garbage, so the marshal must succeed first (and its error answers 500
+// instead of being silently dropped).
 func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response")
+		return
+	}
+	b = append(b, '\n')
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b) // nothing to do for a client that left mid-body
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
+	b, err := json.Marshal(errorResponse{Error: msg})
+	if err != nil {
+		// errorResponse is a plain string wrapper; Marshal cannot fail on
+		// it. Keep the fallback anyway so the contract survives refactors.
+		b = []byte(`{"error":"internal error"}`)
+	}
+	b = append(b, '\n')
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+	_, _ = w.Write(b)
 }
 
 // ListenAndServe runs the service on addr until ctx is cancelled, then

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/astar"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestStatusFor pins the error → HTTP status mapping. The regression of
+// record: context.Canceled used to fall through to 504 Gateway Timeout,
+// misreporting deliberate cancellations as deadline expiries.
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"request-error", badRequest("nope"), 400},
+		{"request-error-status", &requestError{status: 404, msg: "gone"}, 404},
+		{"draining", errDraining, http.StatusServiceUnavailable},
+		{"draining-wrapped", fmt.Errorf("search: %w", errDraining), http.StatusServiceUnavailable},
+		{"deadline-cause", errDeadline, http.StatusGatewayTimeout},
+		{"context-deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		// The worker's actual wrap when the per-request timer fires.
+		{"cancelled-with-deadline-cause", fmt.Errorf("%w: %w", astar.ErrCancelled, errDeadline), http.StatusGatewayTimeout},
+		// The regression: a plain cancellation is NOT a gateway timeout.
+		{"context-canceled", context.Canceled, http.StatusServiceUnavailable},
+		{"cancelled-with-canceled-cause", fmt.Errorf("%w: %w", astar.ErrCancelled, context.Canceled), http.StatusServiceUnavailable},
+		// Cancellation with no recognizable cause: only the deadline
+		// machinery is left as a source.
+		{"bare-astar-cancelled", astar.ErrCancelled, http.StatusGatewayTimeout},
+		{"bare-sim-interrupted", sim.ErrInterrupted, http.StatusGatewayTimeout},
+		{"unknown", errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := statusFor(tc.err); got != tc.want {
+				t.Errorf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestClientDisconnectCountsClientGone: a client abandoning its request
+// mid-compute is accounted as serve_client_gone — not as a served error,
+// which is what the old ServeDone(false, true) call recorded.
+func TestClientDisconnectCountsClientGone(t *testing.T) {
+	m := &obs.Metrics{}
+	_, ts := newTestServer(t, Options{Metrics: m})
+	body := inlineRequest(t, "bnb", 9, 100, 45, nil) // ~500ms of search
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/schedule", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = errors.New("request unexpectedly completed")
+		}
+		errc <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the handler reach its wait
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("client saw %v, want context.Canceled", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := m.Snapshot()
+		if s.ServeClientGone == 1 {
+			if s.ServeErrors != 0 {
+				t.Errorf("serve_errors = %d after a disconnect, want 0 (client-gone is its own outcome)", s.ServeErrors)
+			}
+			if s.ServeCancelled != 0 {
+				t.Errorf("serve_cancelled = %d, want 0 — the old accounting conflated disconnects with cancellations", s.ServeCancelled)
+			}
+			if s.ServeOK != 0 {
+				t.Errorf("serve_ok = %d, want 0", s.ServeOK)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve_client_gone = %d after disconnect, want 1", s.ServeClientGone)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

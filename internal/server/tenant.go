@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Tenant identity limits. The tenant travels in the X-Tenant header or the
+// request's "tenant" field (the header wins) and is threaded into the cache
+// fingerprint, so tenants never share cached responses.
+const (
+	// MaxTenantLen bounds a tenant name's length.
+	MaxTenantLen = 64
+	// DefaultTenant is the bucket anonymous requests share.
+	DefaultTenant = "default"
+)
+
+// maxTenantStates bounds the governor's state map; beyond it, idle states
+// (full bucket, nothing in flight) are discarded — they are exactly the
+// states admit would recreate from scratch anyway, so eviction never
+// changes an admission decision.
+const maxTenantStates = 4096
+
+// validTenant rejects tenant names that would not survive a round trip
+// through an HTTP header or a metrics label.
+func validTenant(s string) error {
+	if len(s) > MaxTenantLen {
+		return badRequest("tenant name exceeds %d bytes", MaxTenantLen)
+	}
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c <= ' ' || c == 0x7f {
+			return badRequest("tenant name contains whitespace or control characters")
+		}
+	}
+	return nil
+}
+
+// tenantLimits configures per-tenant admission control. Zero fields disable
+// that check — the zero value admits everything, so existing single-tenant
+// deployments see no behaviour change.
+type tenantLimits struct {
+	// Rate is the steady-state request rate per tenant in requests/second;
+	// Burst the token-bucket depth (how far a tenant may briefly exceed
+	// Rate). Burst defaults to max(1, Rate) when Rate is set.
+	Rate  float64
+	Burst int
+	// MaxInFlight caps a tenant's concurrently processing requests.
+	MaxInFlight int
+}
+
+func (l tenantLimits) enabled() bool { return l.Rate > 0 || l.MaxInFlight > 0 }
+
+// tenantState is one tenant's live bucket and in-flight gauge.
+type tenantState struct {
+	tokens   float64
+	last     time.Time
+	inflight int
+}
+
+// tenantGovernor admits requests per tenant: a token bucket enforces the
+// sustained rate, an in-flight counter the concurrency quota. This is the
+// serving-side analogue of partitioning a shared resource among competing
+// jobs: one tenant's burst drains its own bucket, not the service.
+type tenantGovernor struct {
+	limits tenantLimits
+	now    func() time.Time // injectable clock for tests
+
+	mu     sync.Mutex
+	states map[string]*tenantState
+}
+
+func newTenantGovernor(limits tenantLimits) *tenantGovernor {
+	if limits.Rate > 0 && limits.Burst <= 0 {
+		limits.Burst = int(math.Max(1, limits.Rate))
+	}
+	return &tenantGovernor{
+		limits: limits,
+		now:    time.Now,
+		states: make(map[string]*tenantState),
+	}
+}
+
+// admit decides whether tenant may start one more request. On admission it
+// charges a token, counts the request in flight, and returns a release
+// function the caller must invoke when the request finishes. On rejection it
+// returns the suggested Retry-After duration (rounded up to whole seconds by
+// the handler).
+func (g *tenantGovernor) admit(tenant string) (release func(), retryAfter time.Duration, ok bool) {
+	if g == nil || !g.limits.enabled() {
+		return func() {}, 0, true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.states[tenant]
+	if st == nil {
+		g.evictIdleLocked()
+		st = &tenantState{tokens: float64(g.limits.Burst), last: g.now()}
+		g.states[tenant] = st
+	}
+	if g.limits.Rate > 0 {
+		now := g.now()
+		st.tokens = math.Min(float64(g.limits.Burst), st.tokens+now.Sub(st.last).Seconds()*g.limits.Rate)
+		st.last = now
+		if st.tokens < 1 {
+			// Time until the bucket refills to one whole token.
+			return nil, time.Duration((1 - st.tokens) / g.limits.Rate * float64(time.Second)), false
+		}
+	}
+	if g.limits.MaxInFlight > 0 && st.inflight >= g.limits.MaxInFlight {
+		// No schedule to predict here — a slot opens whenever one of the
+		// tenant's requests finishes; one second is the conventional hint.
+		return nil, time.Second, false
+	}
+	if g.limits.Rate > 0 {
+		st.tokens--
+	}
+	st.inflight++
+	released := false
+	return func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		if released {
+			return
+		}
+		released = true
+		if cur := g.states[tenant]; cur != nil && cur.inflight > 0 {
+			cur.inflight--
+		}
+	}, 0, true
+}
+
+// evictIdleLocked drops idle tenant states once the map is full. Callers
+// hold g.mu.
+func (g *tenantGovernor) evictIdleLocked() {
+	if len(g.states) < maxTenantStates {
+		return
+	}
+	now := g.now()
+	for name, st := range g.states {
+		tokens := st.tokens
+		if g.limits.Rate > 0 {
+			tokens = math.Min(float64(g.limits.Burst), tokens+now.Sub(st.last).Seconds()*g.limits.Rate)
+		}
+		if st.inflight == 0 && (g.limits.Rate <= 0 || tokens >= float64(g.limits.Burst)) {
+			delete(g.states, name)
+		}
+	}
+}
+
+// retryAfterHeader renders a Retry-After value: whole seconds, at least 1.
+func retryAfterHeader(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}

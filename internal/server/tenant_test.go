@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeClock is a manually advanced time source for governor tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func govWithClock(l tenantLimits) (*tenantGovernor, *fakeClock) {
+	g := newTenantGovernor(l)
+	c := newFakeClock()
+	g.now = c.now
+	return g, c
+}
+
+// TestTenantGovernorDisabled: the zero limits admit everything.
+func TestTenantGovernorDisabled(t *testing.T) {
+	g := newTenantGovernor(tenantLimits{})
+	for i := 0; i < 1000; i++ {
+		release, _, ok := g.admit("anyone")
+		if !ok {
+			t.Fatalf("request %d rejected with admission control disabled", i)
+		}
+		release()
+	}
+}
+
+// TestTenantGovernorTokenBucket: a tenant gets its burst, then is throttled
+// at the sustained rate, and refills over time — without affecting another
+// tenant's bucket.
+func TestTenantGovernorTokenBucket(t *testing.T) {
+	g, clk := govWithClock(tenantLimits{Rate: 10, Burst: 5})
+	for i := 0; i < 5; i++ {
+		if _, _, ok := g.admit("a"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	_, retry, ok := g.admit("a")
+	if ok {
+		t.Fatal("request beyond the burst admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Errorf("retry-after = %v, want (0, 1s] at 10 req/s", retry)
+	}
+	// The other tenant's bucket is untouched.
+	if _, _, ok := g.admit("b"); !ok {
+		t.Fatal("tenant b throttled by tenant a's burst")
+	}
+	// A tenth of a second refills one token at rate 10.
+	clk.advance(100 * time.Millisecond)
+	if _, _, ok := g.admit("a"); !ok {
+		t.Fatal("request after refill rejected")
+	}
+	if _, _, ok := g.admit("a"); ok {
+		t.Fatal("second request after a one-token refill admitted")
+	}
+}
+
+// TestTenantGovernorInFlightQuota: concurrency is capped per tenant and
+// slots free on release (idempotently).
+func TestTenantGovernorInFlightQuota(t *testing.T) {
+	g := newTenantGovernor(tenantLimits{MaxInFlight: 2})
+	r1, _, ok1 := g.admit("a")
+	r2, _, ok2 := g.admit("a")
+	if !ok1 || !ok2 {
+		t.Fatal("requests within the quota rejected")
+	}
+	if _, retry, ok := g.admit("a"); ok || retry <= 0 {
+		t.Fatalf("third in-flight request admitted (ok=%v retry=%v)", ok, retry)
+	}
+	if _, _, ok := g.admit("b"); !ok {
+		t.Fatal("tenant b blocked by tenant a's in-flight quota")
+	}
+	r1()
+	r1() // double release must not free a second slot
+	if _, _, ok := g.admit("a"); !ok {
+		t.Fatal("slot not freed after release")
+	}
+	if _, _, ok := g.admit("a"); ok {
+		t.Fatal("double release freed two slots")
+	}
+	r2()
+}
+
+// TestTenantGovernorBurstDefault: Rate without Burst defaults the bucket
+// depth to max(1, Rate).
+func TestTenantGovernorBurstDefault(t *testing.T) {
+	if g := newTenantGovernor(tenantLimits{Rate: 3}); g.limits.Burst != 3 {
+		t.Errorf("burst defaulted to %d, want 3", g.limits.Burst)
+	}
+	if g := newTenantGovernor(tenantLimits{Rate: 0.5}); g.limits.Burst != 1 {
+		t.Errorf("burst defaulted to %d, want 1", g.limits.Burst)
+	}
+}
+
+// TestTenantGovernorStateEviction: the state map stays bounded — idle
+// tenants are discarded once the map fills, busy ones survive.
+func TestTenantGovernorStateEviction(t *testing.T) {
+	g, clk := govWithClock(tenantLimits{Rate: 1000, Burst: 1000, MaxInFlight: 8})
+	busyRelease, _, _ := g.admit("busy")
+	for i := 0; i < maxTenantStates+10; i++ {
+		// A second per admission refills every earlier bucket to full, making
+		// those states idle and eligible for eviction; "busy" stays pinned by
+		// its in-flight request.
+		clk.advance(time.Second)
+		release, _, ok := g.admit(fmt.Sprintf("t-%d", i))
+		if !ok {
+			t.Fatalf("tenant %d rejected", i)
+		}
+		release()
+	}
+	g.mu.Lock()
+	n := len(g.states)
+	_, busyAlive := g.states["busy"]
+	g.mu.Unlock()
+	if n > maxTenantStates+10 {
+		t.Errorf("governor holds %d states, want bounded near %d", n, maxTenantStates)
+	}
+	if !busyAlive {
+		t.Error("eviction dropped a tenant with requests in flight")
+	}
+	busyRelease()
+}
+
+// TestValidTenant: the name rules.
+func TestValidTenant(t *testing.T) {
+	for _, good := range []string{"", "acme", "tenant-42", "Ab.c_d"} {
+		if err := validTenant(good); err != nil {
+			t.Errorf("validTenant(%q) = %v, want nil", good, err)
+		}
+	}
+	long := make([]byte, MaxTenantLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"has space", "tab\there", "ctl\x01", string(long)} {
+		if err := validTenant(bad); err == nil {
+			t.Errorf("validTenant(%q) accepted", bad)
+		}
+	}
+}
+
+// TestScheduleTenantRateLimit429: over-limit requests answer 429 with a
+// Retry-After header, per-tenant counters account for them, and an
+// independent tenant sails through.
+func TestScheduleTenantRateLimit429(t *testing.T) {
+	m := &obs.Metrics{}
+	_, ts := newTestServer(t, Options{TenantRate: 0.001, TenantBurst: 2, Metrics: m})
+	body := func(tenant string, seed int64) []byte {
+		return inlineRequest(t, "iar", 5, 30, seed, map[string]any{"tenant": tenant})
+	}
+	for i := int64(0); i < 2; i++ {
+		if status, _, b := post(t, ts.URL, body("acme", i)); status != 200 {
+			t.Fatalf("request %d within burst: status %d, body %s", i, status, b)
+		}
+	}
+	status, hdr, b := post(t, ts.URL, body("acme", 9))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-limit request: status %d, body %s; want 429", status, b)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	var e errorResponse
+	if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+		t.Errorf("429 body %q is not a JSON error document", b)
+	}
+	// Another tenant is not throttled by acme's bucket.
+	if status, _, b := post(t, ts.URL, body("other", 20)); status != 200 {
+		t.Fatalf("other tenant: status %d, body %s", status, b)
+	}
+	s := m.Snapshot()
+	if s.ServeTenantRejects["acme"] != 1 || s.ServeTenantRejects["other"] != 0 {
+		t.Errorf("tenant rejects = %v, want acme:1 only", s.ServeTenantRejects)
+	}
+	if s.ServeTenantRequests["acme"] != 3 || s.ServeTenantRequests["other"] != 1 {
+		t.Errorf("tenant requests = %v, want acme:3 other:1", s.ServeTenantRequests)
+	}
+}
+
+// TestScheduleTenantHeaderWinsAndSplitsCache: the X-Tenant header overrides
+// the body field, and tenants never share cache entries — the same payload
+// misses once per tenant.
+func TestScheduleTenantHeaderWinsAndSplitsCache(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := inlineRequest(t, "iar", 5, 30, 77, nil)
+	postTenant := func(tenant string) (int, http.Header) {
+		req, err := http.NewRequest("POST", ts.URL+"/schedule", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode, resp.Header
+	}
+	if status, hdr := postTenant("a"); status != 200 || hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("tenant a first request: %d, X-Cache %q", status, hdr.Get("X-Cache"))
+	}
+	if status, hdr := postTenant("a"); status != 200 || hdr.Get("X-Cache") != "hit" {
+		t.Fatalf("tenant a repeat: %d, X-Cache %q, want hit", status, hdr.Get("X-Cache"))
+	}
+	// Same bytes, different tenant: its own fingerprint, its own miss.
+	if status, hdr := postTenant("b"); status != 200 || hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("tenant b: %d, X-Cache %q, want a fresh miss", status, hdr.Get("X-Cache"))
+	}
+	// Bad header tenant: rejected before admission.
+	req, _ := http.NewRequest("POST", ts.URL+"/schedule", bytes.NewReader(body))
+	req.Header.Set("X-Tenant", "no spaces")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid X-Tenant: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestScheduleTenantInFlightQuota429: a tenant saturating its in-flight
+// quota with slow searches gets 429 on the next request while another
+// tenant still gets through.
+func TestScheduleTenantInFlightQuota429(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 4, TenantMaxInFlight: 1})
+	slow := inlineRequest(t, "bnb", 13, 400, 5, map[string]any{
+		"tenant": "hog", "timeout_ms": 1500, "max_nodes": 1 << 24,
+	})
+	done := make(chan int, 1)
+	go func() {
+		status, _, _ := post(t, ts.URL, slow)
+		done <- status
+	}()
+	time.Sleep(150 * time.Millisecond) // let it occupy the quota slot
+	status, hdr, b := post(t, ts.URL, inlineRequest(t, "iar", 5, 30, 6, map[string]any{"tenant": "hog"}))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("second in-flight request: status %d, body %s; want 429", status, b)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("quota 429 without Retry-After")
+	}
+	if status, _, b := post(t, ts.URL, inlineRequest(t, "iar", 5, 30, 6, map[string]any{"tenant": "polite"})); status != 200 {
+		t.Fatalf("other tenant: status %d, body %s; want 200", status, b)
+	}
+	select {
+	case s := <-done:
+		if s != 200 && s != http.StatusGatewayTimeout {
+			t.Errorf("slow request finished with %d", s)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("slow request never finished")
+	}
+}
