@@ -63,14 +63,18 @@ bench:
 
 # The allocation and search-node budgets: with the recorder disabled, the
 # simulator's execution loop must not allocate at all; a warm sim.Evaluator
-# and a warm serial BnB searcher must be allocation-free; and branch-and-bound
-# must prove optimality on the 8-function study instance well inside
-# DefaultMaxNodes. The tests assert the budgets; the benchmark runs print the
-# numbers for the log.
+# and a warm serial BnB searcher must be allocation-free; a warm arena-backed
+# IAR run must stay at or under 50 allocations and well under the committed
+# pre-arena bytes-per-op (TestIARArenaAllocGuard gates both from the root
+# BenchmarkIAR path); and branch-and-bound must prove optimality on the
+# 8-function study instance well inside DefaultMaxNodes. The tests assert the
+# budgets; the benchmark runs print the numbers for the log.
 bench-guard:
 	$(GO) test -run='TestDisabledRecorderZeroAlloc|TestRecorderDisabledZeroAlloc|TestEvaluatorZeroAlloc' -count=1 \
 		./internal/obs/ ./internal/sim/
 	$(GO) test -run='TestBnBWarmZeroAlloc|TestBnBWarmZeroAllocCancellable|TestBnBNodeBudgetGuard' -count=1 ./internal/astar/
+	$(GO) test -run='TestIARArenaWarmAllocGuard' -count=1 ./internal/core/
+	$(GO) test -run='TestIARArenaAllocGuard' -count=1 .
 	$(GO) test -run='^$$' -bench=BenchmarkRunCallsRecorder -benchtime=100x ./internal/sim/
 	$(GO) test -run='^$$' -bench='BenchmarkEvaluatorRun|BenchmarkEvaluatorDelta' -benchmem -benchtime=50x ./internal/sim/
 

@@ -1,0 +1,66 @@
+// TestIARArenaAllocGuard is the BenchmarkIAR budget wired into
+// `make bench-guard`: on the three workloads the benchmark tracks, a warm
+// arena-backed IAR run must stay at or under 50 allocations and at or under
+// 650 KB allocated per run — ten times below the ~6.5 MB/op the pre-arena
+// implementation committed to BENCH_core.json.
+package repro_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dacapo"
+)
+
+func TestIARArenaAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads full workloads")
+	}
+	const (
+		maxAllocsPerRun = 50
+		maxBytesPerRun  = 650 << 10
+		reps            = 5
+	)
+	for _, name := range []string{"antlr", "eclipse", "lusearch"} {
+		t.Run(name, func(t *testing.T) {
+			bench, err := dacapo.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := bench.Load(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := core.IAROptions{Model: w.DefaultModel()}
+			arena := core.NewIARArena()
+			if _, err := arena.IAR(w.Trace, w.Profile, opts); err != nil {
+				t.Fatal(err)
+			}
+
+			allocs := testing.AllocsPerRun(reps, func() {
+				if _, err := arena.IAR(w.Trace, w.Profile, opts); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > maxAllocsPerRun {
+				t.Errorf("warm arena IAR: %.0f allocs/run, budget %d", allocs, maxAllocsPerRun)
+			}
+
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			for i := 0; i < reps; i++ {
+				if _, err := arena.IAR(w.Trace, w.Profile, opts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			runtime.ReadMemStats(&after)
+			bytesPerRun := (after.TotalAlloc - before.TotalAlloc) / reps
+			if bytesPerRun > maxBytesPerRun {
+				t.Errorf("warm arena IAR: %d B/run, budget %d", bytesPerRun, maxBytesPerRun)
+			}
+			t.Logf("%s: %.0f allocs/run, %d B/run (budgets %d, %d)",
+				name, allocs, bytesPerRun, maxAllocsPerRun, maxBytesPerRun)
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -50,6 +51,7 @@ func cmdExp(args []string) error {
 		defer func() {
 			fmt.Fprintln(os.Stderr, eng.Stats().Summary())
 			fmt.Fprintln(os.Stderr, sim.ReadEvalStats().Summary())
+			fmt.Fprintln(os.Stderr, core.ReadIARStats().Summary())
 			fmt.Fprintln(os.Stderr, eng.Snapshot())
 		}()
 	}

@@ -3,9 +3,9 @@ package astar
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/profile"
 	"repro/internal/sim"
@@ -24,10 +24,14 @@ import (
 type BeamOptions struct {
 	// Width is the number of prefixes kept per depth (0 means DefaultBeamWidth).
 	Width int
-	// Workers bounds the goroutines expanding a depth's frontier (0 means
-	// GOMAXPROCS, 1 means serial). The result is identical for every worker
-	// count: scoring is a pure function of the node, and the best-schedule
-	// and pruning decisions are replayed serially in frontier order.
+	// Workers bounds the goroutines expanding a depth's frontier (1 means
+	// serial, N > 1 means N goroutines). Zero means adaptive dispatch: the
+	// process-wide EWMA table in dispatch.go picks serial or GOMAXPROCS
+	// parallel per instance-size bucket from recently observed per-node
+	// costs. The result is identical for every worker count — and therefore
+	// for every dispatch decision: scoring is a pure function of the node,
+	// and the best-schedule and pruning decisions are replayed serially in
+	// frontier order.
 	Workers int
 }
 
@@ -86,11 +90,17 @@ func BeamSearchContext(ctx context.Context, tr *trace.Trace, p *profile.Profile,
 		return nil, fmt.Errorf("astar: beam width must be >= 1, got %d", opts.Width)
 	}
 	workers := opts.Workers
+	autoBucket := -1
 	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
+		autoBucket = dispatchBucketFor(len(s.order))
+		workers = searchDispatcher.choose(autoBucket)
 	}
 	if workers < 1 {
 		return nil, fmt.Errorf("astar: beam workers must be >= 1, got %d", opts.Workers)
+	}
+	var autoStart time.Time
+	if autoBucket >= 0 {
+		autoStart = time.Now()
 	}
 	res := &Result{PathsTotal: totalPaths(len(s.order), p.Levels)}
 	if len(s.order) == 0 {
@@ -197,6 +207,9 @@ func BeamSearchContext(ctx context.Context, tr *trace.Trace, p *profile.Profile,
 	}
 	if bestSched == nil {
 		return res, fmt.Errorf("astar: beam search found no complete schedule (internal error)")
+	}
+	if autoBucket >= 0 {
+		searchDispatcher.observe(autoBucket, workers > 1, time.Since(autoStart), res.NodesExpanded)
 	}
 	res.Schedule = bestSched
 	res.MakeSpan = bestSpan

@@ -3,9 +3,9 @@ package astar
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/profile"
@@ -48,8 +48,12 @@ type BnBOptions struct {
 	// MaxNodes bounds the number of arena nodes ever allocated (the memory
 	// proxy, same currency as Options.MaxNodes). Zero means DefaultMaxNodes.
 	MaxNodes int
-	// Workers bounds the goroutines scoring a batch (0 means GOMAXPROCS,
-	// 1 means serial). The result is bit-identical for every worker count.
+	// Workers bounds the goroutines scoring a batch (1 means serial, N > 1
+	// means N goroutines). Zero means adaptive dispatch: the process-wide
+	// EWMA table in dispatch.go picks serial or GOMAXPROCS parallel per
+	// instance-size bucket from recently observed per-node costs. The result
+	// is bit-identical for every worker count, so dispatch never changes the
+	// answer — only the wall time.
 	Workers int
 }
 
@@ -134,6 +138,10 @@ type BnB struct {
 	s       *searcher
 	workers int
 	stride  int
+	// autoBucket is the dispatch table bucket when Workers=0 chose the mode
+	// adaptively, or -1 for an explicit worker count. Auto runs feed their
+	// per-node cost back to the dispatcher.
+	autoBucket int
 
 	arena bnbArena
 	table transTable
@@ -165,24 +173,27 @@ func NewBnB(tr *trace.Trace, p *profile.Profile, opts BnBOptions) (*BnB, error) 
 		return nil, fmt.Errorf("astar: BnB supports at most 8 levels, got %d", p.Levels)
 	}
 	workers := opts.Workers
+	autoBucket := -1
 	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
+		autoBucket = dispatchBucketFor(len(s.order))
+		workers = searchDispatcher.choose(autoBucket)
 	}
 	if workers < 1 {
 		return nil, fmt.Errorf("astar: BnB workers must be >= 1, got %d", opts.Workers)
 	}
 	nf := p.NumFuncs()
 	b := &BnB{
-		s:        s,
-		workers:  workers,
-		stride:   nf + 12,
-		open:     make([]int32, 0, heapCapFor(s.budget)),
-		ws:       make([]bnbWorker, workers),
-		spans:    make([]atomic.Uint64, workers),
-		rootMask: make([]byte, nf),
-		rootKey:  make([]byte, nf+12),
-		popped:   make([]int32, 0, bnbBatch),
-		paths:    totalPaths(len(s.order), p.Levels),
+		s:          s,
+		workers:    workers,
+		autoBucket: autoBucket,
+		stride:     nf + 12,
+		open:       make([]int32, 0, heapCapFor(s.budget)),
+		ws:         make([]bnbWorker, workers),
+		spans:      make([]atomic.Uint64, workers),
+		rootMask:   make([]byte, nf),
+		rootKey:    make([]byte, nf+12),
+		popped:     make([]int32, 0, bnbBatch),
+		paths:      totalPaths(len(s.order), p.Levels),
 	}
 	for i := range b.ws {
 		b.ws[i] = bnbWorker{
@@ -245,6 +256,10 @@ func (b *BnB) RunContext(ctx context.Context) (*Result, error) {
 	b.open = b.open[:0]
 	b.seq = 0
 	s.alloc = 0
+	var autoStart time.Time
+	if b.autoBucket >= 0 {
+		autoStart = time.Now()
+	}
 
 	const inf = int64(1)<<62 - 1
 	bestCost := inf
@@ -277,7 +292,12 @@ func (b *BnB) RunContext(ctx context.Context) (*Result, error) {
 				if len(popped) == 0 {
 					// Best-first on an admissible bound: a stop leaf popped
 					// with nothing cheaper pending expansion is optimal.
-					return b.finalize(idx), nil
+					fres := b.finalize(idx)
+					if b.autoBucket >= 0 {
+						searchDispatcher.observe(b.autoBucket, b.workers > 1,
+							time.Since(autoStart), fres.NodesExpanded)
+					}
+					return fres, nil
 				}
 				// Nodes with a bound at or below the leaf's cost were popped
 				// earlier in this round and are still unexpanded — one of

@@ -3,7 +3,9 @@ package astar
 import (
 	"math/rand"
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/profile"
 	"repro/internal/sim"
@@ -127,28 +129,57 @@ func TestBeamRejectsBadWorkers(t *testing.T) {
 	}
 }
 
+// measureBeam times reps beam runs at the given worker count, for the
+// opposite-mode reference behind the speedup metric.
+func measureBeam(b *testing.B, tr *trace.Trace, p *profile.Profile, workers, reps int) time.Duration {
+	b.Helper()
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := BeamSearch(tr, p, BeamOptions{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
 // BenchmarkBeamSearch measures the full beam pipeline (incremental scoring
-// plus parallel expansion) on a mid-size instance.
+// plus parallel expansion) on a mid-size instance. Workers is pinned to
+// GOMAXPROCS — zero now means adaptive dispatch, and a benchmark must
+// measure one mode, not the dispatcher's mood. The reported speedup metric
+// is serial-ns-per-op / parallel-ns-per-op (>1 means parallel wins), with
+// the serial side sampled untimed before the loop.
 func BenchmarkBeamSearch(b *testing.B) {
 	tr, p := tinyInstance(7, 60, 9)
+	workers := runtime.GOMAXPROCS(0)
+	serialRef := measureBeam(b, tr, p, 1, 3)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := BeamSearch(tr, p, BeamOptions{}); err != nil {
+		if _, err := BeamSearch(tr, p, BeamOptions{Workers: workers}); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+	if perOp := b.Elapsed() / time.Duration(b.N); perOp > 0 {
+		b.ReportMetric(float64(serialRef)/float64(perOp), "speedup")
 	}
 }
 
 // BenchmarkBeamSearchSerial is the single-worker reference for the parallel
-// speedup.
+// speedup; it reports the same serial/parallel ratio from its own vantage.
 func BenchmarkBeamSearchSerial(b *testing.B) {
 	tr, p := tinyInstance(7, 60, 9)
+	parallelRef := measureBeam(b, tr, p, runtime.GOMAXPROCS(0), 3)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := BeamSearch(tr, p, BeamOptions{Workers: 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+	if parallelRef > 0 {
+		perOp := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(float64(perOp)/float64(parallelRef), "speedup")
 	}
 }

@@ -1,11 +1,7 @@
 package core
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/profile"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -48,29 +44,6 @@ type iarFunc struct {
 	appended int   // index of this function's appended high event in the schedule, or -1
 }
 
-// iarInitN1 runs the low-level init schedule (every function in
-// first-appearance order) through the shared evaluator once, and returns the
-// per-function count of calls issued while that schedule is still compiling —
-// Formula 2's f.n1. IAR and ClassifyIAR share this pass; it is the only
-// recorded-calls scan step 2 needs.
-func iarInitN1(eval *sim.Evaluator, tr *trace.Trace, nf int, order []trace.FuncID, low profile.Level) ([]int64, error) {
-	initSched := make(Schedule, len(order))
-	for i, f := range order {
-		initSched[i] = sim.CompileEvent{Func: f, Level: low}
-	}
-	res, err := eval.Run(initSched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
-	if err != nil {
-		return nil, err
-	}
-	n1 := make([]int64, nf)
-	for i, f := range tr.Calls {
-		if res.CallStarts[i] < res.CompileEnd {
-			n1[f]++
-		}
-	}
-	return n1, nil
-}
-
 // IAR computes a compilation schedule with the Init-Append-Replace heuristic
 // of §5.1 (Fig. 3).
 //
@@ -97,209 +70,27 @@ func iarInitN1(eval *sim.Evaluator, tr *trace.Trace, nf int, order []trace.FuncI
 //
 // The returned schedule compiles every called function at least once. Cost is
 // O(N + M log M) for N calls and M distinct functions, dominated by three
-// linear simulation passes. All passes share one sim.Evaluator, so the
-// per-pass arenas are allocated once; results are consumed before the next
-// pass reuses them.
+// linear simulation passes.
+//
+// The computation runs on a pooled IARArena — one arena per concurrent
+// caller, warm buffers kept process-wide — and the result is an owned copy,
+// so the function keeps plain value semantics. Callers that run IAR in a
+// tight loop (replanners, the serving path) hold their own arena and call
+// (*IARArena).IAR directly to also skip the copy.
 func IAR(tr *trace.Trace, p *profile.Profile, opts IAROptions) (Schedule, error) {
-	if opts.K == 0 {
-		opts.K = 5
-	}
-	if opts.K < 0 {
-		return nil, fmt.Errorf("core: IAR K must be positive, got %d", opts.K)
-	}
-	if opts.LowLevel < 0 || int(opts.LowLevel) >= p.Levels {
-		return nil, fmt.Errorf("core: IAR LowLevel %d outside [0,%d)", opts.LowLevel, p.Levels)
-	}
-	model := opts.Model
-	if model == nil {
-		model = profile.NewOracle(p)
-	}
-	if err := tr.Validate(p.NumFuncs()); err != nil {
-		return nil, err
-	}
-
-	order := tr.FirstCallOrder()
-	if len(order) == 0 {
-		return Schedule{}, nil
-	}
-	counts := tr.Counts()
-
-	funcs := make([]*iarFunc, len(order))
-	for i, f := range order {
-		high := profile.CostEffectiveLevel(model, f, counts[f])
-		if high < opts.LowLevel {
-			high = opts.LowLevel
-		}
-		ff := &iarFunc{
-			f: f, pos: i, n: counts[f],
-			low:      opts.LowLevel,
-			high:     high,
-			appended: -1,
-		}
-		ff.cl = p.CompileTime(f, ff.low)
-		ff.el = p.ExecTime(f, ff.low)
-		ff.ch = p.CompileTime(f, ff.high)
-		ff.eh = p.ExecTime(f, ff.high)
-		funcs[i] = ff
-	}
-
-	eval, err := sim.NewEvaluator(tr, p)
+	a := iarPool.Get().(*IARArena)
+	iarCounters.pooledRuns.Add(1)
+	sched, err := a.IAR(tr, p, opts)
 	if err != nil {
+		iarPool.Put(a)
 		return nil, err
 	}
-
-	// Steps 1 and 2a (init + n1): one recorded-calls pass over the low-level
-	// init schedule yields Formula 2's per-function n1.
-	n1, err := iarInitN1(eval, tr, p.NumFuncs(), order, opts.LowLevel)
-	if err != nil {
-		return nil, err
+	out := sched.Clone()
+	if out == nil {
+		out = Schedule{}
 	}
-
-	// Step 2 (classify, then append & replace).
-	var appendSet []*iarFunc
-	for _, ff := range funcs {
-		switch {
-		case ff.high == ff.low || ff.ch+ff.n*ff.eh > ff.cl+ff.n*ff.el: // Formula 1
-			ff.class = 'O'
-		case ff.ch-ff.cl > opts.K*n1[ff.f]*(ff.el-ff.eh): // Formula 2
-			ff.class = 'A'
-			appendSet = append(appendSet, ff)
-		default:
-			ff.class = 'R'
-		}
-	}
-	sort.SliceStable(appendSet, func(i, j int) bool { return appendSet[i].ch < appendSet[j].ch })
-
-	sched := make(Schedule, 0, len(order)+len(appendSet))
-	for _, ff := range funcs {
-		level := ff.low
-		if ff.class == 'R' {
-			level = ff.high
-		}
-		sched = append(sched, sim.CompileEvent{Func: ff.f, Level: level})
-	}
-	for _, ff := range appendSet {
-		ff.appended = len(sched)
-		sched = append(sched, sim.CompileEvent{Func: ff.f, Level: ff.high})
-	}
-
-	// Step 3 (fill slack through replacement). Simulate once to find each
-	// function's slack: first-call start minus first-compilation finish.
-	// Upgrading function f's initial compilation from low to high inflates
-	// every later initial compilation's finish by ch-cl; it adds no bubble
-	// iff the accumulated inflation fits within the minimum slack from f's
-	// position onward. Delaying the initial compilations also delays any
-	// recompilations still appended behind them, which can cost more than
-	// the replacements save, so the step is applied transactionally: keep
-	// the replacements only if a re-evaluation confirms they did not regress
-	// the make-span.
-	if !opts.DisableFillSlack {
-		res, err := eval.Run(sched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
-		if err != nil {
-			return nil, err
-		}
-		// Consume the result before the verification pass reuses the arena.
-		baseSpan := res.MakeSpan
-		firstCalls := tr.FirstCalls()
-		slack := make([]int64, len(funcs)) // indexed by init position
-		for i, ff := range funcs {
-			slack[i] = res.CallStarts[firstCalls[ff.f]] - res.Compiles[i].Done
-		}
-		// suffMin[i] = min slack over positions >= i.
-		suffMin := make([]int64, len(funcs)+1)
-		suffMin[len(funcs)] = int64(1) << 62
-		for i := len(funcs) - 1; i >= 0; i-- {
-			suffMin[i] = slack[i]
-			if suffMin[i+1] < suffMin[i] {
-				suffMin[i] = suffMin[i+1]
-			}
-		}
-		var inflate int64
-		removed := make(map[int]bool)
-		candidate := sched.Clone()
-		var changed []*iarFunc
-		for i, ff := range funcs {
-			if ff.class != 'A' {
-				continue
-			}
-			delta := ff.ch - ff.cl
-			if inflate+delta <= suffMin[i] {
-				candidate[i].Level = ff.high
-				removed[ff.appended] = true
-				changed = append(changed, ff)
-				inflate += delta
-			}
-		}
-		if len(removed) > 0 {
-			compact := candidate[:0:len(candidate)]
-			for i, ev := range candidate {
-				if !removed[i] {
-					compact = append(compact, ev)
-				}
-			}
-			candidate = compact
-			// A multi-position edit, so MakeSpanOf falls back to a full
-			// (still allocation-free) evaluator run.
-			after, err := eval.MakeSpanOf(candidate, sim.DefaultConfig(), sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			if after <= baseSpan {
-				sched = candidate
-				for _, ff := range changed {
-					ff.appended = -1
-					ff.class = 'R'
-				}
-			}
-		}
-	}
-
-	// Step 4 (append more to fill the ending gap). While execution outlives
-	// compilation, idle compile capacity can upgrade still-low functions for
-	// free; prioritize the functions with the most calls after compilation
-	// ends.
-	if !opts.DisableFillGap {
-		res, err := eval.Run(sched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
-		if err != nil {
-			return nil, err
-		}
-		tgap := res.MakeSpan - res.CompileEnd
-		if tgap > 0 {
-			maxLevel := make([]profile.Level, p.NumFuncs())
-			for i := range maxLevel {
-				maxLevel[i] = -1
-			}
-			for _, ev := range sched {
-				if ev.Level > maxLevel[ev.Func] {
-					maxLevel[ev.Func] = ev.Level
-				}
-			}
-			lateCalls := make([]int64, p.NumFuncs())
-			for i, f := range tr.Calls {
-				if res.CallStarts[i] >= res.CompileEnd {
-					lateCalls[f]++
-				}
-			}
-			var candidates []*iarFunc
-			for _, ff := range funcs {
-				if maxLevel[ff.f] < ff.high && lateCalls[ff.f] > 0 {
-					candidates = append(candidates, ff)
-				}
-			}
-			sort.SliceStable(candidates, func(i, j int) bool {
-				return lateCalls[candidates[i].f] > lateCalls[candidates[j].f]
-			})
-			var used int64
-			for _, ff := range candidates {
-				if used+ff.ch <= tgap {
-					sched = append(sched, sim.CompileEvent{Func: ff.f, Level: ff.high})
-					used += ff.ch
-				}
-			}
-		}
-	}
-
-	return sched, nil
+	iarPool.Put(a)
+	return out, nil
 }
 
 // IARClassification reports how IAR's step 2 classified the functions —
@@ -330,11 +121,12 @@ func ClassifyIAR(tr *trace.Trace, p *profile.Profile, opts IAROptions) (IARClass
 	}
 	counts := tr.Counts()
 
-	eval, err := sim.NewEvaluator(tr, p)
-	if err != nil {
+	a := iarPool.Get().(*IARArena)
+	defer iarPool.Put(a)
+	if err := a.bind(tr, p); err != nil {
 		return cls, err
 	}
-	n1, err := iarInitN1(eval, tr, p.NumFuncs(), order, 0)
+	n1, err := a.initN1(tr, p.NumFuncs(), order, 0)
 	if err != nil {
 		return cls, err
 	}

@@ -300,8 +300,11 @@ func KSweep(opts Options, ks []int64) ([]SweepRow, error) {
 			model := w.DefaultModel()
 			lb := float64(core.ModelLowerBound(w.Trace, w.Profile, model))
 			row := SweepRow{Benchmark: b.Name, ByValue: make(map[int64]float64, len(ks))}
+			// One arena serves the whole sweep: each schedule is simulated
+			// before the next K's run recycles it.
+			arena := core.NewIARArena()
 			for _, k := range ks {
-				sched, err := core.IAR(w.Trace, w.Profile, core.IAROptions{Model: model, K: k})
+				sched, err := arena.IAR(w.Trace, w.Profile, core.IAROptions{Model: model, K: k})
 				if err != nil {
 					return SweepRow{}, err
 				}

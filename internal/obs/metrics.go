@@ -34,6 +34,14 @@ type Metrics struct {
 	searchTableHits atomic.Int64
 	searchPruned    atomic.Int64
 
+	searchDispatchSerial   atomic.Int64
+	searchDispatchParallel atomic.Int64
+	searchSpeedupMilli     atomic.Int64
+
+	iarArenas   atomic.Int64
+	iarRuns     atomic.Int64
+	iarWarmRuns atomic.Int64
+
 	serveRequests    atomic.Int64
 	serveOK          atomic.Int64
 	serveErrors      atomic.Int64
@@ -153,6 +161,49 @@ func (m *Metrics) SearchRun(expanded, stored, tableHits, pruned int64) {
 	m.searchStored.Add(stored)
 	m.searchTableHits.Add(tableHits)
 	m.searchPruned.Add(pruned)
+}
+
+// SearchDispatch records one adaptive worker-count decision (Workers=0 auto
+// mode on beam/BnB): whether the dispatcher chose the parallel pipeline.
+func (m *Metrics) SearchDispatch(parallel bool) {
+	if m == nil {
+		return
+	}
+	if parallel {
+		m.searchDispatchParallel.Add(1)
+	} else {
+		m.searchDispatchSerial.Add(1)
+	}
+}
+
+// SearchSpeedup records the dispatcher's latest observed serial/parallel
+// speedup estimate for some instance-size bucket, in thousandths (1000 =
+// parity). It is a gauge: the last write wins.
+func (m *Metrics) SearchSpeedup(milli int64) {
+	if m == nil {
+		return
+	}
+	m.searchSpeedupMilli.Store(milli)
+}
+
+// IARArenaCreated records one IAR arena construction.
+func (m *Metrics) IARArenaCreated() {
+	if m == nil {
+		return
+	}
+	m.iarArenas.Add(1)
+}
+
+// IARRun records one arena-backed IAR run; warm means the arena had run
+// before and its buffers were already sized.
+func (m *Metrics) IARRun(warm bool) {
+	if m == nil {
+		return
+	}
+	m.iarRuns.Add(1)
+	if warm {
+		m.iarWarmRuns.Add(1)
+	}
 }
 
 // ServeRequest records one scheduling-service request received (before
@@ -319,6 +370,18 @@ type Snapshot struct {
 	SearchStored    int64 `json:"search_stored"`
 	SearchTableHits int64 `json:"search_table_hits"`
 	SearchPruned    int64 `json:"search_pruned"`
+	// SearchDispatchSerial/Parallel count the adaptive dispatcher's Workers=0
+	// decisions; SearchSpeedupMilli is its latest observed serial/parallel
+	// speedup estimate in thousandths (1000 = parity, 0 = no observation yet).
+	SearchDispatchSerial   int64 `json:"search_dispatch_serial"`
+	SearchDispatchParallel int64 `json:"search_dispatch_parallel"`
+	SearchSpeedupMilli     int64 `json:"search_speedup_milli"`
+	// IARArenas counts IAR arena constructions; IARRuns the arena-backed IAR
+	// runs served, of which IARWarmRuns reused an already-sized arena. A high
+	// runs-to-arenas ratio is the reuse working.
+	IARArenas   int64 `json:"iar_arenas"`
+	IARRuns     int64 `json:"iar_runs"`
+	IARWarmRuns int64 `json:"iar_warm_runs"`
 	// ServeRequests counts scheduling-service requests accepted for
 	// processing; ServeOK/ServeErrors/ServeCancelled/ServeClientGone split
 	// their outcomes (client-gone: the client disconnected before the answer
@@ -379,6 +442,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		SearchTableHits: m.searchTableHits.Load(),
 		SearchPruned:    m.searchPruned.Load(),
 
+		SearchDispatchSerial:   m.searchDispatchSerial.Load(),
+		SearchDispatchParallel: m.searchDispatchParallel.Load(),
+		SearchSpeedupMilli:     m.searchSpeedupMilli.Load(),
+
+		IARArenas:   m.iarArenas.Load(),
+		IARRuns:     m.iarRuns.Load(),
+		IARWarmRuns: m.iarWarmRuns.Load(),
+
 		ServeRequests:   m.serveRequests.Load(),
 		ServeOK:         m.serveOK.Load(),
 		ServeErrors:     m.serveErrors.Load(),
@@ -429,13 +500,15 @@ func (m *Metrics) copyLabeledInt(src *map[int]int64) map[int]int64 {
 // String renders the snapshot as one log-friendly line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"obs: %d jobs started, %d completed (%d failed, %d panicked, %d job-cancelled), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks), %d online runs (%d commits, %d forced), %d searches (%d expanded, %d stored, %d table hits, %d pruned), %d served (%d ok, %d cancelled, %d client-gone, %d errored, %d serve cache hits, %d coalesced, %d rejected, %d tenants throttled, depth %d, serve queue wait %v, %d batches/%d items)",
+		"obs: %d jobs started, %d completed (%d failed, %d panicked, %d job-cancelled), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks), %d online runs (%d commits, %d forced), %d searches (%d expanded, %d stored, %d table hits, %d pruned), dispatch %d serial/%d parallel (speedup %d‰), %d IAR runs (%d warm) on %d arenas, %d served (%d ok, %d cancelled, %d client-gone, %d errored, %d serve cache hits, %d coalesced, %d rejected, %d tenants throttled, depth %d, serve queue wait %v, %d batches/%d items)",
 		s.JobsStarted, s.JobsCompleted, s.JobsFailed, s.JobsPanicked, s.JobsCancelled,
 		s.CacheHits, s.Deduped,
 		s.QueueWait.Round(time.Microsecond), s.JobWall.Round(time.Microsecond),
 		s.MaxJobWall.Round(time.Microsecond), s.SimRuns, s.SimTicks,
 		s.OnlineRuns, s.OnlineCommits, s.OnlineForced,
 		s.SearchRuns, s.SearchExpanded, s.SearchStored, s.SearchTableHits, s.SearchPruned,
+		s.SearchDispatchSerial, s.SearchDispatchParallel, s.SearchSpeedupMilli,
+		s.IARRuns, s.IARWarmRuns, s.IARArenas,
 		s.ServeRequests, s.ServeOK, s.ServeCancelled, s.ServeClientGone, s.ServeErrors,
 		s.ServeCacheHits, s.ServeCoalesced, s.ServeRejected, len(s.ServeTenantRejects),
 		s.ServeQueueDepth, s.ServeQueueWait.Round(time.Microsecond),

@@ -27,6 +27,10 @@ type IAR struct {
 	planned int // visible length when the last plan ran, -1 before the first
 	emitted []profile.Level
 	replans int
+	// arena backs every replan: the plan is consumed immediately by the
+	// merge loop below, so the scheduler can run IAR allocation-free on the
+	// arena's reusable buffers instead of paying a fresh copy per replan.
+	arena *core.IARArena
 }
 
 // DefaultReplanStride is how much the visible prefix must grow between IAR
@@ -44,7 +48,8 @@ func NewIAR(p *profile.Profile, opts core.IAROptions, stride int) *IAR {
 	for i := range emitted {
 		emitted[i] = -1
 	}
-	return &IAR{p: p, opts: opts, stride: stride, planned: -1, emitted: emitted}
+	return &IAR{p: p, opts: opts, stride: stride, planned: -1, emitted: emitted,
+		arena: core.NewIARArena()}
 }
 
 // Replans returns how many times the scheduler has replanned so far.
@@ -55,7 +60,7 @@ func (s *IAR) Observe(i int, visible *trace.Trace, now int64) ([]sim.CompileEven
 	if s.planned >= 0 && visible.Len() < s.planned+s.stride {
 		return nil, nil
 	}
-	plan, err := core.IAR(visible, s.p, s.opts)
+	plan, err := s.arena.IAR(visible, s.p, s.opts)
 	if err != nil {
 		return nil, err
 	}

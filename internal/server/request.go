@@ -379,8 +379,10 @@ func (req *ScheduleRequest) workload() (*dacapo.Workload, error) {
 // execute runs the requested algorithm on the workload under ctx and builds
 // the response. Search algorithms observe ctx directly; simulator replays
 // observe it through Options.Interrupt. Cancellation surfaces as a ctx-style
-// error the handler maps to 504/503.
-func execute(ctx context.Context, req *ScheduleRequest, w *dacapo.Workload) (*ScheduleResponse, error) {
+// error the handler maps to 504/503. arena backs the iar path (nil means a
+// fresh arena); the schedule it produces aliases the arena but is consumed —
+// simulated and marshalled — before execute's caller returns.
+func execute(ctx context.Context, req *ScheduleRequest, w *dacapo.Workload, arena *core.IARArena) (*ScheduleResponse, error) {
 	tr, p := w.Trace, w.Profile
 	var model profile.CostModel
 	if req.Model == "oracle" {
@@ -410,7 +412,10 @@ func execute(ctx context.Context, req *ScheduleRequest, w *dacapo.Workload) (*Sc
 	)
 	switch req.Algo {
 	case "iar":
-		sched, err = core.IAR(tr, p, core.IAROptions{Model: model})
+		if arena == nil {
+			arena = core.NewIARArena()
+		}
+		sched, err = arena.IAR(tr, p, core.IAROptions{Model: model})
 		if err != nil {
 			return nil, badRequest("iar: %v", err)
 		}

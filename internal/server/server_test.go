@@ -403,6 +403,36 @@ func TestMetricsEndpointRidesAlong(t *testing.T) {
 	}
 }
 
+// TestMetricsExposesArenaAndDispatchKeys: the /metrics document carries the
+// IAR-arena and adaptive-dispatch counters, and serving an iar request over
+// this very server moves the run counters it reports.
+func TestMetricsExposesArenaAndDispatchKeys(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	post(t, ts.URL, inlineRequest(t, "iar", 5, 30, 9, nil))
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"iar_arenas", "iar_runs", "iar_warm_runs",
+		"search_dispatch_serial", "search_dispatch_parallel", "search_speedup_milli",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("/metrics missing %q", key)
+		}
+	}
+	// The iar request above ran on a worker's arena; the process-wide run
+	// counter the endpoint snapshots must already include it.
+	if runs, ok := doc["iar_runs"].(float64); !ok || runs < 1 {
+		t.Errorf("iar_runs = %v, want >= 1 after an iar request", doc["iar_runs"])
+	}
+}
+
 // TestServeMetricsAccounting: the serve counters add up for a simple
 // miss + hit + reject-free sequence.
 func TestServeMetricsAccounting(t *testing.T) {

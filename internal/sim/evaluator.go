@@ -86,28 +86,52 @@ type Evaluator struct {
 // NewEvaluator builds an evaluator for the trace/profile pair. The trace is
 // treated as immutable from here on (its derived indices are memoized).
 func NewEvaluator(tr *trace.Trace, p *profile.Profile) (*Evaluator, error) {
+	e := &Evaluator{}
+	if err := e.Reset(tr, p); err != nil {
+		return nil, err
+	}
+	evalCounters.evaluators.Add(1)
+	return e, nil
+}
+
+// Reset rebinds the evaluator to a new (trace, profile) pair, reusing every
+// arena whose capacity already suffices — the flattened time tables, the
+// version lists (including their inner storage), the per-call records, and
+// the worker pools. It performs the same validation, with the same error
+// strings, as NewEvaluator; on error the evaluator is left unusable until a
+// successful Reset. Any delta baseline is discarded. This is what lets a
+// long-lived arena (e.g. core's IAR arena, the online replanner) follow a
+// growing visible prefix without reallocating its buffers each rebind.
+func (e *Evaluator) Reset(tr *trace.Trace, p *profile.Profile) error {
 	nf, levels := p.NumFuncs(), p.Levels
+	e.baseValid = false
 	if levels <= 0 {
-		return nil, fmt.Errorf("sim: evaluator needs a profile with positive Levels, got %d", levels)
+		return fmt.Errorf("sim: evaluator needs a profile with positive Levels, got %d", levels)
 	}
 	for f := range p.Funcs {
 		ft := &p.Funcs[f]
 		if len(ft.Compile) != levels || len(ft.Exec) != levels {
-			return nil, fmt.Errorf("sim: evaluator: function %d has %d compile / %d exec levels, want %d",
+			return fmt.Errorf("sim: evaluator: function %d has %d compile / %d exec levels, want %d",
 				f, len(ft.Compile), len(ft.Exec), levels)
 		}
 	}
-	e := &Evaluator{
-		tr: tr, p: p, nf: nf, levels: levels,
-		compile:    make([]int64, nf*levels),
-		exec:       make([]int64, nf*levels),
-		versions:   make([]versionList, nf),
-		dVersions:  make([]versionList, nf),
-		firstReady: make([]int64, nf),
-		compiled:   make([]bool, nf),
-		callStarts: make([]int64, 0, tr.Len()),
-		callEnds:   make([]int64, 0, tr.Len()),
-		callLevels: make([]profile.Level, 0, tr.Len()),
+	e.tr, e.p, e.nf, e.levels = tr, p, nf, levels
+	e.compile = growN(e.compile, nf*levels)
+	e.exec = growN(e.exec, nf*levels)
+	e.firstReady = growN(e.firstReady, nf)
+	e.compiled = growN(e.compiled, nf)
+	// Version lists keep their inner done/levels storage when the slice only
+	// changes length; Run truncates each list before use.
+	e.versions = growKeep(e.versions, nf)
+	e.dVersions = growKeep(e.dVersions, nf)
+	if cap(e.callStarts) < tr.Len() {
+		e.callStarts = make([]int64, 0, tr.Len())
+		e.callEnds = make([]int64, 0, tr.Len())
+		e.callLevels = make([]profile.Level, 0, tr.Len())
+	} else {
+		e.callStarts = e.callStarts[:0]
+		e.callEnds = e.callEnds[:0]
+		e.callLevels = e.callLevels[:0]
 	}
 	for f := 0; f < nf; f++ {
 		ft := &p.Funcs[f]
@@ -116,8 +140,28 @@ func NewEvaluator(tr *trace.Trace, p *profile.Profile) (*Evaluator, error) {
 			e.exec[f*levels+l] = ft.Exec[l]
 		}
 	}
-	evalCounters.evaluators.Add(1)
-	return e, nil
+	return nil
+}
+
+// growN resizes a scratch slice to n elements, reusing the backing array when
+// it is large enough. Callers overwrite (or clear) the contents themselves.
+func growN[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// growKeep resizes a slice of version lists, preserving surviving elements'
+// inner storage (growN would do the same via the backing array; this variant
+// exists to copy the old elements when the backing array must be replaced).
+func growKeep(s []versionList, n int) []versionList {
+	if cap(s) < n {
+		ns := make([]versionList, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
 }
 
 // Run replays a static compilation schedule exactly as sim.Run does,
