@@ -45,6 +45,7 @@ runner-race:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzReadText -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzPrefixCursor -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzStateKey -fuzztime=$(FUZZTIME) ./internal/astar/
 	$(GO) test -run='^$$' -fuzz=FuzzScheduleRequest -fuzztime=$(FUZZTIME) ./internal/server/
 	$(GO) test -run='^$$' -fuzz=FuzzBatchRequest -fuzztime=$(FUZZTIME) ./internal/server/
@@ -75,6 +76,7 @@ bench-guard:
 	$(GO) test -run='TestBnBWarmZeroAlloc|TestBnBWarmZeroAllocCancellable|TestBnBNodeBudgetGuard' -count=1 ./internal/astar/
 	$(GO) test -run='TestIARArenaWarmAllocGuard' -count=1 ./internal/core/
 	$(GO) test -run='TestIARArenaAllocGuard' -count=1 .
+	$(GO) test -run='TestOnlineObserveAllocGuard|TestOnlineReplanSpeedupGuard' -count=1 ./internal/online/
 	$(GO) test -run='^$$' -bench=BenchmarkRunCallsRecorder -benchtime=100x ./internal/sim/
 	$(GO) test -run='^$$' -bench='BenchmarkEvaluatorRun|BenchmarkEvaluatorDelta' -benchmem -benchtime=50x ./internal/sim/
 
@@ -98,11 +100,13 @@ bench-json-search:
 	@echo "wrote BENCH_search.json"
 
 # Machine-readable online-scheduling benchmarks: the replanning IAR scheduler
-# across the lookahead ladder (regret vs offline IAR reported as a custom
-# metric), the three schedulers head-to-head at one bounded window, and the
-# workload generator itself, collected into BENCH_online.json.
+# across the lookahead ladder (regret vs offline IAR and scheduler-side
+# ns/call reported as custom metrics), the long-stream incremental-replanning
+# headline (sched-ns/call and replan-speedup vs the frozen from-scratch
+# reference), the three schedulers head-to-head at one bounded window, and
+# the workload generator itself, collected into BENCH_online.json.
 bench-json-online:
-	@{ $(GO) test -run='^$$' -bench='BenchmarkOnlineWindow|BenchmarkOnlineSchedulers|BenchmarkWorkloadRender' \
+	@{ $(GO) test -run='^$$' -bench='BenchmarkOnlineWindow|BenchmarkOnlineLongStream|BenchmarkOnlineSchedulers|BenchmarkWorkloadRender' \
 		-benchmem -benchtime=3x ./internal/online/; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_online.json
 	@echo "wrote BENCH_online.json"

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -120,6 +121,7 @@ func cmdOnline(args []string) error {
 	window := fs.Int("window", 0, "lookahead window in calls (0 = unbounded)")
 	workers := fs.Int("workers", 1, "compile workers")
 	iarK := fs.Int64("k", 0, "IAR K constant (0 = paper default)")
+	stats := fs.Bool("stats", false, "also print the scheduler's own cost accounting (replans, dirty-skips, time spent planning)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,6 +168,19 @@ func cmdOnline(args []string) error {
 		len(res.Schedule), res.Forced, res.Dropped)
 	if iar, ok := sched.(*online.IAR); ok {
 		fmt.Printf("replans    %d\n", iar.Replans())
+	}
+	if *stats {
+		if sr, ok := sched.(online.StatsReporter); ok {
+			st := sr.SchedStats()
+			perCall := float64(0)
+			if tr.Len() > 0 {
+				perCall = float64(st.SchedNanos) / float64(tr.Len())
+			}
+			fmt.Printf("sched-cost %s planning across %d replans (%d dirty-skips), %.0f ns/call\n",
+				time.Duration(st.SchedNanos).Round(time.Microsecond), st.Replans, st.DirtySkips, perCall)
+		} else {
+			fmt.Printf("sched-cost %s does not report scheduling cost\n", *schedName)
+		}
 	}
 	return nil
 }

@@ -20,6 +20,23 @@ func TestCmdOnlinePreset(t *testing.T) {
 	}
 }
 
+func TestCmdOnlineStats(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdOnline([]string{"-preset", "stream-mix", "-sched", "iar", "-window", "1024", "-stats"})
+	})
+	for _, want := range []string{"sched-cost", "dirty-skips", "ns/call"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("online -stats output missing %q:\n%s", want, out)
+		}
+	}
+	out = captureStdout(t, func() error {
+		return cmdOnline([]string{"-preset", "stream-mix", "-sched", "v8", "-window", "1024", "-stats"})
+	})
+	if !strings.Contains(out, "does not report scheduling cost") {
+		t.Errorf("v8 -stats should say it has no cost accounting:\n%s", out)
+	}
+}
+
 func TestCmdOnlineUnboundedMatchesOffline(t *testing.T) {
 	out := captureStdout(t, func() error {
 		return cmdOnline([]string{"-preset", "stream-bursty", "-sched", "iar"})

@@ -242,6 +242,12 @@ func (a *IARArena) IAR(tr *trace.Trace, p *profile.Profile, opts IAROptions) (Sc
 	// the replacements save, so the step is applied transactionally: keep
 	// the replacements only if a re-evaluation confirms they did not regress
 	// the make-span.
+	// gapRes, when non-nil, is a still-valid recorded run of the current
+	// schedule that step 4 can reuse instead of re-simulating. Step 3's entry
+	// run qualifies exactly when step 3 ends up changing nothing: the schedule
+	// is the one it simulated and no evaluator call has clobbered the result —
+	// the "identical schedule" delta shape, answered with zero re-simulation.
+	var gapRes *sim.Result
 	if !opts.DisableFillSlack {
 		res, err := a.eval.Run(sched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
 		if err != nil {
@@ -288,6 +294,9 @@ func (a *IARArena) IAR(tr *trace.Trace, p *profile.Profile, opts IAROptions) (Sc
 			}
 		}
 		a.changed = changed
+		if nRemoved == 0 {
+			gapRes = res
+		}
 		if nRemoved > 0 {
 			compact := candidate[:0]
 			for i, ev := range candidate {
@@ -320,9 +329,13 @@ func (a *IARArena) IAR(tr *trace.Trace, p *profile.Profile, opts IAROptions) (Sc
 	// free; prioritize the functions with the most calls after compilation
 	// ends.
 	if !opts.DisableFillGap {
-		res, err := a.eval.Run(sched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
-		if err != nil {
-			return nil, err
+		res := gapRes
+		if res == nil {
+			var err error
+			res, err = a.eval.Run(sched, sim.DefaultConfig(), sim.Options{RecordCalls: true})
+			if err != nil {
+				return nil, err
+			}
 		}
 		tgap := res.MakeSpan - res.CompileEnd
 		if tgap > 0 {

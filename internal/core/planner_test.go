@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dacapo"
+	"repro/internal/profile"
+	"repro/internal/testkit"
+	"repro/internal/trace"
+)
+
+// plannerWorkload is a smaller variant of testWorkload: growing-prefix
+// differentials replan O(sqrt) times and run the from-scratch arena on every
+// prefix, so the instance must stay modest.
+func plannerWorkload(seed int64) (*trace.Trace, *profile.Profile) {
+	tr := testkit.Gen(trace.GenConfig{
+		Name: "wl", NumFuncs: 120, Length: 6000, Seed: seed,
+		ZipfS: 1.5, Phases: 3, CoreFuncs: 15, CoreShare: 0.45, BurstMean: 3,
+	})
+	p := testkit.Synth(120, profile.DefaultTiming(4, seed+1))
+	return tr, p
+}
+
+// growPlanner drives one planner and one from-scratch arena over growing
+// prefixes of the trace and asserts bit-identical plans at every step.
+// Returns the planner for stats assertions.
+func growPlanner(t *testing.T, label string, tr *trace.Trace, p *profile.Profile, opts IAROptions, stride int) *IARPlanner {
+	t.Helper()
+	pl, err := NewIARPlanner(p, opts)
+	if err != nil {
+		t.Fatalf("%s: NewIARPlanner: %v", label, err)
+	}
+	arena := NewIARArena()
+	cursor := trace.NewPrefix(tr)
+	for hi := stride; ; hi += stride {
+		if hi > tr.Len() {
+			hi = tr.Len()
+		}
+		if err := cursor.Extend(hi); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		got, err := pl.Plan(cursor.Trace())
+		if err != nil {
+			t.Fatalf("%s: Plan(%d): %v", label, hi, err)
+		}
+		want, err := arena.IAR(tr.Slice(0, hi), p, opts)
+		if err != nil {
+			t.Fatalf("%s: arena(%d): %v", label, hi, err)
+		}
+		sameSchedule(t, fmt.Sprintf("%s/hi=%d", label, hi), got, want)
+		if hi == tr.Len() {
+			break
+		}
+	}
+	return pl
+}
+
+// TestIARPlannerBitIdenticalGrowth sweeps synthetic workloads and the full
+// option matrix over growing prefixes: every incremental plan must equal the
+// from-scratch arena plan on the same prefix, and the fast (no-rebuild) path
+// must actually fire once the classification stabilizes.
+func TestIARPlannerBitIdenticalGrowth(t *testing.T) {
+	var fast, total int64
+	for seed := int64(1); seed <= 3; seed++ {
+		tr, p := plannerWorkload(seed)
+		for _, m := range iarOptionMatrix(p) {
+			label := fmt.Sprintf("seed%d/%s", seed, m.name)
+			pl := growPlanner(t, label, tr, p, m.opts, 479)
+			fast += pl.FastReplans()
+			total += pl.Replans()
+		}
+	}
+	if fast == 0 {
+		t.Errorf("no plan took the fast path across %d replans — the dirty-set check never stabilizes", total)
+	}
+	if fast >= total {
+		t.Errorf("fast path fired on all %d replans — the first plan must rebuild", total)
+	}
+}
+
+// TestIARPlannerSmallStride drives the planner call-by-call (stride 1) on a
+// short workload — the densest replan pattern the online engine can produce.
+func TestIARPlannerSmallStride(t *testing.T) {
+	tr := testkit.Gen(trace.GenConfig{
+		Name: "s1", NumFuncs: 40, Length: 350, Seed: 11,
+		ZipfS: 1.3, Phases: 2, CoreFuncs: 8, CoreShare: 0.5, BurstMean: 2,
+	})
+	p := testkit.Synth(40, profile.DefaultTiming(4, 12))
+	for _, m := range iarOptionMatrix(p) {
+		growPlanner(t, "stride1/"+m.name, tr, p, m.opts, 1)
+	}
+}
+
+// TestIARPlannerBitIdenticalCorpus is the growth differential over real
+// DaCapo workloads, where fill-slack accept/reject flips and gap filling
+// occur at realistic rates.
+func TestIARPlannerBitIdenticalCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus differential is not short")
+	}
+	for _, name := range []string{"antlr", "jython"} {
+		bench, err := dacapo.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := bench.Load(0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		growPlanner(t, name+"/oracle", w.Trace, w.Profile, IAROptions{}, 257)
+		growPlanner(t, name+"/model", w.Trace, w.Profile, IAROptions{Model: w.DefaultModel()}, 257)
+	}
+}
+
+// TestIARPlannerErrors pins construction validation (same strings as the
+// arena's per-run validation), the growth contract, and call validation.
+func TestIARPlannerErrors(t *testing.T) {
+	tr, p := plannerWorkload(5)
+	if _, err := NewIARPlanner(p, IAROptions{K: -1}); err == nil ||
+		err.Error() != "core: IAR K must be positive, got -1" {
+		t.Errorf("negative K: %v", err)
+	}
+	if _, err := NewIARPlanner(p, IAROptions{LowLevel: profile.Level(p.Levels)}); err == nil {
+		t.Errorf("out-of-range LowLevel accepted")
+	}
+	pl, err := NewIARPlanner(p, IAROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Plan(tr.Slice(0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Plan(tr.Slice(0, 50)); err == nil {
+		t.Error("shrinking prefix accepted")
+	}
+	bad := trace.New("bad", []trace.FuncID{0, trace.FuncID(p.NumFuncs())})
+	pl2, err := NewIARPlanner(p, IAROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl2.Plan(bad); err == nil {
+		t.Error("out-of-range function id accepted")
+	}
+	// An empty visible prefix plans an empty schedule.
+	pl3, err := NewIARPlanner(p, IAROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := pl3.Plan(trace.New("empty", nil))
+	if err != nil || len(plan) != 0 {
+		t.Errorf("empty prefix: plan=%v err=%v", plan, err)
+	}
+}

@@ -24,9 +24,12 @@ type Metrics struct {
 	simRuns       atomic.Int64
 	simTicks      atomic.Int64
 
-	onlineRuns    atomic.Int64
-	onlineCommits atomic.Int64
-	onlineForced  atomic.Int64
+	onlineRuns        atomic.Int64
+	onlineCommits     atomic.Int64
+	onlineForced      atomic.Int64
+	onlineReplans     atomic.Int64
+	onlineDirtySkips  atomic.Int64
+	onlineReplanNanos atomic.Int64
 
 	searchRuns      atomic.Int64
 	searchExpanded  atomic.Int64
@@ -147,6 +150,19 @@ func (m *Metrics) OnlineRun(commits, forced int64) {
 	m.onlineRuns.Add(1)
 	m.onlineCommits.Add(commits)
 	m.onlineForced.Add(forced)
+}
+
+// OnlineSched records one online run's scheduler-side cost accounting:
+// how many replans the scheduler ran, how many of those took the warm-start
+// fast path (dirty set empty under the plan-stability check), and the total
+// time spent inside replans.
+func (m *Metrics) OnlineSched(replans, dirtySkips, schedNanos int64) {
+	if m == nil {
+		return
+	}
+	m.onlineReplans.Add(replans)
+	m.onlineDirtySkips.Add(dirtySkips)
+	m.onlineReplanNanos.Add(schedNanos)
 }
 
 // SearchRun records one completed (or budget-aborted) tree search: nodes
@@ -363,6 +379,12 @@ type Snapshot struct {
 	OnlineRuns    int64 `json:"online_runs"`
 	OnlineCommits int64 `json:"online_commits"`
 	OnlineForced  int64 `json:"online_forced"`
+	// OnlineReplans counts replanning-scheduler plans across online runs, of
+	// which OnlineDirtySkips took the warm-start fast path (no structural
+	// rebuild); OnlineReplanNanos sums the scheduler-side time spent planning.
+	OnlineReplans     int64 `json:"online_replans"`
+	OnlineDirtySkips  int64 `json:"online_dirty_skips"`
+	OnlineReplanNanos int64 `json:"online_replan_nanos"`
 	// SearchRuns counts tree searches; the others sum their per-run node and
 	// prune counters.
 	SearchRuns      int64 `json:"search_runs"`
@@ -432,9 +454,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		SimRuns:       m.simRuns.Load(),
 		SimTicks:      m.simTicks.Load(),
 
-		OnlineRuns:    m.onlineRuns.Load(),
-		OnlineCommits: m.onlineCommits.Load(),
-		OnlineForced:  m.onlineForced.Load(),
+		OnlineRuns:        m.onlineRuns.Load(),
+		OnlineCommits:     m.onlineCommits.Load(),
+		OnlineForced:      m.onlineForced.Load(),
+		OnlineReplans:     m.onlineReplans.Load(),
+		OnlineDirtySkips:  m.onlineDirtySkips.Load(),
+		OnlineReplanNanos: m.onlineReplanNanos.Load(),
 
 		SearchRuns:      m.searchRuns.Load(),
 		SearchExpanded:  m.searchExpanded.Load(),
@@ -500,12 +525,13 @@ func (m *Metrics) copyLabeledInt(src *map[int]int64) map[int]int64 {
 // String renders the snapshot as one log-friendly line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"obs: %d jobs started, %d completed (%d failed, %d panicked, %d job-cancelled), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks), %d online runs (%d commits, %d forced), %d searches (%d expanded, %d stored, %d table hits, %d pruned), dispatch %d serial/%d parallel (speedup %d‰), %d IAR runs (%d warm) on %d arenas, %d served (%d ok, %d cancelled, %d client-gone, %d errored, %d serve cache hits, %d coalesced, %d rejected, %d tenants throttled, depth %d, serve queue wait %v, %d batches/%d items)",
+		"obs: %d jobs started, %d completed (%d failed, %d panicked, %d job-cancelled), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks), %d online runs (%d commits, %d forced, %d replans/%d dirty-skips in %v), %d searches (%d expanded, %d stored, %d table hits, %d pruned), dispatch %d serial/%d parallel (speedup %d‰), %d IAR runs (%d warm) on %d arenas, %d served (%d ok, %d cancelled, %d client-gone, %d errored, %d serve cache hits, %d coalesced, %d rejected, %d tenants throttled, depth %d, serve queue wait %v, %d batches/%d items)",
 		s.JobsStarted, s.JobsCompleted, s.JobsFailed, s.JobsPanicked, s.JobsCancelled,
 		s.CacheHits, s.Deduped,
 		s.QueueWait.Round(time.Microsecond), s.JobWall.Round(time.Microsecond),
 		s.MaxJobWall.Round(time.Microsecond), s.SimRuns, s.SimTicks,
 		s.OnlineRuns, s.OnlineCommits, s.OnlineForced,
+		s.OnlineReplans, s.OnlineDirtySkips, time.Duration(s.OnlineReplanNanos).Round(time.Microsecond),
 		s.SearchRuns, s.SearchExpanded, s.SearchStored, s.SearchTableHits, s.SearchPruned,
 		s.SearchDispatchSerial, s.SearchDispatchParallel, s.SearchSpeedupMilli,
 		s.IARRuns, s.IARWarmRuns, s.IARArenas,

@@ -50,6 +50,7 @@ func BenchmarkOnlineWindow(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			var last *online.Result
+			var stats online.SchedStats
 			for i := 0; i < b.N; i++ {
 				sched := online.NewIAR(p, core.IAROptions{}, 0)
 				res, err := online.Run(tr, p, sched, online.Options{Window: win})
@@ -57,11 +58,55 @@ func BenchmarkOnlineWindow(b *testing.B) {
 					b.Fatal(err)
 				}
 				last = res
+				stats = sched.SchedStats()
 			}
 			b.ReportMetric(online.Regret(last.Sim.MakeSpan, offRes.MakeSpan), "regret%")
 			b.ReportMetric(float64(len(last.Schedule)), "commits")
+			b.ReportMetric(float64(stats.SchedNanos)/float64(tr.Len()), "sched-ns/call")
 		})
 	}
+}
+
+// BenchmarkOnlineLongStream is the incremental-replanning headline number: a
+// stream an order of magnitude longer than benchSpec, where from-scratch
+// replanning's O(N²/stride) scheduler-side cost dominates. It reports the
+// warm-start scheduler's cost per call and its speedup over the frozen
+// from-scratch reference (measured once, outside the timed loop).
+func BenchmarkOnlineLongStream(b *testing.B) {
+	spec := &workload.Spec{
+		Name: "bench-long-stream", Seed: 7, Length: 80000,
+		Cohorts: []workload.Cohort{
+			{Bench: "luindex", Scale: 0.25},
+			{Bench: "fop", Scale: 0.25},
+			{Bench: "antlr", Scale: 0.25},
+		},
+		Phases: []workload.Phase{
+			{Weight: 2, Process: workload.ProcessSteady},
+			{Weight: 1, Process: workload.ProcessBursty, BurstMean: 8},
+		},
+	}
+	tr, p, err := spec.Render()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const win = 4096
+	var stats online.SchedStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched := online.NewIAR(p, core.IAROptions{}, 0)
+		if _, err := online.Run(tr, p, sched, online.Options{Window: win}); err != nil {
+			b.Fatal(err)
+		}
+		stats = sched.SchedStats()
+	}
+	b.StopTimer()
+	ref := online.NewIARFromScratch(p, core.IAROptions{}, 0)
+	if _, err := online.Run(tr, p, ref, online.Options{Window: win}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(stats.SchedNanos)/float64(tr.Len()), "sched-ns/call")
+	b.ReportMetric(float64(ref.SchedStats().SchedNanos)/float64(stats.SchedNanos), "replan-speedup")
 }
 
 // BenchmarkOnlineSchedulers compares the three schedulers at one bounded

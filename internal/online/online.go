@@ -218,6 +218,14 @@ func Run(tr *trace.Trace, p *profile.Profile, sched Scheduler, opts Options) (*R
 
 	intr := opts.Interrupt
 	n := tr.Len()
+	// The visible prefix is one extendable cursor over the trace, not a fresh
+	// Slice per call: the window's forward edge only moves forward, so each
+	// call extends the cursor by at most Window new calls and the derived
+	// indices (counts, first calls, first-call order) are maintained in O(new)
+	// instead of rebuilt in O(prefix) at every replan. The scheduler contract
+	// already forbids retaining the visible trace across calls, which is
+	// exactly the cursor view's validity window.
+	cursor := trace.NewPrefix(tr)
 	var execT int64
 	for i, f := range tr.Calls {
 		if intr != nil && i%interruptStride == 0 && interrupted(intr) {
@@ -227,7 +235,10 @@ func Run(tr *trace.Trace, p *profile.Profile, sched Scheduler, opts Options) (*R
 		if opts.Window > 0 && i+opts.Window < n {
 			hi = i + opts.Window
 		}
-		events, err := sched.Observe(i, tr.Slice(0, hi), execT)
+		if err := cursor.Extend(hi); err != nil {
+			return nil, fmt.Errorf("online: %w", err)
+		}
+		events, err := sched.Observe(i, cursor.Trace(), execT)
 		if err != nil {
 			return nil, fmt.Errorf("online: scheduler at call %d: %w", i, err)
 		}
@@ -278,6 +289,10 @@ func Run(tr *trace.Trace, p *profile.Profile, sched Scheduler, opts Options) (*R
 	if opts.Metrics != nil {
 		opts.Metrics.OnlineRun(int64(len(res.Schedule)), int64(res.Forced))
 		opts.Metrics.SimRun(res.Sim.MakeSpan)
+		if sr, ok := sched.(StatsReporter); ok {
+			st := sr.SchedStats()
+			opts.Metrics.OnlineSched(st.Replans, st.DirtySkips, st.SchedNanos)
+		}
 	}
 	return res, nil
 }

@@ -2,6 +2,7 @@ package online
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/profile"
@@ -9,37 +10,65 @@ import (
 	"repro/internal/trace"
 )
 
+// SchedStats is a scheduler's own cost accounting — the price of making the
+// scheduling decisions, kept apart from the simulated workload the decisions
+// produce (the SPDP framing: decision cost is work too).
+type SchedStats struct {
+	// Replans counts plans produced; DirtySkips the subset that took the
+	// warm-start fast path (dirty set empty under the plan-stability check —
+	// no structural rebuild, only O(new calls) simulation extensions).
+	Replans    int64
+	DirtySkips int64
+	// SchedNanos is the wall time spent inside replans.
+	SchedNanos int64
+}
+
+// StatsReporter is implemented by schedulers that account their own cost;
+// the engine forwards the stats to Options.Metrics at the end of a run.
+type StatsReporter interface {
+	SchedStats() SchedStats
+}
+
 // IAR is the online adaptation of the paper's offline IAR scheme: it
-// periodically replans by running core.IAR over the visible prefix and
-// commits only the per-function level upgrades the new plan introduces, in
-// plan order. Earlier commitments are sunk — the merge never retracts, so a
-// bad early guess costs exactly one wasted compilation, as it would in a
-// real runtime.
+// periodically replans over the visible prefix and commits only the
+// per-function level upgrades the new plan introduces, in plan order.
+// Earlier commitments are sunk — the merge never retracts, so a bad early
+// guess costs exactly one wasted compilation, as it would in a real runtime.
+//
+// Replanning is incremental: a core.IARPlanner carries the per-function
+// classification, the n1 frontier, and the previous plan's schedules across
+// replans, so each replan costs O(new calls) when the visible prefix's
+// growth didn't change any classification — and two simulation passes
+// instead of four when it did. The plans are bit-identical to from-scratch
+// IAR on every prefix (see core.IARPlanner), so the committed stream equals
+// IARFromScratch's exactly; the differential tests pin that across
+// window/stride matrices.
 //
 // With an unbounded window the first Observe sees the whole trace, the plan
 // is the offline plan, and no later replan fires (the visible prefix never
 // grows again) — which is how the engine's unbounded run reproduces offline
 // IAR bit for bit.
 type IAR struct {
-	p       *profile.Profile
-	opts    core.IAROptions
 	stride  int
 	planned int // visible length when the last plan ran, -1 before the first
 	emitted []profile.Level
-	replans int
-	// arena backs every replan: the plan is consumed immediately by the
-	// merge loop below, so the scheduler can run IAR allocation-free on the
-	// arena's reusable buffers instead of paying a fresh copy per replan.
-	arena *core.IARArena
+	planner *core.IARPlanner
+	err     error
+	// out is the reusable emit buffer: the slice returned by Observe is
+	// valid only until the next Observe call, which is all the engine's
+	// immediate commit loop needs.
+	out   []sim.CompileEvent
+	stats SchedStats
 }
 
 // DefaultReplanStride is how much the visible prefix must grow between IAR
 // replans when NewIAR is given a non-positive stride.
 const DefaultReplanStride = 512
 
-// NewIAR returns an online IAR scheduler over the profile. opts are passed
-// through to core.IAR at every replan; stride is the minimum visible-prefix
-// growth between replans (DefaultReplanStride if non-positive).
+// NewIAR returns an online IAR scheduler over the profile. opts are fixed
+// for every replan; stride is the minimum visible-prefix growth between
+// replans (DefaultReplanStride if non-positive). Invalid options surface on
+// the first Observe, as they did when each replan validated them.
 func NewIAR(p *profile.Profile, opts core.IAROptions, stride int) *IAR {
 	if stride <= 0 {
 		stride = DefaultReplanStride
@@ -48,24 +77,99 @@ func NewIAR(p *profile.Profile, opts core.IAROptions, stride int) *IAR {
 	for i := range emitted {
 		emitted[i] = -1
 	}
-	return &IAR{p: p, opts: opts, stride: stride, planned: -1, emitted: emitted,
+	planner, err := core.NewIARPlanner(p, opts)
+	return &IAR{stride: stride, planned: -1, emitted: emitted, planner: planner, err: err}
+}
+
+// Replans returns how many times the scheduler has replanned so far.
+func (s *IAR) Replans() int { return int(s.stats.Replans) }
+
+// SchedStats implements StatsReporter.
+func (s *IAR) SchedStats() SchedStats {
+	st := s.stats
+	if s.planner != nil {
+		st.DirtySkips = s.planner.FastReplans()
+	}
+	return st
+}
+
+// Observe implements Scheduler. The returned slice aliases the scheduler's
+// emit buffer and is valid until the next Observe.
+func (s *IAR) Observe(i int, visible *trace.Trace, now int64) ([]sim.CompileEvent, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.planned >= 0 && visible.Len() < s.planned+s.stride {
+		return nil, nil
+	}
+	t0 := time.Now()
+	plan, err := s.planner.Plan(visible)
+	if err != nil {
+		return nil, err
+	}
+	s.planned = visible.Len()
+	s.stats.Replans++
+	out := s.out[:0]
+	for _, ev := range plan {
+		if ev.Level > s.emitted[ev.Func] {
+			s.emitted[ev.Func] = ev.Level
+			out = append(out, ev)
+		}
+	}
+	s.out = out
+	s.stats.SchedNanos += time.Since(t0).Nanoseconds()
+	return out, nil
+}
+
+// IARFromScratch is the pre-incremental replanning IAR scheduler, frozen as
+// the reference implementation: every replan runs full IAR over the entire
+// visible prefix on an arena — O(prefix) per replan, O(N²/stride) per
+// stream. The incremental IAR must commit a bit-identical stream (the
+// differential tests enforce it), and the speedup guard holds the
+// incremental path to a minimum advantage over this one.
+type IARFromScratch struct {
+	p       *profile.Profile
+	opts    core.IAROptions
+	stride  int
+	planned int
+	emitted []profile.Level
+	arena   *core.IARArena
+	stats   SchedStats
+}
+
+// NewIARFromScratch returns the from-scratch reference replanner with the
+// same knobs as NewIAR.
+func NewIARFromScratch(p *profile.Profile, opts core.IAROptions, stride int) *IARFromScratch {
+	if stride <= 0 {
+		stride = DefaultReplanStride
+	}
+	emitted := make([]profile.Level, p.NumFuncs())
+	for i := range emitted {
+		emitted[i] = -1
+	}
+	return &IARFromScratch{p: p, opts: opts, stride: stride, planned: -1, emitted: emitted,
 		arena: core.NewIARArena()}
 }
 
 // Replans returns how many times the scheduler has replanned so far.
-func (s *IAR) Replans() int { return s.replans }
+func (s *IARFromScratch) Replans() int { return int(s.stats.Replans) }
+
+// SchedStats implements StatsReporter. DirtySkips is always zero: this path
+// rebuilds everything, every time.
+func (s *IARFromScratch) SchedStats() SchedStats { return s.stats }
 
 // Observe implements Scheduler.
-func (s *IAR) Observe(i int, visible *trace.Trace, now int64) ([]sim.CompileEvent, error) {
+func (s *IARFromScratch) Observe(i int, visible *trace.Trace, now int64) ([]sim.CompileEvent, error) {
 	if s.planned >= 0 && visible.Len() < s.planned+s.stride {
 		return nil, nil
 	}
+	t0 := time.Now()
 	plan, err := s.arena.IAR(visible, s.p, s.opts)
 	if err != nil {
 		return nil, err
 	}
 	s.planned = visible.Len()
-	s.replans++
+	s.stats.Replans++
 	var out []sim.CompileEvent
 	for _, ev := range plan {
 		if ev.Level > s.emitted[ev.Func] {
@@ -73,6 +177,7 @@ func (s *IAR) Observe(i int, visible *trace.Trace, now int64) ([]sim.CompileEven
 			out = append(out, ev)
 		}
 	}
+	s.stats.SchedNanos += time.Since(t0).Nanoseconds()
 	return out, nil
 }
 

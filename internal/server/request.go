@@ -14,6 +14,7 @@ import (
 	"repro/internal/astar"
 	"repro/internal/core"
 	"repro/internal/dacapo"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/policy"
 	"repro/internal/profile"
@@ -381,8 +382,9 @@ func (req *ScheduleRequest) workload() (*dacapo.Workload, error) {
 // observe it through Options.Interrupt. Cancellation surfaces as a ctx-style
 // error the handler maps to 504/503. arena backs the iar path (nil means a
 // fresh arena); the schedule it produces aliases the arena but is consumed —
-// simulated and marshalled — before execute's caller returns.
-func execute(ctx context.Context, req *ScheduleRequest, w *dacapo.Workload, arena *core.IARArena) (*ScheduleResponse, error) {
+// simulated and marshalled — before execute's caller returns. m, which may
+// be nil, receives the online scheduler's cost accounting.
+func execute(ctx context.Context, req *ScheduleRequest, w *dacapo.Workload, arena *core.IARArena, m *obs.Metrics) (*ScheduleResponse, error) {
 	tr, p := w.Trace, w.Profile
 	var model profile.CostModel
 	if req.Model == "oracle" {
@@ -425,6 +427,7 @@ func execute(ctx context.Context, req *ScheduleRequest, w *dacapo.Workload, aren
 			Window:    req.Window,
 			Config:    cfg,
 			Interrupt: ctx.Done(),
+			Metrics:   m,
 		})
 		if err != nil {
 			if errors.Is(err, sim.ErrInterrupted) {

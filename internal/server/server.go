@@ -251,7 +251,7 @@ func (s *Server) compute(ctx context.Context, req *ScheduleRequest, arena *core.
 	if err != nil {
 		return nil, err
 	}
-	resp, err := execute(ctx, req, w, arena)
+	resp, err := execute(ctx, req, w, arena, s.m)
 	if err != nil {
 		// The simulator's interrupt sentinel does not carry the cause; graft
 		// it on so the handler can tell a deadline from a drain.

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// PrefixSim is a resumable simulation of a growing instance: compile events
+// may be appended to the schedule tail and calls appended to the executed
+// trace, in any interleaving, and the simulation advances by exactly the new
+// work instead of replaying from time zero. It exists for the online
+// replanner, whose per-stride state — the init schedule following a growing
+// visible prefix, the step-2/step-3 schedules re-evaluated over ever more
+// calls — is append-only between plan rebuilds, so each replan costs O(new
+// calls) rather than O(prefix).
+//
+// # Exactness contract
+//
+// A PrefixSim that has appended compile events e1..eM (in that order) and
+// executed calls c1..cN reports exactly what Evaluator.Run / sim.Run report
+// for the static schedule [e1..eM] over the trace [c1..cN] (no arrival
+// times, no variation, no recorder): the same call starts, the same
+// make-span, the same compile-finish times, tick for tick. The differential
+// tests in prefixsim_test.go pin this.
+//
+// The contract holds because appending never rewrites history: calls execute
+// sequentially, so earlier starts cannot depend on later calls; and a
+// compile event appended after some calls have executed is only admitted
+// when no executed call could have used it — its function has never executed
+// (the replanner's case: a function newly revealed by the stream), or its
+// finish time is at or past the execution clock. AppendCompile rejects the
+// one shape that would diverge (an already-executed function's event
+// finishing in the past) instead of silently producing a non-replayable
+// state.
+//
+// A PrefixSim is not safe for concurrent use. On any returned error other
+// than AppendCompile's (which leaves the state untouched) the simulation is
+// mid-step and must be Reset before reuse.
+type PrefixSim struct {
+	nf      int
+	levels  int
+	workers int
+	// compile[f*levels+l] and exec[f*levels+l] flatten the profile tables,
+	// as in Evaluator.
+	compile []int64
+	exec    []int64
+
+	versions   []versionList
+	pool       workerPool
+	dones      []int64
+	compileEnd int64
+	starts     []int64
+	execT      int64
+	called     []bool
+}
+
+// NewPrefixSim builds a resumable simulator for the profile under the given
+// machine configuration, with an empty schedule and no executed calls. The
+// profile is validated exactly as sim.NewEvaluator validates it.
+func NewPrefixSim(p *profile.Profile, cfg Config) (*PrefixSim, error) {
+	if cfg.CompileWorkers < 1 {
+		return nil, fmt.Errorf("sim: Config.CompileWorkers must be >= 1, got %d", cfg.CompileWorkers)
+	}
+	nf, levels := p.NumFuncs(), p.Levels
+	if levels <= 0 {
+		return nil, fmt.Errorf("sim: evaluator needs a profile with positive Levels, got %d", levels)
+	}
+	for f := range p.Funcs {
+		ft := &p.Funcs[f]
+		if len(ft.Compile) != levels || len(ft.Exec) != levels {
+			return nil, fmt.Errorf("sim: evaluator: function %d has %d compile / %d exec levels, want %d",
+				f, len(ft.Compile), len(ft.Exec), levels)
+		}
+	}
+	s := &PrefixSim{
+		nf: nf, levels: levels, workers: cfg.CompileWorkers,
+		compile:  make([]int64, nf*levels),
+		exec:     make([]int64, nf*levels),
+		versions: make([]versionList, nf),
+		pool:     workerPool{free: make([]int64, cfg.CompileWorkers)},
+		called:   make([]bool, nf),
+	}
+	for f := 0; f < nf; f++ {
+		ft := &p.Funcs[f]
+		for l := 0; l < levels; l++ {
+			s.compile[f*levels+l] = ft.Compile[l]
+			s.exec[f*levels+l] = ft.Exec[l]
+		}
+	}
+	return s, nil
+}
+
+// Reset discards the schedule and all executed calls, keeping the arenas, so
+// the simulator can replay a different schedule from time zero without
+// reallocating.
+func (s *PrefixSim) Reset() {
+	for f := range s.versions {
+		s.versions[f].done = s.versions[f].done[:0]
+		s.versions[f].levels = s.versions[f].levels[:0]
+	}
+	clear(s.pool.free)
+	clear(s.called)
+	s.dones = s.dones[:0]
+	s.starts = s.starts[:0]
+	s.compileEnd = 0
+	s.execT = 0
+}
+
+// AppendCompile appends one compile event at the schedule tail, assigning it
+// to the earliest-free worker with arrival time zero, exactly as the static
+// simulators do. It rejects out-of-range events and — see the exactness
+// contract — an event for an already-executed function that would have
+// finished before the current execution clock. On error the state is
+// unchanged.
+func (s *PrefixSim) AppendCompile(ev CompileEvent) error {
+	if ev.Func < 0 || int(ev.Func) >= s.nf {
+		return fmt.Errorf("sim: prefix schedule event references unknown function %d", ev.Func)
+	}
+	if ev.Level < 0 || int(ev.Level) >= s.levels {
+		return fmt.Errorf("sim: prefix schedule event uses level %d outside [0,%d)", ev.Level, s.levels)
+	}
+	best, free := s.pool.earliest()
+	done := free + s.compile[int(ev.Func)*s.levels+int(ev.Level)]
+	if s.called[ev.Func] && done < s.execT {
+		return fmt.Errorf("sim: prefix append of function %d finishing at %d would rewrite history before exec clock %d",
+			ev.Func, done, s.execT)
+	}
+	s.pool.free[best] = done
+	s.versions[ev.Func].insert(done, ev.Level)
+	s.dones = append(s.dones, done)
+	if done > s.compileEnd {
+		s.compileEnd = done
+	}
+	return nil
+}
+
+// ExecCalls executes the given calls in order, advancing the simulation
+// clock. A call to a function with no appended compilation fails with
+// *ErrNoReadyVersion, as in the static simulators.
+func (s *PrefixSim) ExecCalls(calls []trace.FuncID) error {
+	for _, f := range calls {
+		if f < 0 || int(f) >= s.nf {
+			return fmt.Errorf("sim: prefix call invokes unknown function %d", f)
+		}
+		start := s.execT
+		if ready := s.versions[f].firstReady(); ready > start {
+			start = ready
+		}
+		level, ok := s.versions[f].latestAt(start)
+		if !ok {
+			return &ErrNoReadyVersion{Func: f, Time: start}
+		}
+		s.starts = append(s.starts, start)
+		s.execT = start + s.exec[int(f)*s.levels+int(level)]
+		s.called[f] = true
+	}
+	return nil
+}
+
+// MakeSpan returns the execution clock: the end of the last executed call,
+// or 0 before any call.
+func (s *PrefixSim) MakeSpan() int64 { return s.execT }
+
+// CompileEnd returns the finish time of the latest-finishing appended
+// compile event, or 0 before any event.
+func (s *PrefixSim) CompileEnd() int64 { return s.compileEnd }
+
+// CallStarts returns the start time of every executed call, in execution
+// order. The slice aliases the simulator and is valid (read-only) until the
+// next ExecCalls or Reset.
+func (s *PrefixSim) CallStarts() []int64 { return s.starts }
+
+// CompileDones returns the finish time of every appended compile event, in
+// append order. The slice aliases the simulator and is valid (read-only)
+// until the next AppendCompile or Reset.
+func (s *PrefixSim) CompileDones() []int64 { return s.dones }
+
+// NumCalls returns how many calls have been executed.
+func (s *PrefixSim) NumCalls() int { return len(s.starts) }
+
+// NumCompiles returns how many compile events have been appended.
+func (s *PrefixSim) NumCompiles() int { return len(s.dones) }

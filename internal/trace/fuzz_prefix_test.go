@@ -1,0 +1,88 @@
+package trace
+
+import "testing"
+
+// FuzzPrefixCursor drives a Prefix through arbitrary extend/query
+// interleavings decoded from the fuzz input and cross-checks every state
+// against a fresh Slice of the same length. Each input byte pair is one step:
+// the first byte picks the extension size (including zero-length no-ops and
+// deliberately invalid backward/overlong requests, which must leave the
+// cursor untouched), the second seeds the function IDs appended to the base
+// trace for that step.
+func FuzzPrefixCursor(f *testing.F) {
+	f.Add([]byte{1, 0, 4, 7, 16, 3, 0, 0, 255, 1})
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 2, 2, 2, 2})
+	f.Add([]byte{0, 9, 1, 9, 1, 9, 1, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			return // bound base-trace growth
+		}
+		var calls []FuncID
+		seed := FuncID(1)
+		for i := 0; i+1 < len(data); i += 2 {
+			n := int(data[i]) % 32
+			seed = (seed*31 + FuncID(data[i+1])) % 97
+			for j := 0; j < n; j++ {
+				calls = append(calls, (seed+FuncID(j*j))%23)
+			}
+		}
+		base := New("fuzz", calls)
+		p := NewPrefix(base)
+		for i := 0; i+1 < len(data); i += 2 {
+			var hi int
+			switch data[i+1] % 4 {
+			case 0:
+				hi = p.Len() // no-op extension
+			case 1:
+				hi = p.Len() - 1 // backward: must be rejected
+			case 2:
+				hi = len(calls) + 1 + int(data[i]) // overlong: must be rejected
+			default:
+				hi = p.Len() + int(data[i])%48
+				if hi > len(calls) {
+					hi = len(calls)
+				}
+			}
+			before := p.Len()
+			err := p.Extend(hi)
+			valid := hi >= before && hi <= len(calls)
+			if valid && err != nil {
+				t.Fatalf("Extend(%d) from %d: %v", hi, before, err)
+			}
+			if !valid {
+				if err == nil {
+					t.Fatalf("Extend(%d) from %d of %d accepted", hi, before, len(calls))
+				}
+				if p.Len() != before {
+					t.Fatalf("rejected Extend moved cursor %d -> %d", before, p.Len())
+				}
+			}
+
+			fresh := base.Slice(0, p.Len())
+			v := p.Trace()
+			if v.NumFuncs() != fresh.NumFuncs() || v.UniqueFuncs() != fresh.UniqueFuncs() {
+				t.Fatalf("at len %d: numFuncs %d/%d unique %d/%d",
+					p.Len(), v.NumFuncs(), fresh.NumFuncs(), v.UniqueFuncs(), fresh.UniqueFuncs())
+			}
+			gc, wc := v.Counts(), fresh.Counts()
+			gf, wf := v.FirstCalls(), fresh.FirstCalls()
+			for fn := range wc {
+				if gc[fn] != wc[fn] || gf[fn] != wf[fn] {
+					t.Fatalf("at len %d func %d: counts %d/%d firstCalls %d/%d",
+						p.Len(), fn, gc[fn], wc[fn], gf[fn], wf[fn])
+				}
+			}
+			gord, word := v.FirstCallOrder(), fresh.FirstCallOrder()
+			if len(gord) != len(word) {
+				t.Fatalf("at len %d: order len %d/%d", p.Len(), len(gord), len(word))
+			}
+			for k := range word {
+				if gord[k] != word[k] {
+					t.Fatalf("at len %d: order[%d] %d/%d", p.Len(), k, gord[k], word[k])
+				}
+			}
+		}
+	})
+}

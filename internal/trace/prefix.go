@@ -1,0 +1,101 @@
+package trace
+
+import "fmt"
+
+// Prefix is an extendable cursor over the leading calls of a base trace. It
+// maintains the same derived indices a Trace memoizes — NumFuncs, Counts,
+// FirstCalls, FirstCallOrder — incrementally as the visible prefix grows, so
+// a consumer that repeatedly analyzes a growing prefix (the online
+// scheduling engine, a replanning scheduler) pays O(new calls) per extension
+// instead of re-deriving O(prefix) on a fresh Slice every time.
+//
+// # View contract
+//
+// Trace returns one live *Trace whose Calls and memoized indices are updated
+// in place by every Extend. The view is therefore valid only between
+// extensions: consumers must finish reading it (including any slices
+// obtained from Counts, FirstCalls, or FirstCallOrder) before the cursor is
+// extended again, and must never mutate it. This matches the online
+// Scheduler contract, where the visible trace is read-only and nothing of it
+// may be retained across calls.
+//
+// A Prefix is not safe for concurrent use. The base trace is treated as
+// immutable, as everywhere else in the engine.
+type Prefix struct {
+	base *Trace
+	view Trace
+	m    traceMemo
+}
+
+// NewPrefix returns a cursor over base, initially covering zero calls.
+func NewPrefix(base *Trace) *Prefix {
+	p := &Prefix{base: base}
+	p.view.Name = base.Name
+	p.view.Calls = base.Calls[:0]
+	p.view.memo.Store(&p.m)
+	return p
+}
+
+// Len returns the number of calls currently covered by the cursor.
+func (p *Prefix) Len() int { return len(p.view.Calls) }
+
+// Base returns the underlying full trace.
+func (p *Prefix) Base() *Trace { return p.base }
+
+// Trace returns the live prefix view; see the type comment for its
+// validity contract.
+func (p *Prefix) Trace() *Trace { return &p.view }
+
+// Extend grows the prefix to cover the first hi calls of the base trace,
+// updating the derived indices in O(hi - Len()). The prefix can only grow:
+// hi below the current length or beyond the base trace is an error, as is a
+// negative function ID in the newly covered region (the same condition
+// Trace.Validate rejects). On error the cursor is unchanged.
+func (p *Prefix) Extend(hi int) error {
+	cur := len(p.view.Calls)
+	if hi < cur || hi > len(p.base.Calls) {
+		return fmt.Errorf("trace %q: prefix extension to %d outside [%d, %d]",
+			p.base.Name, hi, cur, len(p.base.Calls))
+	}
+	delta := p.base.Calls[cur:hi]
+	for i, f := range delta {
+		if f < 0 {
+			return fmt.Errorf("trace %q: call %d has negative function id %d", p.base.Name, cur+i, f)
+		}
+	}
+	for i, f := range delta {
+		if int(f) >= p.m.numFuncs {
+			p.growFuncs(int(f) + 1)
+		}
+		p.m.counts[f]++
+		if p.m.firstCalls[f] < 0 {
+			p.m.firstCalls[f] = cur + i
+			p.m.firstOrder = append(p.m.firstOrder, f)
+		}
+	}
+	p.view.Calls = p.base.Calls[:hi]
+	return nil
+}
+
+// growFuncs widens the per-function index slices to n entries, reusing the
+// backing arrays' spare capacity so repeated one-function growth stays
+// amortized O(1).
+func (p *Prefix) growFuncs(n int) {
+	old := p.m.numFuncs
+	if cap(p.m.counts) >= n {
+		p.m.counts = p.m.counts[:n]
+		p.m.firstCalls = p.m.firstCalls[:n]
+	} else {
+		counts := make([]int64, n, 2*n)
+		copy(counts, p.m.counts)
+		p.m.counts = counts
+		firstCalls := make([]int, n, 2*n)
+		copy(firstCalls, p.m.firstCalls)
+		p.m.firstCalls = firstCalls
+	}
+	for i := old; i < n; i++ {
+		p.m.counts[i] = 0
+		p.m.firstCalls[i] = -1
+	}
+	p.m.numFuncs = n
+}

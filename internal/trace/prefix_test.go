@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkPrefixMemo asserts the cursor's derived indices equal a fresh Slice's
+// at the cursor's current length — the property the incremental maintenance
+// must hold after every extension.
+func checkPrefixMemo(t *testing.T, base *Trace, p *Prefix) {
+	t.Helper()
+	fresh := base.Slice(0, p.Len())
+	v := p.Trace()
+	if v.Len() != fresh.Len() {
+		t.Fatalf("len %d, want %d", v.Len(), fresh.Len())
+	}
+	if v.NumFuncs() != fresh.NumFuncs() {
+		t.Fatalf("at len %d: NumFuncs %d, want %d", p.Len(), v.NumFuncs(), fresh.NumFuncs())
+	}
+	if v.UniqueFuncs() != fresh.UniqueFuncs() {
+		t.Fatalf("at len %d: UniqueFuncs %d, want %d", p.Len(), v.UniqueFuncs(), fresh.UniqueFuncs())
+	}
+	gc, wc := v.Counts(), fresh.Counts()
+	if len(gc) != len(wc) {
+		t.Fatalf("at len %d: %d counts, want %d", p.Len(), len(gc), len(wc))
+	}
+	for f := range wc {
+		if gc[f] != wc[f] {
+			t.Fatalf("at len %d: counts[%d] = %d, want %d", p.Len(), f, gc[f], wc[f])
+		}
+	}
+	gf, wf := v.FirstCalls(), fresh.FirstCalls()
+	for f := range wf {
+		if gf[f] != wf[f] {
+			t.Fatalf("at len %d: firstCalls[%d] = %d, want %d", p.Len(), f, gf[f], wf[f])
+		}
+	}
+	go1, wo := v.FirstCallOrder(), fresh.FirstCallOrder()
+	if len(go1) != len(wo) {
+		t.Fatalf("at len %d: %d first-order funcs, want %d", p.Len(), len(go1), len(wo))
+	}
+	for i := range wo {
+		if go1[i] != wo[i] {
+			t.Fatalf("at len %d: firstOrder[%d] = %d, want %d", p.Len(), i, go1[i], wo[i])
+		}
+	}
+}
+
+func TestPrefixMatchesSliceMemo(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(400)
+		calls := make([]FuncID, n)
+		maxF := 1 + rng.Intn(40)
+		for i := range calls {
+			// Skewed IDs so first appearances keep trickling in late.
+			calls[i] = FuncID(rng.Intn(maxF) * rng.Intn(3))
+		}
+		base := New("prop", calls)
+		p := NewPrefix(base)
+		checkPrefixMemo(t, base, p)
+		for p.Len() < n {
+			hi := p.Len() + 1 + rng.Intn(17)
+			if hi > n {
+				hi = n
+			}
+			if err := p.Extend(hi); err != nil {
+				t.Fatal(err)
+			}
+			checkPrefixMemo(t, base, p)
+		}
+	}
+}
+
+func TestPrefixViewIsLive(t *testing.T) {
+	base := New("live", []FuncID{2, 0, 2, 1})
+	p := NewPrefix(base)
+	v := p.Trace()
+	if err := p.Extend(1); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 1 || v.NumFuncs() != 3 || v.UniqueFuncs() != 1 {
+		t.Fatalf("after Extend(1): len=%d numFuncs=%d unique=%d", v.Len(), v.NumFuncs(), v.UniqueFuncs())
+	}
+	if err := p.Extend(4); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 4 || v.UniqueFuncs() != 3 {
+		t.Fatalf("after Extend(4): len=%d unique=%d", v.Len(), v.UniqueFuncs())
+	}
+	if got := v.Counts()[2]; got != 2 {
+		t.Fatalf("counts[2] = %d, want 2", got)
+	}
+}
+
+func TestPrefixExtendRejects(t *testing.T) {
+	base := New("bad", []FuncID{0, 1, -1, 2})
+	p := NewPrefix(base)
+	if err := p.Extend(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Extend(1); err == nil {
+		t.Error("shrinking extension accepted")
+	}
+	if err := p.Extend(5); err == nil {
+		t.Error("extension beyond the base accepted")
+	}
+	if err := p.Extend(3); err == nil {
+		t.Error("negative function id accepted")
+	}
+	// A failed extension leaves the cursor usable at its old length.
+	if p.Len() != 2 {
+		t.Fatalf("cursor moved to %d after rejected extensions", p.Len())
+	}
+	checkPrefixMemo(t, New("bad", base.Calls[:2]), p)
+}
+
+func TestPrefixEmptyAndFull(t *testing.T) {
+	base := New("full", []FuncID{1, 1, 0})
+	p := NewPrefix(base)
+	if p.Len() != 0 || p.Trace().NumFuncs() != 0 || p.Trace().UniqueFuncs() != 0 {
+		t.Fatalf("fresh cursor not empty: %+v", p.Trace())
+	}
+	if err := p.Extend(3); err != nil {
+		t.Fatal(err)
+	}
+	checkPrefixMemo(t, base, p)
+	if err := p.Extend(3); err != nil {
+		t.Fatalf("no-op extension failed: %v", err)
+	}
+	if p.Base() != base {
+		t.Error("Base() lost the underlying trace")
+	}
+}
