@@ -9,7 +9,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check test race runner-race fuzz-smoke serve-smoke bench bench-guard bench-json bench-json-search bench-json-online bench-json-serve golden ci
+.PHONY: all build vet fmt-check test race runner-race fuzz-smoke serve-smoke oracle-short bench bench-guard bench-json bench-json-search bench-json-online bench-json-serve golden ci
 
 all: build
 
@@ -40,8 +40,9 @@ runner-race:
 # internal/trace/testdata/fuzz/), the BnB state-key canonicalization
 # (seed corpus in internal/astar/testdata/fuzz/), the scheduling
 # service's request decoder (seed corpus in internal/server/testdata/requests/),
-# and the streaming workload spec codec + renderer (seed corpus in
-# internal/workload/testdata/fuzz/).
+# the streaming workload spec codec + renderer (seed corpus in
+# internal/workload/testdata/fuzz/), and the CDCL-vs-brute-force CNF
+# differential (in-code seed corpus in internal/npc/satdiff_test.go).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzReadText -fuzztime=$(FUZZTIME) ./internal/trace/
@@ -50,6 +51,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzScheduleRequest -fuzztime=$(FUZZTIME) ./internal/server/
 	$(GO) test -run='^$$' -fuzz=FuzzBatchRequest -fuzztime=$(FUZZTIME) ./internal/server/
 	$(GO) test -run='^$$' -fuzz=FuzzWorkloadSpec -fuzztime=$(FUZZTIME) ./internal/workload/
+	$(GO) test -run='^$$' -fuzz=FuzzCNFSolve -fuzztime=$(FUZZTIME) ./internal/npc/
 
 # One request per algorithm through a real scheduling server, each response
 # diffed byte-for-byte against internal/server/testdata/golden/. Run
@@ -69,11 +71,14 @@ bench:
 # pre-arena bytes-per-op (TestIARArenaAllocGuard gates both from the root
 # BenchmarkIAR path); and branch-and-bound must prove optimality on the
 # 8-function study instance well inside DefaultMaxNodes. The tests assert the
-# budgets; the benchmark runs print the numbers for the log.
+# budgets; the benchmark runs print the numbers for the log. The exact-solver
+# pair gates the oracle the same way: a warm Solver stays under its small
+# allocation ceiling, and two identical solves are bit-identical.
 bench-guard:
 	$(GO) test -run='TestDisabledRecorderZeroAlloc|TestRecorderDisabledZeroAlloc|TestEvaluatorZeroAlloc' -count=1 \
 		./internal/obs/ ./internal/sim/
 	$(GO) test -run='TestBnBWarmZeroAlloc|TestBnBWarmZeroAllocCancellable|TestBnBNodeBudgetGuard' -count=1 ./internal/astar/
+	$(GO) test -run='TestSolverWarmAllocs|TestSolveDeterminism' -count=1 ./internal/exact/
 	$(GO) test -run='TestIARArenaWarmAllocGuard' -count=1 ./internal/core/
 	$(GO) test -run='TestIARArenaAllocGuard' -count=1 .
 	$(GO) test -run='TestOnlineObserveAllocGuard|TestOnlineReplanSpeedupGuard' -count=1 ./internal/online/
@@ -92,10 +97,12 @@ bench-json:
 	@echo "wrote BENCH_core.json"
 
 # Machine-readable search benchmarks: the exact searches (A*, beam, BnB serial
-# and parallel) on their study instances, collected into BENCH_search.json.
+# and parallel) on their study instances, plus the exact-solver oracle with
+# its CDCL and pruning counters, collected into BENCH_search.json.
 bench-json-search:
 	@{ $(GO) test -run='^$$' -bench='^BenchmarkAStarSearch6$$' -benchmem -benchtime=3x . && \
-	$(GO) test -run='^$$' -bench='BenchmarkBeamSearch|BenchmarkBnBStudy8' -benchmem -benchtime=5x ./internal/astar/; } \
+	$(GO) test -run='^$$' -bench='BenchmarkBeamSearch|BenchmarkBnBStudy8' -benchmem -benchtime=5x ./internal/astar/ && \
+	$(GO) test -run='^$$' -bench='BenchmarkExactSolve' -benchmem -benchtime=3x ./internal/exact/; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_search.json
 	@echo "wrote BENCH_search.json"
 
@@ -122,8 +129,14 @@ bench-json-serve:
 		-o BENCH_serve.json -max-p99 2s -min-hit-rate 0.95
 	@echo "wrote BENCH_serve.json"
 
+# The differential oracle suite at -short depth: exact vs BnB vs exhaustive
+# agreement, heuristics-never-beat-exact, and the CDCL property tests — the
+# quick certification pass (the full-depth suite runs in `make test`/`race`).
+oracle-short:
+	$(GO) test -short -count=1 ./internal/exact/... ./internal/npc/
+
 # Regenerate the experiment golden files after an intentional output change.
 golden:
 	$(GO) test ./internal/experiments -run TestGolden -update
 
-ci: fmt-check vet build race runner-race fuzz-smoke serve-smoke bench-guard bench-json bench-json-search bench-json-online bench-json-serve
+ci: fmt-check vet build race runner-race fuzz-smoke serve-smoke oracle-short bench-guard bench-json bench-json-search bench-json-online bench-json-serve

@@ -17,7 +17,7 @@ import (
 // internal/runner pool; -par bounds the pool and -stats reports what it did.
 func cmdExp(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("exp: missing experiment name (fig5|fig6|fig7|fig8|table1|table2|astar|bnb|priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt|online|all)")
+		return fmt.Errorf("exp: missing experiment name (fig5|fig6|fig7|fig8|table1|table2|astar|bnb|exact|priority|variation|predict|ksweep|periodsweep|interp|inline|scalesweep|mt|online|all)")
 	}
 	which := args[0]
 	fs, scale, bench := expFlags("exp " + which)
@@ -105,6 +105,16 @@ func cmdExp(args []string) error {
 			// the classic searches' memory wall (not part of "all"; the
 			// 10-12 function searches take seconds).
 			rows, err := experiments.AStarStudy(experiments.AStarOptions{BnBMaxFuncs: 12, Runner: eng})
+			if err != nil {
+				return err
+			}
+			return experiments.RenderSearchFrontier(rows, os.Stdout)
+		case "exact":
+			// The oracle frontier: bnb rows plus internal/exact rows out to
+			// fourteen unique functions (not part of "all"; the terminal
+			// probes at twelve-plus functions take tens of seconds).
+			rows, err := experiments.AStarStudy(experiments.AStarOptions{
+				BnBMaxFuncs: 12, ExactMaxFuncs: 14, Runner: eng})
 			if err != nil {
 				return err
 			}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/astar"
 	"repro/internal/core"
 	"repro/internal/dacapo"
+	"repro/internal/exact"
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/profile"
@@ -197,8 +198,16 @@ func buildSchedule(w *dacapo.Workload, algo, modelName string) (sim.Schedule, pr
 			return nil, nil, fmt.Errorf("bnb: %w (exact search needs a small instance; try -scale or a custom -trace)", err)
 		}
 		return res.Schedule, model, nil
+	case "exact":
+		// The threshold-escalation optimality oracle: same feasibility range
+		// as bnb, with a certificate that nothing cheaper exists.
+		res, err := exact.Solve(w.Trace, w.Profile, exact.Options{})
+		if err != nil {
+			return nil, nil, fmt.Errorf("exact: %w (the oracle needs a small instance; try -scale or a custom -trace)", err)
+		}
+		return res.Schedule, model, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown algorithm %q (iar|base|opt|bnb)", algo)
+		return nil, nil, fmt.Errorf("unknown algorithm %q (iar|base|opt|bnb|exact)", algo)
 	}
 }
 
@@ -208,7 +217,7 @@ func cmdSchedule(args []string) error {
 	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
 	bench := fs.String("bench", "", "benchmark name")
 	scale := fs.Float64("scale", 1.0, "trace length multiplier")
-	algo := fs.String("algo", "iar", "iar, base, opt, or bnb (exact, small instances only)")
+	algo := fs.String("algo", "iar", "iar, base, opt, bnb, or exact (the optimal searches need small instances)")
 	modelName := fs.String("model", "default", "cost-benefit model: default or oracle")
 	limit := fs.Int("n", 40, "print at most n events (0 = all)")
 	advice := fs.String("advice", "", "write the schedule as an advice file instead of printing")
@@ -257,7 +266,7 @@ func cmdSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	bench := fs.String("bench", "", "benchmark name")
 	scale := fs.Float64("scale", 1.0, "trace length multiplier")
-	algo := fs.String("algo", "iar", "iar, base, opt, bnb, jikes, or v8")
+	algo := fs.String("algo", "iar", "iar, base, opt, bnb, exact, jikes, or v8")
 	modelName := fs.String("model", "default", "cost-benefit model: default or oracle")
 	workers := fs.Int("workers", 1, "compilation workers (cores)")
 	advice := fs.String("advice", "", "replay a schedule from an advice file instead of -algo")

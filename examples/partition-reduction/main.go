@@ -95,7 +95,10 @@ func main() {
 	fmt.Printf("  -> SUBSET-SUM with %d elements, target %d\n", len(si.SubsetSum.S), si.SubsetSum.T)
 	fmt.Printf("  -> PARTITION with %d elements\n", len(si.Partition))
 	fmt.Printf("  -> OCSP with %d functions, make-span bound %d\n", si.OCSP.Profile.NumFuncs(), si.OCSP.Bound)
-	assign := npc.SolveSATBruteForce(formula)
+	assign, err := npc.SolveSATBruteForce(formula)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("satisfying assignment: %v\n", assign)
 	satSched, err := si.ScheduleForAssignment(assign)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/ocsp"
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -151,10 +152,13 @@ func heapCapFor(budget int) int {
 }
 
 // searcher carries the immutable problem plus scratch space. The immutable
-// part (trace, profile, flattened timing tables, order, bestE) is shared
-// read-only by the parallel beam workers; the scratch (pe, counters) belongs
-// to the owning goroutine.
+// part — the flattened timing tables, order, bestE, and bounds of
+// ocsp.Tables — is shared read-only by the parallel beam workers; the
+// scratch (pe, counters) belongs to the owning goroutine. The table slices
+// are aliased into named fields so the search loops read in this package's
+// short vocabulary.
 type searcher struct {
+	tab    *ocsp.Tables
 	tr     *trace.Trace
 	p      *profile.Profile
 	order  []trace.FuncID // functions by first appearance
@@ -178,9 +182,6 @@ type searcher struct {
 }
 
 func newSearcher(tr *trace.Trace, p *profile.Profile, opts Options) (*searcher, error) {
-	if err := tr.Validate(p.NumFuncs()); err != nil {
-		return nil, err
-	}
 	budget := opts.MaxNodes
 	if budget == 0 {
 		budget = DefaultMaxNodes
@@ -188,84 +189,35 @@ func newSearcher(tr *trace.Trace, p *profile.Profile, opts Options) (*searcher, 
 	if budget < 0 {
 		return nil, fmt.Errorf("astar: MaxNodes must be non-negative, got %d", opts.MaxNodes)
 	}
-	s := &searcher{tr: tr, p: p, order: tr.FirstCallOrder(), levels: p.Levels, budget: budget}
-	nf := p.NumFuncs()
-	s.bestE = make([]int64, nf)
-	s.compile = make([]int64, nf*p.Levels)
-	s.exec = make([]int64, nf*p.Levels)
-	s.cminC = make([]int64, nf)
-	for f := 0; f < nf; f++ {
-		s.bestE[f] = p.BestExecTime(trace.FuncID(f))
-		for l := 0; l < p.Levels; l++ {
-			s.compile[f*p.Levels+l] = p.CompileTime(trace.FuncID(f), profile.Level(l))
-			s.exec[f*p.Levels+l] = p.ExecTime(trace.FuncID(f), profile.Level(l))
-			if l == 0 || s.compile[f*p.Levels+l] < s.cminC[f] {
-				s.cminC[f] = s.compile[f*p.Levels+l]
-			}
-		}
+	tab, err := ocsp.NewTables(tr, p)
+	if err != nil {
+		return nil, err
 	}
-	s.sufBest = make([]int64, tr.Len()+1)
-	for i := tr.Len() - 1; i >= 0; i-- {
-		s.sufBest[i] = s.sufBest[i+1] + s.bestE[tr.Calls[i]]
+	s := &searcher{
+		tab:       tab,
+		tr:        tr,
+		p:         p,
+		order:     tab.Order,
+		bestE:     tab.BestE,
+		levels:    tab.Levels,
+		compile:   tab.Compile,
+		exec:      tab.Exec,
+		sufBest:   tab.SufBest,
+		cminC:     tab.CminC,
+		firstCall: tab.FirstCall,
+		budget:    budget,
 	}
-	s.firstCall = tr.FirstCalls()
 	s.pe = s.newPrefixEval()
 	return s, nil
 }
 
-// boundFrom returns an admissible lower bound on the total cost (bubbles plus
-// extra execution, the tree objective) of ANY completion of a prefix with
-// committed cursor cur, compile span t, and per-function next schedulable
-// levels. It tightens the paper's f(v) with two scheduling facts:
-//
-//   - execution cannot finish before the effective frontier max(execT, t)
-//     plus the §5.2 best-level bound over the remaining calls (sufBest — the
-//     core.LowerBoundAtLevels sum restricted to the suffix): every remaining
-//     call starts at or after the frontier and runs for at least its best
-//     execution time;
-//   - compile slack for uncovered functions: the first call of a function
-//     with no compiled version cannot start before t plus that function's
-//     cheapest compile time; and since the single compile worker builds the
-//     uncovered functions' versions sequentially, some uncovered function's
-//     first call waits until t plus the SUM of their cheapest compile times,
-//     after which at least its own suffix of best-level execution remains.
-//
-// Subtracting execT and the full suffix bound converts the make-span bound
-// back to cost (cost = make-span - Σ best-level times; the committed part of
-// that identity is cur.bubbles+cur.extra = execT - Σ committed best times).
+// boundFrom is the admissible completion bound every search here prunes
+// with: ocsp.Tables.CostBound, the extraction of this package's historical
+// bound into the shared bounds machinery. The legacy searches stay on
+// CostBound (their goldens pin node counts under it); BnBOptions.TightBound
+// opts branch-and-bound into the strictly-dominating CostBoundTight chain.
 func (s *searcher) boundFrom(cur cursor, t int64, next []profile.Level) int64 {
-	e := cur.execT
-	if t > e {
-		e = t
-	}
-	flb := e + s.sufBest[cur.i]
-	var cminSum, minTail int64
-	k := -1
-	minTail = -1
-	for _, f := range s.order {
-		if next[f] != 0 {
-			continue
-		}
-		// Uncovered functions' first calls are at or beyond cur.i: an
-		// evaluated call always had a version.
-		fc := s.firstCall[f]
-		cminSum += s.cminC[f]
-		if k < 0 || fc < k {
-			k = fc
-		}
-		if tail := s.sufBest[fc]; minTail < 0 || tail < minTail {
-			minTail = tail
-		}
-	}
-	if k >= 0 {
-		if b := t + s.cminC[s.tr.Calls[k]] + s.sufBest[k]; b > flb {
-			flb = b
-		}
-		if c := t + cminSum + minTail; c > flb {
-			flb = c
-		}
-	}
-	return cur.bubbles + cur.extra + flb - cur.execT - s.sufBest[cur.i]
+	return s.tab.CostBound(cur, t, next)
 }
 
 // prefix reconstructs the schedule along the parent chain of n.
@@ -355,7 +307,7 @@ func (s *searcher) cost(prefix sim.Schedule, full bool) (g, makeSpan int64) {
 // parent's cursor over the newly-in-window calls.
 func (s *searcher) children(n *node) ([]*node, error) {
 	next, missing := s.statuses(n)
-	s.pe.load(s.prefix(n))
+	s.pe.Load(s.prefix(n))
 	var kids []*node
 	for _, f := range s.order {
 		for l := next[f]; int(l) < s.p.Levels; l++ {
@@ -370,7 +322,7 @@ func (s *searcher) children(n *node) ([]*node, error) {
 				depth:  n.depth + 1,
 				seq:    s.seq,
 			}
-			child.cur, child.g = s.pe.advance(n.cur, child.event)
+			child.cur, child.g = s.pe.Advance(n.cur, child.event)
 			kids = append(kids, child)
 		}
 	}
@@ -382,7 +334,7 @@ func (s *searcher) children(n *node) ([]*node, error) {
 		s.alloc++
 		s.seq++
 		leaf := &node{parent: n.parent, event: n.event, depth: n.depth, cur: n.cur, stop: true, seq: s.seq}
-		leaf.g, _ = s.pe.finish(n.cur)
+		leaf.g, _ = s.pe.Finish(n.cur)
 		kids = append(kids, leaf)
 	}
 	return kids, nil
@@ -423,8 +375,8 @@ func SearchContext(ctx context.Context, tr *trace.Trace, p *profile.Profile, opt
 		n := heap.Pop(open).(*node)
 		if n.stop {
 			sched := s.prefix(n)
-			s.pe.load(sched)
-			_, span := s.pe.finish(n.cur)
+			s.pe.Load(sched)
+			_, span := s.pe.Finish(n.cur)
 			res.Schedule = sched
 			res.MakeSpan = span
 			res.Cost = n.g
@@ -492,8 +444,8 @@ func ExhaustiveContext(ctx context.Context, tr *trace.Trace, p *profile.Profile,
 		if s.alloc%cancelStride == 0 && cancelled(done) {
 			return cancelErr(ctx)
 		}
-		s.pe.load(prefix)
-		if s.boundFrom(cur, s.pe.span, next) >= bestCost {
+		s.pe.Load(prefix)
+		if s.boundFrom(cur, s.pe.Span(), next) >= bestCost {
 			return nil // admissible bound: no descendant can improve
 		}
 		missing := 0
@@ -503,7 +455,7 @@ func ExhaustiveContext(ctx context.Context, tr *trace.Trace, p *profile.Profile,
 			}
 		}
 		if missing == 0 {
-			full, span := s.pe.finish(cur)
+			full, span := s.pe.Finish(cur)
 			if full < bestCost {
 				bestCost = full
 				bestSched = prefix.Clone()
@@ -516,8 +468,8 @@ func ExhaustiveContext(ctx context.Context, tr *trace.Trace, p *profile.Profile,
 				saved := next[f]
 				next[f] = l + 1
 				ev := sim.CompileEvent{Func: f, Level: l}
-				s.pe.load(prefix)
-				ccur, _ := s.pe.advance(cur, ev)
+				s.pe.Load(prefix)
+				ccur, _ := s.pe.Advance(cur, ev)
 				prefix = append(prefix, ev)
 				err := dfs(ccur)
 				prefix = prefix[:len(prefix)-1]
@@ -555,6 +507,11 @@ var totalPathsMemo sync.Map // [2]int -> float64
 // growth; the value saturates once the running product clears 1e300 (the
 // division by per-function orderings is skipped from there, see
 // TestTotalPathsSaturation) and is only for reporting.
+// TotalPaths exposes the path-count estimate to sibling packages: the exact
+// solver (internal/exact) reports the same "searched k of n paths" figure for
+// its frontier rows.
+func TotalPaths(m, levels int) float64 { return totalPaths(m, levels) }
+
 func totalPaths(m, levels int) float64 {
 	key := [2]int{m, levels}
 	if v, ok := totalPathsMemo.Load(key); ok {

@@ -120,7 +120,7 @@ func BeamSearchContext(ctx context.Context, tr *trace.Trace, p *profile.Profile,
 	// scratch. It reads only immutable searcher state.
 	expand := func(pe *prefixEval, n beamNode) beamExpansion {
 		var ex beamExpansion
-		pe.load(n.sched)
+		pe.Load(n.sched)
 		missing := 0
 		for _, f := range s.order {
 			if n.next[f] == 0 {
@@ -129,7 +129,7 @@ func BeamSearchContext(ctx context.Context, tr *trace.Trace, p *profile.Profile,
 		}
 		if missing == 0 {
 			ex.complete = true
-			ex.full, ex.span = pe.finish(n.cur)
+			ex.full, ex.span = pe.Finish(n.cur)
 		}
 		for _, f := range s.order {
 			for l := n.next[f]; int(l) < p.Levels; l++ {
@@ -138,7 +138,7 @@ func BeamSearchContext(ctx context.Context, tr *trace.Trace, p *profile.Profile,
 					next:  append([]profile.Level(nil), n.next...),
 				}
 				child.next[f] = l + 1
-				child.cur, child.g = pe.advance(n.cur, sim.CompileEvent{Func: f, Level: l})
+				child.cur, child.g = pe.Advance(n.cur, sim.CompileEvent{Func: f, Level: l})
 				ex.kids = append(ex.kids, child)
 			}
 		}

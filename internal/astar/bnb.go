@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/ocsp"
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -55,6 +56,12 @@ type BnBOptions struct {
 	// is bit-identical for every worker count, so dispatch never changes the
 	// answer — only the wall time.
 	Workers int
+	// TightBound switches pruning from the historical ocsp.Tables.CostBound
+	// to the strictly-dominating prefix-chain CostBoundTight (the exact
+	// solver's bound). Both are admissible, so the optimum is unchanged —
+	// only node counts shrink; the default stays off because the §6.2.5
+	// goldens pin the historical counters.
+	TightBound bool
 }
 
 // bnbBatch is the number of nodes popped and expanded per round. It is a
@@ -88,7 +95,7 @@ type bnbChild struct {
 	g    int64 // committed cost (exact total when stop)
 	f    int64
 	span int64 // child compile span (make-span when stop)
-	e    int64 // effective frontier max(cur.execT, span)
+	e    int64 // effective frontier max(cur.ExecT, span)
 	hash uint64
 	ev   sim.CompileEvent
 	stop bool
@@ -136,6 +143,7 @@ func (a *bnbArena) at(i int32) *bnbNode {
 // buffer; see TestBnBWarmZeroAlloc.
 type BnB struct {
 	s       *searcher
+	bnd     func(cursor, int64, []profile.Level) int64
 	workers int
 	stride  int
 	// autoBucket is the dispatch table bucket when Workers=0 chose the mode
@@ -186,6 +194,7 @@ func NewBnB(tr *trace.Trace, p *profile.Profile, opts BnBOptions) (*BnB, error) 
 		s:          s,
 		workers:    workers,
 		autoBucket: autoBucket,
+		bnd:        s.tab.CostBound,
 		stride:     nf + 12,
 		open:       make([]int32, 0, heapCapFor(s.budget)),
 		ws:         make([]bnbWorker, workers),
@@ -194,6 +203,9 @@ func NewBnB(tr *trace.Trace, p *profile.Profile, opts BnBOptions) (*BnB, error) 
 		rootKey:    make([]byte, nf+12),
 		popped:     make([]int32, 0, bnbBatch),
 		paths:      totalPaths(len(s.order), p.Levels),
+	}
+	if opts.TightBound {
+		b.bnd = s.tab.CostBoundTight
 	}
 	for i := range b.ws {
 		b.ws[i] = bnbWorker{
@@ -271,7 +283,7 @@ func (b *BnB) RunContext(ctx context.Context) (*Result, error) {
 	w0 := &b.ws[0]
 	clear(w0.next)
 	*b.arena.at(root) = bnbNode{
-		f:      s.boundFrom(cursor{}, 0, w0.next),
+		f:      b.bnd(cursor{}, 0, w0.next),
 		parent: -1,
 	}
 	b.table.insert(hashKey(rootKey), rootKey)
@@ -402,14 +414,14 @@ func (b *BnB) expandSlot(w *bnbWorker, sl *bnbSlot) {
 	for _, f := range s.order {
 		for l := w.next[f]; int(l) < s.levels; l++ {
 			ev := sim.CompileEvent{Func: f, Level: l}
-			ccur, _ := w.pe.advance(n.cur, ev)
+			ccur, _ := w.pe.Advance(n.cur, ev)
 			cspan := n.span + s.compile[int(f)*s.levels+int(l)]
 			saved := w.next[f]
 			w.next[f] = l + 1
-			fb := s.boundFrom(ccur, cspan, w.next)
+			fb := b.bnd(ccur, cspan, w.next)
 			w.next[f] = saved
 
-			e := ccur.execT
+			e := ccur.ExecT
 			if cspan > e {
 				e = cspan
 			}
@@ -419,14 +431,14 @@ func (b *BnB) expandSlot(w *bnbWorker, sl *bnbSlot) {
 			base := len(sl.keys)
 			sl.keys = append(sl.keys, w.mask...)
 			sl.keys = append(sl.keys,
-				byte(ccur.i), byte(ccur.i>>8), byte(ccur.i>>16), byte(ccur.i>>24),
+				byte(ccur.I), byte(ccur.I>>8), byte(ccur.I>>16), byte(ccur.I>>24),
 				byte(ke), byte(ke>>8), byte(ke>>16), byte(ke>>24),
 				byte(ke>>32), byte(ke>>40), byte(ke>>48), byte(ke>>56))
 			w.mask[f] = mb
 			h := hashKey(sl.keys[base : base+b.stride])
 			sl.kids = append(sl.kids, bnbChild{
 				cur:  ccur,
-				g:    ccur.bubbles + ccur.extra,
+				g:    ccur.Bubbles + ccur.Extra,
 				f:    fb,
 				span: cspan,
 				e:    e,
@@ -436,7 +448,7 @@ func (b *BnB) expandSlot(w *bnbWorker, sl *bnbSlot) {
 		}
 	}
 	if missing == 0 && !n.stop {
-		full, mspan := w.pe.finish(n.cur)
+		full, mspan := w.pe.Finish(n.cur)
 		// Stop leaves never enter the transposition table: a complete node
 		// and its own stop leaf share a state key, and the parent's entry
 		// must not prune the leaf that proves its cost.
@@ -544,25 +556,14 @@ func (b *BnB) loadNode(w *bnbWorker, idx int32) {
 		}
 		v = vn.parent
 	}
-	w.pe.load(w.prefix)
+	w.pe.Load(w.prefix)
 }
 
-// keyFrontier is the frontier component of a child's state key. While calls
-// remain uncommitted the future depends only on the effective frontier
-// max(execT, span) — call i starts there (or races a future version from the
-// span), so states agreeing on it share every completion. Once every call is
-// committed (cur.i == ncalls) the span stops mattering but execT itself
-// becomes the make-span; folding different execT values under max(execT,
-// span) would merge states with different optimal costs, so the committed
-// tail keys on execT directly. FuzzStateKey's seed corpus pins the case.
+// keyFrontier delegates to the shared ocsp.KeyFrontier: the frontier
+// component of a child's state key (see its doc for why the all-committed
+// tail keys on ExecT). FuzzStateKey's seed corpus pins the case.
 func keyFrontier(cur cursor, span int64, ncalls int) int64 {
-	if cur.i == ncalls {
-		return cur.execT
-	}
-	if span > cur.execT {
-		return span
-	}
-	return cur.execT
+	return ocsp.KeyFrontier(cur, span, ncalls)
 }
 
 // stateKey writes (mask, call index, frontier) into dst, which must be

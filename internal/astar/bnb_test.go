@@ -170,6 +170,35 @@ func TestBnBBoundMatchesCore(t *testing.T) {
 	}
 }
 
+// TestBnBTightBoundSameOptimum: the opt-in prefix-chain bound (shared with
+// the exact solver via ocsp.CostBoundTight) certifies exactly the optimum the
+// default bound does, on every instance — only the node and prune counters
+// may differ. Together with ocsp's TestTightBoundDominates this pins the
+// tight bound as a pure strengthening: never weaker, never unsound.
+func TestBnBTightBoundSameOptimum(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		nfuncs := 3 + int(seed%4)
+		ncalls := 10 + int(seed%3)*8
+		tr, p := tinyInstance(nfuncs, ncalls, seed)
+		def, err := BnBSearch(tr, p, BnBOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: default bound: %v", seed, err)
+		}
+		tight, err := BnBSearch(tr, p, BnBOptions{TightBound: true})
+		if err != nil {
+			t.Fatalf("seed %d: tight bound: %v", seed, err)
+		}
+		if !def.Complete || !tight.Complete {
+			t.Fatalf("seed %d: incomplete search (default %v, tight %v)",
+				seed, def.Complete, tight.Complete)
+		}
+		if def.MakeSpan != tight.MakeSpan || def.Cost != tight.Cost {
+			t.Errorf("seed %d: tight bound optimum (span %d, cost %d) != default (span %d, cost %d)",
+				seed, tight.MakeSpan, tight.Cost, def.MakeSpan, def.Cost)
+		}
+	}
+}
+
 // TestBnBEmptyTrace mirrors the other searches' empty-instance contract.
 func TestBnBEmptyTrace(t *testing.T) {
 	p := &profile.Profile{Levels: 2, Funcs: []profile.FuncTimes{

@@ -1,168 +1,18 @@
 package astar
 
 import (
-	"repro/internal/profile"
-	"repro/internal/sim"
-	"repro/internal/trace"
+	"repro/internal/ocsp"
 )
 
-// Incremental prefix evaluation.
-//
-// searcher.cost re-simulates the whole trace for every node, O(N + depth)
-// per child. But the Fig. 4 tree only ever grows a prefix by one tail event,
-// and the paper's f(v) = b(v) + e(v) objective only charges calls starting
-// inside the prefix's compile span — so a child's cost is its parent's cost
-// plus whatever the one new event pulls into the window. The cursor below
-// carries the committed evaluation state (next unevaluated call, exec clock,
-// bubbles, extra) from parent to child; expanding a node loads the parent's
-// version lists once and then scores each child by resuming the execution
-// loop over only the newly-in-window calls, with the child's new version as
-// a non-mutating overlay.
-//
-// Why resumption is sound: a committed call started strictly inside the
-// parent's span, every later event finishes at or after that span (compile
-// times are positive), and a call's start never precedes its function's
-// first-ready time — so no extension of the prefix can change a committed
-// call's start, level, or end. The two stop conditions mirror cost exactly:
-// a call whose function has no version yet contributes the provisional
-// bubble up to the span (uncommitted, recomputed at each node); a call
-// starting at or past the span belongs to descendants. TestCursorMatchesCost
-// pins g and make-span bit-identical to cost across randomized prefixes.
-type cursor struct {
-	i       int   // index of the first unevaluated call
-	execT   int64 // exec clock after the last committed call
-	bubbles int64 // committed bubble time
-	extra   int64 // committed extra (non-best-level) execution time
-}
+// The incremental prefix evaluator — the committed cursor plus the reusable
+// per-goroutine version-list scratch — lives in internal/ocsp, shared with
+// the exact solver (internal/exact). The aliases below keep this package's
+// search loops reading in their own vocabulary; TestCursorMatchesCost pins
+// the evaluator's g and make-span bit-identical to the from-scratch cost
+// function across randomized prefixes.
+type (
+	cursor     = ocsp.Cursor
+	prefixEval = ocsp.Eval
+)
 
-// prefixEval is the reusable per-goroutine scratch: the loaded prefix's
-// per-function version lists (done times are single-worker prefix sums, so
-// each list is sorted ascending) plus the prefix's compile span.
-type prefixEval struct {
-	s       *searcher
-	vdone   [][]int64
-	vlevel  [][]profile.Level
-	touched []trace.FuncID
-	span    int64
-}
-
-func (s *searcher) newPrefixEval() *prefixEval {
-	return &prefixEval{
-		s:      s,
-		vdone:  make([][]int64, s.p.NumFuncs()),
-		vlevel: make([][]profile.Level, s.p.NumFuncs()),
-	}
-}
-
-// load rebuilds the version lists for a prefix, truncating only the lists
-// the previous load touched.
-func (pe *prefixEval) load(prefix sim.Schedule) {
-	for _, f := range pe.touched {
-		pe.vdone[f] = pe.vdone[f][:0]
-		pe.vlevel[f] = pe.vlevel[f][:0]
-	}
-	pe.touched = pe.touched[:0]
-	s := pe.s
-	var t int64
-	for _, ev := range prefix {
-		t += s.compile[int(ev.Func)*s.levels+int(ev.Level)]
-		if len(pe.vdone[ev.Func]) == 0 {
-			pe.touched = append(pe.touched, ev.Func)
-		}
-		pe.vdone[ev.Func] = append(pe.vdone[ev.Func], t)
-		pe.vlevel[ev.Func] = append(pe.vlevel[ev.Func], ev.Level)
-	}
-	pe.span = t
-}
-
-// advance scores the loaded prefix extended by ev: it resumes the execution
-// loop from cur, committing every call that now starts inside the extended
-// window, and returns the child's cursor plus its g. The new event's version
-// (finishing exactly at the child's span, strictly after every loaded done
-// time) is applied as an overlay; the scratch is not mutated, so one load
-// serves all children of a node.
-func (pe *prefixEval) advance(cur cursor, ev sim.CompileEvent) (cursor, int64) {
-	s := pe.s
-	span := pe.span + s.compile[int(ev.Func)*s.levels+int(ev.Level)]
-	ovF := ev.Func
-	calls := s.tr.Calls
-	for cur.i < len(calls) {
-		f := calls[cur.i]
-		dones := pe.vdone[f]
-		first := span // the overlay's finish time, when it is f's only version
-		if len(dones) > 0 {
-			first = dones[0]
-		} else if f != ovF {
-			// Blocked on a future compilation: everything up to the span is
-			// a known bubble, provisional because the span keeps moving.
-			g := cur.bubbles + cur.extra
-			if span > cur.execT {
-				g += span - cur.execT
-			}
-			return cur, g
-		}
-		start := cur.execT
-		if first > start {
-			start = first
-		}
-		if start >= span {
-			// The call starts outside the window; its cost belongs to
-			// descendants.
-			return cur, cur.bubbles + cur.extra
-		}
-		// Committed calls start strictly inside the window, and the overlay
-		// version finishes exactly at its edge — so the level choice only
-		// ever sees the loaded versions. (A call whose sole version is the
-		// overlay took the window exit above.)
-		lvls := pe.vlevel[f]
-		level := lvls[0]
-		for k := 1; k < len(dones); k++ {
-			if dones[k] <= start {
-				level = lvls[k]
-			}
-		}
-		dur := s.exec[int(f)*s.levels+int(level)]
-		cur.bubbles += start - cur.execT
-		cur.extra += dur - s.bestE[f]
-		cur.execT = start + dur
-		cur.i++
-	}
-	return cur, cur.bubbles + cur.extra
-}
-
-// finish evaluates every remaining call of the loaded prefix with no window,
-// the cost(prefix, true) of a complete prefix: it returns the exact total
-// cost and the make-span.
-func (pe *prefixEval) finish(cur cursor) (g, makeSpan int64) {
-	s := pe.s
-	calls := s.tr.Calls
-	for cur.i < len(calls) {
-		f := calls[cur.i]
-		dones := pe.vdone[f]
-		if len(dones) == 0 {
-			// Unreachable for a complete prefix; mirrors cost's blocked
-			// branch for defense in depth.
-			if pe.span > cur.execT {
-				cur.bubbles += pe.span - cur.execT
-			}
-			return cur.bubbles + cur.extra, 0
-		}
-		start := cur.execT
-		if dones[0] > start {
-			start = dones[0]
-		}
-		lvls := pe.vlevel[f]
-		level := lvls[0]
-		for k := 1; k < len(dones); k++ {
-			if dones[k] <= start {
-				level = lvls[k]
-			}
-		}
-		dur := s.exec[int(f)*s.levels+int(level)]
-		cur.bubbles += start - cur.execT
-		cur.extra += dur - s.bestE[f]
-		cur.execT = start + dur
-		cur.i++
-	}
-	return cur.bubbles + cur.extra, cur.execT
-}
+func (s *searcher) newPrefixEval() *prefixEval { return s.tab.NewEval() }

@@ -57,9 +57,9 @@ func TestCursorMatchesCost(t *testing.T) {
 		pe := s.newPrefixEval()
 		var cur cursor
 		for i := 1; i <= len(prefix); i++ {
-			pe.load(prefix[:i-1])
+			pe.Load(prefix[:i-1])
 			var g int64
-			cur, g = pe.advance(cur, prefix[i-1])
+			cur, g = pe.Advance(cur, prefix[i-1])
 			wantG, _ := s.cost(prefix[:i], false)
 			if g != wantG {
 				t.Fatalf("seed %d depth %d: advance g = %d, cost = %d (prefix %v)",
@@ -76,18 +76,18 @@ func TestCursorMatchesCost(t *testing.T) {
 		full := prefix.Clone()
 		for _, f := range s.order {
 			if !compiled[f] {
-				pe.load(full)
+				pe.Load(full)
 				var g int64
 				ev := sim.CompileEvent{Func: f, Level: 0}
-				cur, g = pe.advance(cur, ev)
+				cur, g = pe.Advance(cur, ev)
 				full = append(full, ev)
 				if wantG, _ := s.cost(full, false); g != wantG {
 					t.Fatalf("seed %d: completing advance g = %d, cost = %d", seed, g, wantG)
 				}
 			}
 		}
-		pe.load(full)
-		g, span := pe.finish(cur)
+		pe.Load(full)
+		g, span := pe.Finish(cur)
 		wantG, wantSpan := s.cost(full, true)
 		if g != wantG || span != wantSpan {
 			t.Fatalf("seed %d: finish = (%d, %d), cost(full) = (%d, %d) for %v",

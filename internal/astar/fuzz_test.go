@@ -77,11 +77,11 @@ func prefixState(s *searcher, prefix sim.Schedule) (int, int64) {
 	pe := s.newPrefixEval()
 	var cur cursor
 	for k := range prefix {
-		pe.load(prefix[:k])
-		cur, _ = pe.advance(cur, prefix[k])
+		pe.Load(prefix[:k])
+		cur, _ = pe.Advance(cur, prefix[k])
 	}
-	pe.load(prefix)
-	return cur.i, keyFrontier(cur, pe.span, len(s.tr.Calls))
+	pe.Load(prefix)
+	return cur.I, keyFrontier(cur, pe.Span(), len(s.tr.Calls))
 }
 
 // replaySpan runs a complete schedule through the simulator.

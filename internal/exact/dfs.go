@@ -1,0 +1,196 @@
+package exact
+
+import (
+	"context"
+
+	"repro/internal/ocsp"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The threshold DFS behind each decision probe: a complete depth-first
+// branch-and-bound over the Fig. 4 tree, seeded with incumbent threshold+1.
+// Three prunes keep it small:
+//
+//   - the prefix-chain bound ocsp.Tables.CostBoundTight against the evolving
+//     incumbent (admissible, so nothing on the path to a strictly better
+//     schedule is ever cut);
+//   - a no-good table on the exact state key (compiled-level mask, cursor
+//     index, effective frontier) — the same canonicalization as the BnB
+//     transposition table, and for the same reason only EXACT matching is
+//     sound (see internal/astar/transpose.go for the dominance
+//     counterexample). A revisited state cannot improve on its first visit:
+//     the subtree under a state is a function of the state alone, and the
+//     incumbent only tightens over time, so anything the revisit could find
+//     the first visit already found;
+//   - the quiet-tail symmetry rule: when the previous event committed no
+//     calls and the candidate event's span still ends at or before the
+//     execution clock, the two events commit nothing in either order and
+//     both orders reach the identical state — so only the canonical
+//     (ascending pair-rank) order is expanded. The no-good table would catch
+//     the duplicate anyway; the rule skips the Load/Advance/hash work of
+//     ever generating it.
+//
+// Children are scored once at generation and recursed best-bound-first (ties
+// by pair rank, so the order is deterministic). On a feasible probe this
+// makes the first dive nearly greedy — it reaches a close-to-optimal complete
+// schedule immediately, and the tightened incumbent then prunes the rest of
+// the tree the way BnB's best-first pop order does. The skip set of the
+// symmetry rule depends only on the inbound edge, not on sibling visit order,
+// so reordering preserves completeness.
+const cancelStride = 256
+
+// childK is one scored candidate child, buffered per depth so warm solves
+// never reallocate the generation scratch.
+type childK struct {
+	cur   ocsp.Cursor
+	bound int64
+	span  int64
+	rank  int32
+	quiet bool
+	f     trace.FuncID
+	l     profile.Level
+}
+
+// dfsProbe answers "does a completion with cost <= threshold exist?" by
+// complete search, and — because the search is a full branch-and-bound under
+// an admissible bound — returns the globally optimal schedule whenever the
+// answer is yes. On success the schedule is left in s.best.
+func (s *Solver) dfsProbe(ctx context.Context, threshold int64) (found bool, cost, span int64, err error) {
+	tab := s.tab
+	res := &s.res
+	s.table.reset(s.stride)
+	clear(s.next)
+	clear(s.mask)
+	prefix := s.prefix[:0]
+	bestLocal := threshold + 1
+	var bestSpan int64
+	done := ctx.Done()
+	ncalls := tab.Tr.Len()
+
+	var rec func(cur ocsp.Cursor, lastRank int, lastQuiet bool) error
+	rec = func(cur ocsp.Cursor, lastRank int, lastQuiet bool) error {
+		if s.alloc++; s.alloc > s.maxNodes {
+			return ErrBudgetExhausted
+		}
+		if s.alloc%cancelStride == 0 && cancelled(done) {
+			return cancelErr(ctx)
+		}
+		s.pe.Load(prefix)
+		nspan := s.pe.Span()
+		// No bound check here: the caller pruned on this node's bound (computed
+		// at generation from the identical state) against the same incumbent
+		// immediately before recursing.
+		if s.table.insert(s.stateKey(cur, nspan, ncalls)) {
+			res.TableHits++
+			return nil
+		}
+		missing := 0
+		for _, f := range tab.Order {
+			if s.next[f] == 0 {
+				missing++
+			}
+		}
+		if missing == 0 {
+			full, mspan := s.pe.Finish(cur)
+			if full < bestLocal {
+				bestLocal, bestSpan = full, mspan
+				s.best = append(s.best[:0], prefix...)
+				found = true
+			}
+		}
+		res.NodesExpanded++
+
+		// Generate and score every child against one evaluator load, then
+		// recurse best-bound-first.
+		depth := len(prefix)
+		if depth == len(s.kidStack) {
+			s.kidStack = append(s.kidStack, nil)
+		}
+		kids := s.kidStack[depth][:0]
+		for oi, f := range tab.Order {
+			for l := s.next[f]; int(l) < tab.Levels; l++ {
+				rank := oi*tab.Levels + int(l)
+				cspan := nspan + tab.Compile[int(f)*tab.Levels+int(l)]
+				if lastQuiet && rank < lastRank && cur.ExecT >= cspan {
+					// Both this event and the previous one commit no calls
+					// (every remaining call starts at or past ExecT >= the
+					// final span), so swapping them reaches the identical
+					// state; the ascending-rank order was generated from the
+					// parent already.
+					res.SymmetrySkipped++
+					continue
+				}
+				ccur, _ := s.pe.Advance(cur, sim.CompileEvent{Func: f, Level: l})
+				saved := s.next[f]
+				s.next[f] = l + 1
+				cb := tab.CostBoundTight(ccur, cspan, s.next)
+				s.next[f] = saved
+				kids = append(kids, childK{
+					cur: ccur, bound: cb, span: cspan,
+					rank: int32(rank), quiet: ccur == cur, f: f, l: l,
+				})
+			}
+		}
+		s.kidStack[depth] = kids
+		// Insertion sort on (bound, rank): deterministic, allocation-free, and
+		// the child lists are tiny (at most pairs-per-instance entries).
+		for i := 1; i < len(kids); i++ {
+			k := kids[i]
+			j := i - 1
+			for j >= 0 && (kids[j].bound > k.bound || (kids[j].bound == k.bound && kids[j].rank > k.rank)) {
+				kids[j+1] = kids[j]
+				j--
+			}
+			kids[j+1] = k
+		}
+		for i := range kids {
+			ch := &kids[i]
+			// Re-check against the incumbent: earlier siblings may have
+			// tightened it past this child's generation-time bound.
+			if ch.bound >= bestLocal {
+				res.BoundPruned++
+				continue
+			}
+			prefix = append(prefix, sim.CompileEvent{Func: ch.f, Level: ch.l})
+			saved := s.next[ch.f]
+			s.next[ch.f] = ch.l + 1
+			mb := s.mask[ch.f]
+			s.mask[ch.f] = mb | 1<<uint(ch.l)
+			err := rec(ch.cur, int(ch.rank), ch.quiet)
+			s.mask[ch.f] = mb
+			s.next[ch.f] = saved
+			prefix = prefix[:len(prefix)-1]
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	err = rec(ocsp.Cursor{}, -1, false)
+	s.prefix = prefix[:0]
+	if stored := s.table.states(); stored > res.StatesStored {
+		res.StatesStored = stored
+	}
+	if err != nil {
+		return false, 0, 0, err
+	}
+	return found, bestLocal, bestSpan, nil
+}
+
+// stateKey writes the node's canonical state — compiled-level mask, cursor
+// index, key frontier — into the solver's key buffer (stride bytes).
+func (s *Solver) stateKey(cur ocsp.Cursor, span int64, ncalls int) []byte {
+	n := copy(s.keyBuf, s.mask)
+	ke := ocsp.KeyFrontier(cur, span, ncalls)
+	s.keyBuf[n] = byte(cur.I)
+	s.keyBuf[n+1] = byte(cur.I >> 8)
+	s.keyBuf[n+2] = byte(cur.I >> 16)
+	s.keyBuf[n+3] = byte(cur.I >> 24)
+	for k := 0; k < 8; k++ {
+		s.keyBuf[n+4+k] = byte(ke >> (8 * k))
+	}
+	return s.keyBuf
+}

@@ -1,0 +1,160 @@
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/exact/satsolve"
+)
+
+// The CNF refutation probe: a sound relaxation of "a schedule with make-span
+// at most T exists", handed to the CDCL solver. UNSAT proves the decision
+// question infeasible and skips the probe's whole tree search; Sat or Unknown
+// proves nothing (the relaxation drops exact timing) and the DFS decides.
+//
+// # The encoding
+//
+// A schedule is an ordered sequence of distinct (function, level) pairs —
+// distinct because a function's levels are strictly ascending, so no pair
+// repeats. The encoding places pairs at positions:
+//
+//	s[p][k]  — pair p is the k-th compile event (0-based position k)
+//	occ[k]   — some pair occupies position k
+//
+// with the structural clauses
+//
+//	at most one pair per position, at most one position per pair,
+//	s[p][k] → occ[k], occ[k] → ⋁_p s[p][k], occ[k] → occ[k−1]  (contiguity),
+//	(f,l1) before (f,l2) for l1 < l2                           (level order),
+//
+// and the make-span window entering through per-function position deadlines:
+// if f's first version is the j-th compile event (1-based), the single
+// compile worker has spent at least pms[j] — the sum of the j smallest pair
+// compile times — before it finishes, and at least SufBest[FirstCall[f]] of
+// execution remains after that call can start, so
+//
+//	make-span ≥ pms[j] + SufBest[FirstCall[f]].
+//
+// D_f is the largest j for which that bound fits inside T; the deadline
+// clause ⋁_{l, k < D_f} s[(f,l)][k] forces a version of f into the first D_f
+// positions (implied by the first version being there). Every real schedule
+// with make-span ≤ T satisfies all of the above, so UNSAT is a sound
+// refutation. What the relaxation forgets — exact bubble accounting, level
+// choice at call time — is exactly what the DFS checks.
+
+// maxCNFPairs bounds the quadratic position encoding; beyond it the probe is
+// skipped (the DFS simply decides alone). 64 pairs is a ~4k-variable,
+// ~300k-clause ceiling, far past the sizes the oracle targets.
+const maxCNFPairs = 64
+
+// minCNFFuncs gates the probe from below: under eight unique functions a
+// threshold DFS probe costs less than building the encoding, so the CNF is
+// reserved for the sizes where refuting a window actually buys something.
+// The gate also keeps small warm solves allocation-free outside the solver's
+// reused buffers (TestSolverWarmAllocs).
+const minCNFFuncs = 8
+
+// refuteCNF reports whether the CNF relaxation proves no completion with cost
+// at most threshold exists.
+func (s *Solver) refuteCNF(threshold int64) bool {
+	tab := s.tab
+	res := &s.res
+	if len(tab.Order) < minCNFFuncs {
+		return false
+	}
+	np := len(tab.Order) * tab.Levels
+	if np > maxCNFPairs {
+		return false
+	}
+	res.SATProbes++
+	tspan := threshold + tab.SufBest[0] // the make-span window
+
+	// Per-function deadlines first: an empty deadline refutes without
+	// touching the solver.
+	deadline := make([]int, len(tab.Order))
+	for oi, f := range tab.Order {
+		tail := tab.SufBest[tab.FirstCall[f]]
+		d := 0
+		for j := 1; j <= np; j++ {
+			if s.pms[j]+tail > tspan {
+				break
+			}
+			d = j
+		}
+		if d == 0 {
+			res.SATRefuted++
+			return true
+		}
+		deadline[oi] = d
+	}
+
+	k := np // position count
+	sat := satsolve.New(np*k + k)
+	v := func(pi, pos int) int { return pi*k + pos + 1 }
+	occ := func(pos int) int { return np*k + pos + 1 }
+	add := func(lits ...int) {
+		if err := sat.AddClause(lits...); err != nil {
+			panic(fmt.Sprintf("exact: CNF encoder emitted a bad clause: %v", err))
+		}
+	}
+
+	for pos := 0; pos < k; pos++ {
+		// At most one pair per position.
+		for p1 := 0; p1 < np; p1++ {
+			for p2 := p1 + 1; p2 < np; p2++ {
+				add(-v(p1, pos), -v(p2, pos))
+			}
+		}
+		// Occupancy, both directions, and contiguity.
+		buf := make([]int, 0, np+1)
+		buf = append(buf, -occ(pos))
+		for p := 0; p < np; p++ {
+			add(-v(p, pos), occ(pos))
+			buf = append(buf, v(p, pos))
+		}
+		add(buf...)
+		if pos > 0 {
+			add(-occ(pos), occ(pos-1))
+		}
+	}
+	for p := 0; p < np; p++ {
+		// Each pair at most once.
+		for k1 := 0; k1 < k; k1++ {
+			for k2 := k1 + 1; k2 < k; k2++ {
+				add(-v(p, k1), -v(p, k2))
+			}
+		}
+	}
+	// Ascending level order within a function: (f,l1) strictly before (f,l2).
+	for oi := range tab.Order {
+		for l1 := 0; l1 < tab.Levels; l1++ {
+			for l2 := l1 + 1; l2 < tab.Levels; l2++ {
+				p1, p2 := oi*tab.Levels+l1, oi*tab.Levels+l2
+				for k1 := 0; k1 < k; k1++ {
+					for k2 := 0; k2 <= k1; k2++ {
+						add(-v(p1, k1), -v(p2, k2))
+					}
+				}
+			}
+		}
+	}
+	// Deadlines (these subsume coverage: every function needs SOME version
+	// within its first D_f positions).
+	for oi := range tab.Order {
+		buf := make([]int, 0, tab.Levels*deadline[oi])
+		for l := 0; l < tab.Levels; l++ {
+			for pos := 0; pos < deadline[oi]; pos++ {
+				buf = append(buf, v(oi*tab.Levels+l, pos))
+			}
+		}
+		add(buf...)
+	}
+
+	out := sat.Solve(satsolve.Options{MaxConflicts: s.maxConflicts})
+	res.Conflicts += out.Conflicts
+	res.LearnedClauses += out.Learned
+	if out.Status == satsolve.Unsat {
+		res.SATRefuted++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,464 @@
+// Package satsolve is a small, deterministic CDCL SAT solver: two-watched-
+// literal unit propagation, first-UIP conflict-driven clause learning,
+// activity-driven (VSIDS-style) branching with phase saving, and Luby
+// restarts. It exists for two callers: internal/exact's bounded-make-span
+// CNF probes, and internal/npc's SolveSAT (where the 2^n brute-force
+// enumeration tops out at MaxBruteForceVars).
+//
+// Determinism contract: the solver uses no randomness, no time, and no map
+// iteration. Branching breaks activity ties by lowest variable index, the
+// initial phase is false, and clause/watch orders depend only on the input
+// order — so two runs over the same clauses make bit-identical decisions.
+// internal/npc's differential tests pin the solver against the brute-force
+// reference across randomized formulas.
+package satsolve
+
+import "fmt"
+
+// Status is a solve outcome.
+type Status int
+
+const (
+	// Unknown means the conflict budget ran out before a proof either way.
+	Unknown Status = iota
+	// Sat means a verified satisfying assignment was found.
+	Sat
+	// Unsat means the formula was refuted.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Options bounds a solve.
+type Options struct {
+	// MaxConflicts stops the search with Unknown after that many conflicts
+	// (0 means no budget: run to an answer).
+	MaxConflicts int64
+}
+
+// Result reports a solve and its effort counters.
+type Result struct {
+	Status Status
+	// Assignment[v] is variable v+1's value when Status == Sat (nil
+	// otherwise). It is verified against every clause before being returned.
+	Assignment   []bool
+	Conflicts    int64
+	Learned      int64 // learned clauses added
+	Propagations int64
+	Decisions    int64
+	Restarts     int64
+}
+
+// Solver accumulates a CNF formula and solves it once. Literals use the
+// DIMACS convention: ±v for 1-based variable v.
+type Solver struct {
+	nvars   int
+	assigns []int8  // 1 true, -1 false, 0 unassigned
+	level   []int32 // decision level of an assigned variable
+	reason  []int32 // clause index forcing the assignment, -1 for decisions
+	// Clauses live back to back in lits; clause ci spans
+	// lits[start[ci]:start[ci+1]]. Internal literal encoding: 2v for
+	// variable v (0-based) positive, 2v+1 negated.
+	lits     []int32
+	start    []int32
+	watches  [][]int32 // watches[l]: clauses currently watching literal l
+	units    []int32   // top-level unit literals queued at add time
+	trail    []int32
+	trailLim []int32
+	qhead    int
+	activity []float64
+	varInc   float64
+	phase    []bool
+	seen     []bool
+	learnt   []int32
+	empty    bool // an empty (immediately false) clause was added
+	res      Result
+}
+
+// New returns a solver over nvars variables.
+func New(nvars int) *Solver {
+	s := &Solver{
+		nvars:    nvars,
+		assigns:  make([]int8, nvars),
+		level:    make([]int32, nvars),
+		reason:   make([]int32, nvars),
+		watches:  make([][]int32, 2*nvars),
+		activity: make([]float64, nvars),
+		varInc:   1,
+		phase:    make([]bool, nvars),
+		seen:     make([]bool, nvars),
+		start:    []int32{0},
+	}
+	return s
+}
+
+// NumClauses reports how many clauses have been added (units included,
+// tautologies excluded).
+func (s *Solver) NumClauses() int { return len(s.start) - 1 + len(s.units) }
+
+// NumVars reports the variable count.
+func (s *Solver) NumVars() int { return s.nvars }
+
+// AddClause adds one clause of DIMACS literals. Duplicate literals are
+// dropped; a clause holding both v and ¬v is a tautology and is skipped; an
+// empty clause marks the formula unsatisfiable.
+func (s *Solver) AddClause(clause ...int) error {
+	buf := make([]int32, 0, len(clause))
+outer:
+	for _, l := range clause {
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		if v < 1 || v > s.nvars {
+			return fmt.Errorf("satsolve: literal %d outside 1..%d", l, s.nvars)
+		}
+		enc := int32(2 * (v - 1))
+		if l < 0 {
+			enc++
+		}
+		for _, e := range buf {
+			if e == enc {
+				continue outer // duplicate literal
+			}
+			if e == enc^1 {
+				return nil // tautology: always satisfied
+			}
+		}
+		buf = append(buf, enc)
+	}
+	switch len(buf) {
+	case 0:
+		s.empty = true
+	case 1:
+		s.units = append(s.units, buf[0])
+	default:
+		ci := int32(len(s.start) - 1)
+		s.lits = append(s.lits, buf...)
+		s.start = append(s.start, int32(len(s.lits)))
+		s.watches[buf[0]] = append(s.watches[buf[0]], ci)
+		s.watches[buf[1]] = append(s.watches[buf[1]], ci)
+	}
+	return nil
+}
+
+func (s *Solver) clause(ci int32) []int32 { return s.lits[s.start[ci]:s.start[ci+1]] }
+
+func (s *Solver) value(lit int32) int8 {
+	v := s.assigns[lit>>1]
+	if lit&1 == 1 {
+		return -v
+	}
+	return v
+}
+
+// enqueue asserts lit with the given reason clause (-1 for decisions and
+// top-level units); it reports false on an immediate contradiction.
+func (s *Solver) enqueue(lit, reason int32) bool {
+	switch s.value(lit) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	v := lit >> 1
+	if lit&1 == 1 {
+		s.assigns[v] = -1
+	} else {
+		s.assigns[v] = 1
+	}
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = reason
+	s.trail = append(s.trail, lit)
+	return true
+}
+
+// propagate runs unit propagation to fixpoint and returns the conflicting
+// clause index, or -1.
+func (s *Solver) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.res.Propagations++
+		falsified := p ^ 1
+		ws := s.watches[falsified]
+		j := 0
+		for i := 0; i < len(ws); i++ {
+			ci := ws[i]
+			c := s.clause(ci)
+			if c[0] == falsified {
+				c[0], c[1] = c[1], c[0]
+			}
+			if s.value(c[0]) == 1 {
+				ws[j] = ci
+				j++
+				continue
+			}
+			moved := false
+			for k := 2; k < len(c); k++ {
+				if s.value(c[k]) != -1 {
+					c[1], c[k] = c[k], c[1]
+					s.watches[c[1]] = append(s.watches[c[1]], ci)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Unit under the assignment, or conflicting.
+			ws[j] = ci
+			j++
+			if s.value(c[0]) == -1 {
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[falsified] = ws[:j]
+				s.qhead = len(s.trail)
+				return ci
+			}
+			s.enqueue(c[0], ci)
+		}
+		s.watches[falsified] = ws[:j]
+	}
+	return -1
+}
+
+// bump raises a variable's activity, rescaling all activities when the
+// increment overflows its range.
+func (s *Solver) bump(v int32) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze derives the first-UIP learned clause from a conflict and returns
+// the backtrack level. The clause lands in s.learnt with the asserting
+// literal first.
+func (s *Solver) analyze(confl int32) int {
+	s.learnt = append(s.learnt[:0], 0) // slot for the asserting literal
+	counter := 0
+	var p int32 = -1
+	idx := len(s.trail) - 1
+	curLevel := int32(len(s.trailLim))
+	for {
+		for _, q := range s.clause(confl) {
+			if q == p {
+				continue
+			}
+			v := q >> 1
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bump(v)
+			if s.level[v] >= curLevel {
+				counter++
+			} else {
+				s.learnt = append(s.learnt, q)
+			}
+		}
+		for !s.seen[s.trail[idx]>>1] {
+			idx--
+		}
+		p = s.trail[idx]
+		s.seen[p>>1] = false
+		idx--
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p>>1]
+	}
+	s.learnt[0] = p ^ 1
+	back := 0
+	for _, q := range s.learnt[1:] {
+		s.seen[q>>1] = false
+		if l := int(s.level[q>>1]); l > back {
+			back = l
+		}
+	}
+	return back
+}
+
+// backtrack undoes every assignment above level, saving phases.
+func (s *Solver) backtrack(level int) {
+	if len(s.trailLim) <= level {
+		return
+	}
+	bound := int(s.trailLim[level])
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		lit := s.trail[i]
+		v := lit >> 1
+		s.phase[v] = lit&1 == 0
+		s.assigns[v] = 0
+		s.reason[v] = -1
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = bound
+}
+
+// record installs the learned clause and enqueues its asserting literal.
+func (s *Solver) record() {
+	lits := s.learnt
+	if len(lits) == 1 {
+		s.enqueue(lits[0], -1)
+		return
+	}
+	// Watch the asserting literal and a literal from the backtrack level so
+	// the watch invariant holds immediately after the jump.
+	wi := 1
+	for k := 2; k < len(lits); k++ {
+		if s.level[lits[k]>>1] > s.level[lits[wi]>>1] {
+			wi = k
+		}
+	}
+	lits[1], lits[wi] = lits[wi], lits[1]
+	ci := int32(len(s.start) - 1)
+	s.lits = append(s.lits, lits...)
+	s.start = append(s.start, int32(len(s.lits)))
+	s.watches[lits[0]] = append(s.watches[lits[0]], ci)
+	s.watches[lits[1]] = append(s.watches[lits[1]], ci)
+	s.res.Learned++
+	s.enqueue(lits[0], ci)
+}
+
+// pickBranch returns the unassigned variable with the highest activity
+// (lowest index on ties), or -1 when everything is assigned.
+func (s *Solver) pickBranch() int32 {
+	best := int32(-1)
+	var bestAct float64
+	for v := 0; v < s.nvars; v++ {
+		if s.assigns[v] != 0 {
+			continue
+		}
+		if best < 0 || s.activity[v] > bestAct {
+			best, bestAct = int32(v), s.activity[v]
+		}
+	}
+	return best
+}
+
+// luby is the Luby restart sequence (1,1,2,1,1,2,4,…).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<k)-1 {
+			return int64(1) << (k - 1)
+		}
+		if i >= int64(1)<<(k-1) && i < (int64(1)<<k)-1 {
+			return luby(i - (int64(1)<<(k-1) - 1))
+		}
+	}
+}
+
+// lubyUnit is the restart interval multiplier, in conflicts.
+const lubyUnit = 64
+
+// Solve runs the search. The solver is single-shot: call once per formula.
+func (s *Solver) Solve(opts Options) Result {
+	s.res = Result{}
+	if s.empty {
+		s.res.Status = Unsat
+		return s.res
+	}
+	for _, u := range s.units {
+		if !s.enqueue(u, -1) {
+			s.res.Status = Unsat
+			return s.res
+		}
+	}
+	if s.propagate() >= 0 {
+		s.res.Status = Unsat
+		return s.res
+	}
+	var restartNum int64 = 1
+	restartBudget := luby(restartNum) * lubyUnit
+	var sinceRestart int64
+	for {
+		confl := s.propagate()
+		if confl >= 0 {
+			s.res.Conflicts++
+			sinceRestart++
+			if len(s.trailLim) == 0 {
+				s.res.Status = Unsat
+				return s.res
+			}
+			back := s.analyze(confl)
+			s.backtrack(back)
+			s.record()
+			s.varInc /= 0.95
+			if opts.MaxConflicts > 0 && s.res.Conflicts >= opts.MaxConflicts {
+				s.res.Status = Unknown
+				return s.res
+			}
+			if sinceRestart >= restartBudget {
+				restartNum++
+				restartBudget = luby(restartNum) * lubyUnit
+				sinceRestart = 0
+				s.res.Restarts++
+				s.backtrack(0)
+			}
+			continue
+		}
+		v := s.pickBranch()
+		if v < 0 {
+			s.res.Status = Sat
+			s.res.Assignment = s.extract()
+			return s.res
+		}
+		s.res.Decisions++
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		lit := 2 * v
+		if !s.phase[v] {
+			lit++
+		}
+		s.enqueue(lit, -1)
+	}
+}
+
+// extract copies the model out, verifying it satisfies every original
+// clause (a wrong model here would be a solver bug; the check turns it into
+// a loud panic instead of a silent wrong answer).
+func (s *Solver) extract() []bool {
+	out := make([]bool, s.nvars)
+	for v := range out {
+		out[v] = s.assigns[v] == 1
+	}
+	for _, u := range s.units {
+		if !litTrue(u, out) {
+			panic("satsolve: model violates a unit clause")
+		}
+	}
+	for ci := 0; ci < len(s.start)-1; ci++ {
+		ok := false
+		for _, l := range s.clause(int32(ci)) {
+			if litTrue(l, out) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			panic("satsolve: model violates a clause")
+		}
+	}
+	return out
+}
+
+func litTrue(lit int32, model []bool) bool {
+	return model[lit>>1] == (lit&1 == 0)
+}

@@ -1,0 +1,198 @@
+package satsolve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteSat is the 2^n reference oracle.
+func bruteSat(nvars int, clauses [][]int) bool {
+	assign := make([]bool, nvars)
+	var sat func(c []int) bool
+	sat = func(c []int) bool {
+		for _, l := range c {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if assign[v-1] == (l > 0) {
+				return true
+			}
+		}
+		return false
+	}
+	for mask := 0; mask < 1<<nvars; mask++ {
+		for i := range assign {
+			assign[i] = mask&(1<<i) != 0
+		}
+		ok := true
+		for _, c := range clauses {
+			if !sat(c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func solve(t *testing.T, nvars int, clauses [][]int) Result {
+	t.Helper()
+	s := New(nvars)
+	for _, c := range clauses {
+		if err := s.AddClause(c...); err != nil {
+			t.Fatalf("AddClause(%v): %v", c, err)
+		}
+	}
+	return s.Solve(Options{})
+}
+
+func TestSolveBasics(t *testing.T) {
+	cases := []struct {
+		name    string
+		nvars   int
+		clauses [][]int
+		want    Status
+	}{
+		{"single unit", 1, [][]int{{1}}, Sat},
+		{"contradicting units", 1, [][]int{{1}, {-1}}, Unsat},
+		{"empty clause", 2, [][]int{{1, 2}, {}}, Unsat},
+		{"implication chain", 3, [][]int{{1}, {-1, 2}, {-2, 3}, {-3}}, Unsat},
+		{"xor-ish sat", 2, [][]int{{1, 2}, {-1, -2}}, Sat},
+		{"tautology only", 2, [][]int{{1, -1}}, Sat},
+		{"all binary unsat", 2, [][]int{{1, 2}, {1, -2}, {-1, 2}, {-1, -2}}, Unsat},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := solve(t, tc.nvars, tc.clauses)
+			if res.Status != tc.want {
+				t.Fatalf("got %v, want %v", res.Status, tc.want)
+			}
+			if res.Status == Sat && len(res.Assignment) != tc.nvars {
+				t.Fatalf("SAT with %d-var assignment, want %d", len(res.Assignment), tc.nvars)
+			}
+		})
+	}
+}
+
+// pigeonClauses encodes the pigeonhole principle PHP(n+1, n): n+1 pigeons in
+// n holes, one variable per (pigeon, hole) pair. Unsatisfiable, and hard
+// enough for resolution that it genuinely exercises clause learning.
+func pigeonClauses(holes int) (int, [][]int) {
+	pigeons := holes + 1
+	v := func(p, h int) int { return p*holes + h + 1 }
+	var clauses [][]int
+	for p := 0; p < pigeons; p++ {
+		c := make([]int, holes)
+		for h := 0; h < holes; h++ {
+			c[h] = v(p, h)
+		}
+		clauses = append(clauses, c)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				clauses = append(clauses, []int{-v(p1, h), -v(p2, h)})
+			}
+		}
+	}
+	return pigeons * holes, clauses
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for holes := 2; holes <= 5; holes++ {
+		nvars, clauses := pigeonClauses(holes)
+		res := solve(t, nvars, clauses)
+		if res.Status != Unsat {
+			t.Fatalf("PHP(%d,%d): got %v, want UNSAT", holes+1, holes, res.Status)
+		}
+		if holes >= 4 && res.Learned == 0 {
+			t.Fatalf("PHP(%d,%d) refuted without learning a single clause", holes+1, holes)
+		}
+	}
+}
+
+func TestConflictBudgetReturnsUnknown(t *testing.T) {
+	nvars, clauses := pigeonClauses(6)
+	s := New(nvars)
+	for _, c := range clauses {
+		if err := s.AddClause(c...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := s.Solve(Options{MaxConflicts: 3})
+	if res.Status != Unknown {
+		t.Fatalf("got %v under a 3-conflict budget, want UNKNOWN", res.Status)
+	}
+	if res.Conflicts < 3 {
+		t.Fatalf("stopped after %d conflicts, want >= 3", res.Conflicts)
+	}
+}
+
+// randomFormula builds a random 3-CNF instance near the phase transition.
+func randomFormula(rng *rand.Rand, nvars, nclauses int) [][]int {
+	clauses := make([][]int, nclauses)
+	for i := range clauses {
+		c := make([]int, 3)
+		for j := range c {
+			c[j] = rng.Intn(nvars) + 1
+			if rng.Intn(2) == 0 {
+				c[j] = -c[j]
+			}
+		}
+		clauses[i] = c
+	}
+	return clauses
+}
+
+func TestRandom3CNFAgainstBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nvars := 4 + rng.Intn(9) // 4..12
+		nclauses := 1 + rng.Intn(5*nvars)
+		clauses := randomFormula(rng, nvars, nclauses)
+		want := bruteSat(nvars, clauses)
+		res := solve(t, nvars, clauses)
+		if got := res.Status == Sat; got != want {
+			t.Fatalf("seed %d (%d vars, %d clauses): CDCL says %v, brute force says sat=%v",
+				seed, nvars, nclauses, res.Status, want)
+		}
+	}
+}
+
+func TestSolveDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	clauses := randomFormula(rng, 30, 120)
+	run := func() Result {
+		s := New(30)
+		for _, c := range clauses {
+			if err := s.AddClause(c...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Solve(Options{})
+	}
+	a, b := run(), run()
+	if a.Status != b.Status || a.Conflicts != b.Conflicts || a.Decisions != b.Decisions ||
+		a.Learned != b.Learned || a.Propagations != b.Propagations || a.Restarts != b.Restarts {
+		t.Fatalf("two identical solves diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatalf("assignments diverge at variable %d", i+1)
+		}
+	}
+}
+
+func TestAddClauseRejectsOutOfRange(t *testing.T) {
+	s := New(3)
+	if err := s.AddClause(1, 4); err == nil {
+		t.Fatal("literal 4 of a 3-variable solver accepted")
+	}
+	if err := s.AddClause(0); err == nil {
+		t.Fatal("zero literal accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package exact
+
+// nogoodTable is the per-probe visited-state set: open-addressed with linear
+// probing, keys in one flat byte arena (fixed stride). reset keeps every
+// grown allocation for the next probe, so a warm solver's probes do not touch
+// the heap. It is the single-shard cousin of the BnB transposition table
+// (internal/astar/transpose.go) — the DFS is single-threaded, so sharding
+// would buy nothing.
+type nogoodTable struct {
+	stride int
+	hashes []uint64 // 0 marks an empty slot
+	keys   []byte   // slot i's key at [i*stride, (i+1)*stride)
+	n      int
+}
+
+// nogoodMinSlots is the initial slot count (power of two).
+const nogoodMinSlots = 1 << 10
+
+// reset prepares the table for a probe over keys of the given stride, keeping
+// previously grown storage when the stride matches.
+func (t *nogoodTable) reset(stride int) {
+	t.stride = stride
+	if len(t.hashes) == 0 || stride*len(t.hashes) != len(t.keys) {
+		t.hashes = make([]uint64, nogoodMinSlots)
+		t.keys = make([]byte, nogoodMinSlots*stride)
+	} else {
+		clear(t.hashes)
+	}
+	t.n = 0
+}
+
+// states returns the number of distinct states stored.
+func (t *nogoodTable) states() int { return t.n }
+
+// insert records key and reports whether it was already present.
+func (t *nogoodTable) insert(key []byte) bool {
+	hash := fnvHash(key)
+	if 4*(t.n+1) > 3*len(t.hashes) {
+		t.grow()
+	}
+	mask := uint64(len(t.hashes) - 1)
+	for i := hash & mask; ; i = (i + 1) & mask {
+		switch {
+		case t.hashes[i] == 0:
+			t.hashes[i] = hash
+			copy(t.keys[int(i)*t.stride:], key)
+			t.n++
+			return false
+		case t.hashes[i] == hash && keyEqual(t.keys[int(i)*t.stride:(int(i)+1)*t.stride], key):
+			return true
+		}
+	}
+}
+
+// grow doubles the table, re-probing every occupied slot.
+func (t *nogoodTable) grow() {
+	oldHashes, oldKeys := t.hashes, t.keys
+	n := 2 * len(oldHashes)
+	t.hashes = make([]uint64, n)
+	t.keys = make([]byte, n*t.stride)
+	mask := uint64(n - 1)
+	for j, h := range oldHashes {
+		if h == 0 {
+			continue
+		}
+		for i := h & mask; ; i = (i + 1) & mask {
+			if t.hashes[i] == 0 {
+				t.hashes[i] = h
+				copy(t.keys[int(i)*t.stride:], oldKeys[j*t.stride:(j+1)*t.stride])
+				break
+			}
+		}
+	}
+}
+
+// fnvHash is FNV-1a over the key bytes, with 0 remapped so it can serve as
+// the empty-slot marker.
+func fnvHash(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// keyEqual avoids importing bytes for one hot comparison.
+func keyEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

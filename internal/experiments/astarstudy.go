@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/astar"
+	"repro/internal/exact"
 	"repro/internal/profile"
 	"repro/internal/runner"
 	"repro/internal/trace"
@@ -14,8 +15,9 @@ import (
 // AStarRow reports one search feasibility trial (§6.2.5).
 type AStarRow struct {
 	// Algo is "A*" (memory-bound), "IDA*" (the time-bound,
-	// iterative-deepening extension), "beam-256" (approximate), or "bnb"
-	// (transposition-table branch-and-bound, the frontier push).
+	// iterative-deepening extension), "beam-256" (approximate), "bnb"
+	// (transposition-table branch-and-bound, the frontier push), or "exact"
+	// (the threshold-escalation optimality oracle of internal/exact).
 	Algo           string
 	UniqueFuncs    int
 	Calls          int
@@ -24,10 +26,10 @@ type AStarRow struct {
 	NodesAllocated int // stored nodes for A*; path depth for IDA*
 	PathsTotal     float64
 	MakeSpan       int64 // only when Completed
-	// TableHits and BoundPruned are BnB's pruning counters (zero for the
-	// other algorithms): candidates cut as exact duplicates of an
-	// already-reached state, and candidates whose admissible bound could not
-	// beat the incumbent.
+	// TableHits and BoundPruned are the pruning counters of bnb and exact
+	// (zero for the other algorithms): candidates cut as exact duplicates of
+	// an already-reached state, and candidates whose admissible bound could
+	// not beat the incumbent.
 	TableHits   int
 	BoundPruned int
 }
@@ -50,6 +52,10 @@ type AStarOptions struct {
 	// table beyond the classic searches' memory wall. Zero leaves the study
 	// exactly as the paper ran it.
 	BnBMaxFuncs int
+	// ExactMaxFuncs, when positive, adds an internal/exact oracle row at
+	// every size up to ExactMaxFuncs, running under the documented
+	// frontierExactMaxNodes budget. Zero leaves the study untouched.
+	ExactMaxFuncs int
 	// Runner receives the per-size search jobs (runner.Shared() if nil).
 	Runner *runner.Runner
 }
@@ -80,6 +86,9 @@ func AStarStudy(opts AStarOptions) ([]AStarRow, error) {
 	if opts.BnBMaxFuncs > top {
 		top = opts.BnBMaxFuncs
 	}
+	if opts.ExactMaxFuncs > top {
+		top = opts.ExactMaxFuncs
+	}
 	jobs := make([]runner.Job[[]AStarRow], 0, top-opts.MinFuncs+1)
 	for nf := opts.MinFuncs; nf <= top; nf++ {
 		nf := nf
@@ -88,6 +97,11 @@ func AStarStudy(opts AStarOptions) ([]AStarRow, error) {
 			// The bnb rows change a job's value, so they must change its
 			// cache key too.
 			detail += fmt.Sprintf(" bnb=%d", opts.BnBMaxFuncs)
+		}
+		if opts.ExactMaxFuncs > 0 {
+			// Likewise for the exact rows; the marker is absent when the
+			// option is off, so historical cache keys are untouched.
+			detail += fmt.Sprintf(" exact=%d", opts.ExactMaxFuncs)
 		}
 		jobs = append(jobs, runner.Job[[]AStarRow]{
 			Key: runner.Key{
@@ -214,8 +228,46 @@ func aStarSize(opts AStarOptions, nf int) ([]AStarRow, error) {
 		}
 		rows = append(rows, row)
 	}
+	if opts.ExactMaxFuncs > 0 && nf <= opts.ExactMaxFuncs {
+		res, err := exact.Solve(tr, p, exact.Options{MaxNodes: frontierExactMaxNodes})
+		row := AStarRow{
+			Algo:        "exact",
+			UniqueFuncs: nf,
+			Calls:       tr.Len(),
+		}
+		switch {
+		case err == nil:
+			row.Completed = res.Complete
+			row.MakeSpan = res.MakeSpan
+		case errors.Is(err, exact.ErrBudgetExhausted):
+			row.Completed = false
+		default:
+			return nil, err
+		}
+		// A failed solve still reports its counters.
+		row.NodesExpanded = res.NodesExpanded
+		row.NodesAllocated = res.NodesAllocated
+		row.PathsTotal = res.PathsTotal
+		row.TableHits = res.TableHits
+		row.BoundPruned = res.BoundPruned
+		// The oracle must agree with every optimal search that finished.
+		for _, r := range rows {
+			if (r.Algo == "A*" || r.Algo == "IDA*" || r.Algo == "bnb") && r.Completed && row.Completed &&
+				r.MakeSpan != row.MakeSpan {
+				return nil, fmt.Errorf("experiments: %s and exact disagree at %d functions (%d vs %d)",
+					r.Algo, nf, r.MakeSpan, row.MakeSpan)
+			}
+		}
+		rows = append(rows, row)
+	}
 	return rows, nil
 }
+
+// frontierExactMaxNodes is the documented node budget for the study's exact
+// oracle rows: 16x the classic searches' default, the budget under which the
+// oracle certifies twelve-function instances (and exposes thirteen as the
+// current wall; see testdata/astar_exact.txt).
+const frontierExactMaxNodes = 1 << 26
 
 // AStarInstance builds a random two-level OCSP instance in the style of the
 // paper's §6.2.5 example: nf unique functions, a mixed-hotness call

@@ -128,6 +128,27 @@ func TestGoldenAStarBnB(t *testing.T) {
 	checkGolden(t, "astar_bnb.txt", b.Bytes())
 }
 
+// TestGoldenAStarExact is the oracle frontier: exact rows out to fourteen
+// unique functions next to the bnb rows. Twelve is certified under the
+// documented frontierExactMaxNodes budget, thirteen exposes the current
+// wall, fourteen certifies again — the frontier is instance-shaped, not
+// monotone in size. The in-job cross-checks of aStarSize double as the
+// oracle-agreement gate for every completed A*/IDA*/bnb row.
+func TestGoldenAStarExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the twelve-plus function terminal probes take tens of seconds")
+	}
+	rows, err := AStarStudy(AStarOptions{BnBMaxFuncs: 12, ExactMaxFuncs: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := RenderSearchFrontier(rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "astar_exact.txt", b.Bytes())
+}
+
 func TestGoldenPriority(t *testing.T) {
 	rows, err := PriorityStudy(Options{})
 	if err != nil {

@@ -144,7 +144,7 @@ func RenderSearchFrontier(rows []AStarRow, w io.Writer) error {
 	for _, r := range rows {
 		outcome, span := aStarOutcome(r)
 		hits, pruned := "-", "-"
-		if r.Algo == "bnb" {
+		if r.Algo == "bnb" || r.Algo == "exact" {
 			hits = fmt.Sprintf("%d", r.TableHits)
 			pruned = fmt.Sprintf("%d", r.BoundPruned)
 		}

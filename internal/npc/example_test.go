@@ -34,7 +34,10 @@ func ExampleReduceSAT() {
 	if err != nil {
 		panic(err)
 	}
-	assign := npc.SolveSATBruteForce(f)
+	assign, err := npc.SolveSATBruteForce(f)
+	if err != nil {
+		panic(err)
+	}
 	sched, err := si.ScheduleForAssignment(assign)
 	if err != nil {
 		panic(err)

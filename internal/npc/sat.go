@@ -3,6 +3,7 @@ package npc
 import (
 	"fmt"
 
+	"repro/internal/exact/satsolve"
 	"repro/internal/sim"
 )
 
@@ -92,11 +93,22 @@ func (f *Formula) Eval(assign []bool) bool {
 	return true
 }
 
-// SolveSATBruteForce finds a satisfying assignment by enumeration (formulas
-// of up to ~20 variables), or returns nil.
-func SolveSATBruteForce(f *Formula) []bool {
-	if f.Vars > 24 {
-		return nil
+// MaxBruteForceVars is the largest formula SolveSATBruteForce will
+// enumerate: 2^24 assignments is the edge of "finishes in test time".
+const MaxBruteForceVars = 24
+
+// ErrTooManyVars reports a formula beyond SolveSATBruteForce's enumeration
+// limit. It used to come back as a bare nil — indistinguishable from UNSAT,
+// a silent wrong answer; TestBruteForceTooManyVars pins the typed error.
+var ErrTooManyVars = fmt.Errorf("npc: formula exceeds %d variables, beyond brute-force enumeration (use SolveSAT)", MaxBruteForceVars)
+
+// SolveSATBruteForce finds a satisfying assignment by enumerating all 2^Vars
+// assignments, or returns (nil, nil) for an unsatisfiable formula. Formulas
+// beyond MaxBruteForceVars get ErrTooManyVars instead of a 2^Vars hang.
+// It is the differential reference for the CDCL solver behind SolveSAT.
+func SolveSATBruteForce(f *Formula) ([]bool, error) {
+	if f.Vars > MaxBruteForceVars {
+		return nil, ErrTooManyVars
 	}
 	assign := make([]bool, f.Vars)
 	for mask := 0; mask < 1<<f.Vars; mask++ {
@@ -106,10 +118,41 @@ func SolveSATBruteForce(f *Formula) []bool {
 		if f.Eval(assign) {
 			out := make([]bool, f.Vars)
 			copy(out, assign)
-			return out
+			return out, nil
 		}
 	}
-	return nil
+	return nil, nil
+}
+
+// SolveSAT finds a satisfying assignment with the CDCL solver
+// (internal/exact/satsolve), or returns (nil, nil) for an unsatisfiable
+// formula. No variable limit; the answer is verified against the formula
+// before being returned. TestSolveSATMatchesBruteForce pins agreement with
+// the enumeration reference across randomized formulas.
+func SolveSAT(f *Formula) ([]bool, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	s := satsolve.New(f.Vars)
+	for _, c := range f.Clauses {
+		lits := make([]int, 0, 3)
+		for _, l := range c {
+			if l != 0 {
+				lits = append(lits, int(l))
+			}
+		}
+		if err := s.AddClause(lits...); err != nil {
+			return nil, err
+		}
+	}
+	res := s.Solve(satsolve.Options{})
+	if res.Status != satsolve.Sat {
+		return nil, nil
+	}
+	if !f.Eval(res.Assignment) {
+		return nil, fmt.Errorf("npc: CDCL returned a non-satisfying assignment (solver bug)")
+	}
+	return res.Assignment, nil
 }
 
 // SubsetSumInstance is a SUBSET-SUM instance: does a subset of S sum to T?

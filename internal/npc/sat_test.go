@@ -54,11 +54,22 @@ func TestFormulaValidate(t *testing.T) {
 	}
 }
 
+// mustBrute runs the brute-force reference, failing the test on the
+// too-many-vars guard (the formulas here are all tiny).
+func mustBrute(t *testing.T, f *Formula) []bool {
+	t.Helper()
+	assign, err := SolveSATBruteForce(f)
+	if err != nil {
+		t.Fatalf("SolveSATBruteForce: %v", err)
+	}
+	return assign
+}
+
 func TestSolveSATBruteForce(t *testing.T) {
-	if SolveSATBruteForce(satisfiableFormula()) == nil {
+	if mustBrute(t, satisfiableFormula()) == nil {
 		t.Error("satisfiable formula declared unsat")
 	}
-	if SolveSATBruteForce(unsatisfiableFormula()) != nil {
+	if mustBrute(t, unsatisfiableFormula()) != nil {
 		t.Error("unsatisfiable formula declared sat")
 	}
 }
@@ -74,7 +85,7 @@ func TestSubsetSumDigits(t *testing.T) {
 		t.Fatalf("got %d elements", len(ss.S))
 	}
 	// Forward direction: a satisfying assignment's subset sums to T.
-	assign := SolveSATBruteForce(f)
+	assign := mustBrute(t, f)
 	mask, err := ss.SubsetForAssignment(assign)
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +120,7 @@ func TestSubsetSumEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		satisfiable := SolveSATBruteForce(f) != nil
+		satisfiable := mustBrute(t, f) != nil
 		subsetExists := subsetSumBruteForce(ss.S, ss.T)
 		if satisfiable != subsetExists {
 			t.Errorf("trial %d: satisfiable=%v but subset-sum solvable=%v\nformula=%+v",
@@ -185,7 +196,7 @@ func TestSATChainForward(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	assign := SolveSATBruteForce(f)
+	assign := mustBrute(t, f)
 	sched, err := si.ScheduleForAssignment(assign)
 	if err != nil {
 		t.Fatal(err)
@@ -211,7 +222,7 @@ func TestSATChainUnsat(t *testing.T) {
 	f := &Formula{Vars: 2, Clauses: []Clause{
 		{1, 2, 2}, {1, -2, -2}, {-1, 2, 2}, {-1, -2, -2},
 	}}
-	if SolveSATBruteForce(f) != nil {
+	if mustBrute(t, f) != nil {
 		t.Fatal("formula unexpectedly satisfiable")
 	}
 	si, err := ReduceSAT(f)
@@ -232,7 +243,7 @@ func TestSATChainEquivalenceRandom(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		assign := SolveSATBruteForce(f)
+		assign := mustBrute(t, f)
 		partitionable := SolveBruteForce(si.Partition) != nil
 		if (assign != nil) != partitionable {
 			t.Errorf("trial %d: sat=%v partitionable=%v", trial, assign != nil, partitionable)

@@ -1,0 +1,109 @@
+package npc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestBruteForceTooManyVars(t *testing.T) {
+	f := &Formula{Vars: MaxBruteForceVars + 1, Clauses: []Clause{{1, 2, 3}}}
+	assign, err := SolveSATBruteForce(f)
+	if !errors.Is(err, ErrTooManyVars) {
+		t.Fatalf("got err=%v, want ErrTooManyVars", err)
+	}
+	if assign != nil {
+		t.Fatalf("got a %d-value assignment alongside the error", len(assign))
+	}
+	// At the limit itself enumeration must still be attempted (a trivially
+	// satisfiable formula keeps it instant).
+	f = &Formula{Vars: MaxBruteForceVars, Clauses: []Clause{{1, 0, 0}}}
+	assign, err = SolveSATBruteForce(f)
+	if err != nil || assign == nil {
+		t.Fatalf("formula at the %d-var limit: assign=%v err=%v", MaxBruteForceVars, assign, err)
+	}
+}
+
+// TestSolveSATMatchesBruteForce differentially tests the CDCL-backed solver
+// against exhaustive enumeration on random 3-CNF formulas around the phase
+// transition.
+func TestSolveSATMatchesBruteForce(t *testing.T) {
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		vars := 3 + rng.Intn(10) // 3..12
+		clauses := 1 + rng.Intn(5*vars)
+		f := randomFormula(rng, vars, clauses)
+		ref, err := SolveSATBruteForce(f)
+		if err != nil {
+			t.Fatalf("seed %d: brute force: %v", seed, err)
+		}
+		got, err := SolveSAT(f)
+		if err != nil {
+			t.Fatalf("seed %d: SolveSAT: %v", seed, err)
+		}
+		if (ref != nil) != (got != nil) {
+			t.Fatalf("seed %d (%d vars, %d clauses): brute force sat=%v, CDCL sat=%v",
+				seed, vars, clauses, ref != nil, got != nil)
+		}
+		if got != nil && !f.Eval(got) {
+			t.Fatalf("seed %d: CDCL assignment does not satisfy the formula", seed)
+		}
+	}
+}
+
+// decodeFormula turns fuzz bytes into a small well-formed 3-CNF formula, or
+// nil when the input is too short.
+func decodeFormula(data []byte) *Formula {
+	if len(data) < 4 {
+		return nil
+	}
+	vars := 1 + int(data[0]%10) // 1..10 vars keeps brute force instant
+	f := &Formula{Vars: vars}
+	for i := 1; i+2 < len(data) && len(f.Clauses) < 40; i += 3 {
+		var c Clause
+		for k := 0; k < 3; k++ {
+			b := data[i+k]
+			v := 1 + int(b>>1)%vars
+			if b&1 == 1 {
+				v = -v
+			}
+			c[k] = Literal(v)
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	if len(f.Clauses) == 0 {
+		return nil
+	}
+	return f
+}
+
+func FuzzCNFSolve(f *testing.F) {
+	f.Add([]byte{3, 0, 2, 4})
+	f.Add([]byte{1, 0, 0, 0, 1, 1, 1})                // x ∧ ¬x
+	f.Add([]byte{5, 2, 5, 9, 1, 6, 3, 8, 7, 0})       // mixed signs
+	f.Add([]byte{9, 10, 21, 30, 11, 20, 31, 1, 2, 3}) // wider vars
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frm := decodeFormula(data)
+		if frm == nil {
+			return
+		}
+		ref, err := SolveSATBruteForce(frm)
+		if err != nil {
+			t.Fatalf("brute force on %d vars: %v", frm.Vars, err)
+		}
+		got, err := SolveSAT(frm)
+		if err != nil {
+			t.Fatalf("SolveSAT: %v", err)
+		}
+		if (ref != nil) != (got != nil) {
+			t.Fatalf("CDCL sat=%v, brute force sat=%v on %+v", got != nil, ref != nil, frm)
+		}
+		if got != nil && !frm.Eval(got) {
+			t.Fatal("CDCL returned a non-satisfying assignment")
+		}
+	})
+}

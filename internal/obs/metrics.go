@@ -41,6 +41,10 @@ type Metrics struct {
 	searchDispatchParallel atomic.Int64
 	searchSpeedupMilli     atomic.Int64
 
+	exactSolves    atomic.Int64
+	exactConflicts atomic.Int64
+	exactLearned   atomic.Int64
+
 	iarArenas   atomic.Int64
 	iarRuns     atomic.Int64
 	iarWarmRuns atomic.Int64
@@ -200,6 +204,17 @@ func (m *Metrics) SearchSpeedup(milli int64) {
 		return
 	}
 	m.searchSpeedupMilli.Store(milli)
+}
+
+// ExactSolve records one exact-solver run (completed or aborted) and the
+// CDCL work its CNF probes did: conflicts hit and clauses learned.
+func (m *Metrics) ExactSolve(conflicts, learned int64) {
+	if m == nil {
+		return
+	}
+	m.exactSolves.Add(1)
+	m.exactConflicts.Add(conflicts)
+	m.exactLearned.Add(learned)
 }
 
 // IARArenaCreated records one IAR arena construction.
@@ -398,6 +413,11 @@ type Snapshot struct {
 	SearchDispatchSerial   int64 `json:"search_dispatch_serial"`
 	SearchDispatchParallel int64 `json:"search_dispatch_parallel"`
 	SearchSpeedupMilli     int64 `json:"search_speedup_milli"`
+	// ExactSolves counts exact-solver runs; ExactConflicts and ExactLearned
+	// sum the CDCL conflicts hit and clauses learned across their CNF probes.
+	ExactSolves    int64 `json:"exact_solves"`
+	ExactConflicts int64 `json:"exact_conflicts"`
+	ExactLearned   int64 `json:"exact_learned_clauses"`
 	// IARArenas counts IAR arena constructions; IARRuns the arena-backed IAR
 	// runs served, of which IARWarmRuns reused an already-sized arena. A high
 	// runs-to-arenas ratio is the reuse working.
@@ -471,6 +491,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		SearchDispatchParallel: m.searchDispatchParallel.Load(),
 		SearchSpeedupMilli:     m.searchSpeedupMilli.Load(),
 
+		ExactSolves:    m.exactSolves.Load(),
+		ExactConflicts: m.exactConflicts.Load(),
+		ExactLearned:   m.exactLearned.Load(),
+
 		IARArenas:   m.iarArenas.Load(),
 		IARRuns:     m.iarRuns.Load(),
 		IARWarmRuns: m.iarWarmRuns.Load(),
@@ -525,7 +549,7 @@ func (m *Metrics) copyLabeledInt(src *map[int]int64) map[int]int64 {
 // String renders the snapshot as one log-friendly line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"obs: %d jobs started, %d completed (%d failed, %d panicked, %d job-cancelled), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks), %d online runs (%d commits, %d forced, %d replans/%d dirty-skips in %v), %d searches (%d expanded, %d stored, %d table hits, %d pruned), dispatch %d serial/%d parallel (speedup %d‰), %d IAR runs (%d warm) on %d arenas, %d served (%d ok, %d cancelled, %d client-gone, %d errored, %d serve cache hits, %d coalesced, %d rejected, %d tenants throttled, depth %d, serve queue wait %v, %d batches/%d items)",
+		"obs: %d jobs started, %d completed (%d failed, %d panicked, %d job-cancelled), %d cache hits, %d deduped, queue wait %v, job wall %v (max %v), %d sims (%d ticks), %d online runs (%d commits, %d forced, %d replans/%d dirty-skips in %v), %d searches (%d expanded, %d stored, %d table hits, %d pruned), dispatch %d serial/%d parallel (speedup %d‰), %d exact solves (%d conflicts, %d learned), %d IAR runs (%d warm) on %d arenas, %d served (%d ok, %d cancelled, %d client-gone, %d errored, %d serve cache hits, %d coalesced, %d rejected, %d tenants throttled, depth %d, serve queue wait %v, %d batches/%d items)",
 		s.JobsStarted, s.JobsCompleted, s.JobsFailed, s.JobsPanicked, s.JobsCancelled,
 		s.CacheHits, s.Deduped,
 		s.QueueWait.Round(time.Microsecond), s.JobWall.Round(time.Microsecond),
@@ -534,6 +558,7 @@ func (s Snapshot) String() string {
 		s.OnlineReplans, s.OnlineDirtySkips, time.Duration(s.OnlineReplanNanos).Round(time.Microsecond),
 		s.SearchRuns, s.SearchExpanded, s.SearchStored, s.SearchTableHits, s.SearchPruned,
 		s.SearchDispatchSerial, s.SearchDispatchParallel, s.SearchSpeedupMilli,
+		s.ExactSolves, s.ExactConflicts, s.ExactLearned,
 		s.IARRuns, s.IARWarmRuns, s.IARArenas,
 		s.ServeRequests, s.ServeOK, s.ServeCancelled, s.ServeClientGone, s.ServeErrors,
 		s.ServeCacheHits, s.ServeCoalesced, s.ServeRejected, len(s.ServeTenantRejects),

@@ -1,0 +1,108 @@
+package ocsp
+
+import "repro/internal/profile"
+
+// Admissible lower bounds on completing a schedule prefix, shared by the
+// branch-and-bound searches (internal/astar) and the exact solver's
+// make-span window (internal/exact). Both operate in the tree's cost domain
+// — bubbles plus extra execution — which relates to the make-span by the
+// identity cost = make-span − SufBest[0]; a caller that thinks in make-spans
+// converts by adding SufBest[0].
+
+// CostBound returns an admissible lower bound on the total cost (bubbles plus
+// extra execution, the tree objective) of ANY completion of a prefix with
+// committed cursor cur, compile span t, and per-function next schedulable
+// levels. It tightens the paper's f(v) with two scheduling facts:
+//
+//   - execution cannot finish before the effective frontier max(ExecT, t)
+//     plus the §5.2 best-level bound over the remaining calls (SufBest — the
+//     core.LowerBoundAtLevels sum restricted to the suffix): every remaining
+//     call starts at or after the frontier and runs for at least its best
+//     execution time;
+//   - compile slack for uncovered functions: the first call of a function
+//     with no compiled version cannot start before t plus that function's
+//     cheapest compile time; and since the single compile worker builds the
+//     uncovered functions' versions sequentially, some uncovered function's
+//     first call waits until t plus the SUM of their cheapest compile times,
+//     after which at least its own suffix of best-level execution remains.
+//
+// Subtracting ExecT and the full suffix bound converts the make-span bound
+// back to cost (the committed part of the identity above is
+// cur.Bubbles+cur.Extra = ExecT − Σ committed best times).
+//
+// next[f] is the next schedulable level of f — 0 exactly when f has no
+// compiled version. Functions outside the trace are never inspected.
+func (s *Tables) CostBound(cur Cursor, t int64, next []profile.Level) int64 {
+	e := cur.ExecT
+	if t > e {
+		e = t
+	}
+	flb := e + s.SufBest[cur.I]
+	var cminSum, minTail int64
+	k := -1
+	minTail = -1
+	for _, f := range s.Order {
+		if next[f] != 0 {
+			continue
+		}
+		// Uncovered functions' first calls are at or beyond cur.I: an
+		// evaluated call always had a version.
+		fc := s.FirstCall[f]
+		cminSum += s.CminC[f]
+		if k < 0 || fc < k {
+			k = fc
+		}
+		if tail := s.SufBest[fc]; minTail < 0 || tail < minTail {
+			minTail = tail
+		}
+	}
+	if k >= 0 {
+		if b := t + s.CminC[s.Tr.Calls[k]] + s.SufBest[k]; b > flb {
+			flb = b
+		}
+		if c := t + cminSum + minTail; c > flb {
+			flb = c
+		}
+	}
+	return cur.Bubbles + cur.Extra + flb - cur.ExecT - s.SufBest[cur.I]
+}
+
+// CostBoundTight strengthens CostBound's compile-slack term into a full
+// prefix chain over the uncovered functions. Let f_1, f_2, … be the uncovered
+// functions in first-call order (Order is first-call order, so the uncovered
+// subsequence is already sorted by FirstCall, and SufBest at those indexes is
+// non-increasing). The call at FirstCall[f_j] cannot execute until every
+// earlier call has executed, and those earlier calls need versions of
+// f_1 … f_{j−1}; the call itself needs a version of f_j. The single compile
+// worker therefore spends at least Σ_{i≤j} CminC[f_i] past the span t before
+// that call can start, after which at least SufBest[FirstCall[f_j]] of
+// execution remains:
+//
+//	make-span ≥ t + Σ_{i≤j} CminC[f_i] + SufBest[FirstCall[f_j]]   for every j.
+//
+// CostBound keeps only the two endpoints of this chain — j = 1 (the
+// first-uncovered term, since the minimal first call belongs to f_1) and
+// j = last (cminSum + minTail, since the minimal tail belongs to the last
+// uncovered function) — so the maximum over all j dominates CostBound's
+// compile-slack terms and the bound is never weaker. It is never used by the
+// legacy searches' default paths: their goldens pin node counts under
+// CostBound, and TestTightBoundDominates + the opt-in BnB TightBound runs pin
+// that both bounds prove the same optimum.
+func (s *Tables) CostBoundTight(cur Cursor, t int64, next []profile.Level) int64 {
+	e := cur.ExecT
+	if t > e {
+		e = t
+	}
+	flb := e + s.SufBest[cur.I]
+	chain := t
+	for _, f := range s.Order {
+		if next[f] != 0 {
+			continue
+		}
+		chain += s.CminC[f]
+		if b := chain + s.SufBest[s.FirstCall[f]]; b > flb {
+			flb = b
+		}
+	}
+	return cur.Bubbles + cur.Extra + flb - cur.ExecT - s.SufBest[cur.I]
+}

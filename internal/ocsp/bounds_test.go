@@ -1,0 +1,119 @@
+package ocsp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/astar"
+	"repro/internal/ocsp"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func boundsInstance(nfuncs, ncalls int, seed int64) (*trace.Trace, *profile.Profile) {
+	rng := rand.New(rand.NewSource(seed))
+	p := &profile.Profile{Levels: 2, Funcs: make([]profile.FuncTimes, nfuncs)}
+	for i := range p.Funcs {
+		cl := int64(1 + rng.Intn(4))
+		ch := cl + int64(rng.Intn(8))
+		eh := int64(1 + rng.Intn(4))
+		el := eh + int64(rng.Intn(8))
+		p.Funcs[i] = profile.FuncTimes{
+			Compile: []int64{cl, ch}, Exec: []int64{el, eh}, Size: 1,
+		}
+	}
+	calls := make([]trace.FuncID, ncalls)
+	for i := range calls {
+		calls[i] = trace.FuncID(rng.Intn(nfuncs))
+	}
+	return trace.New("bounds", calls), p
+}
+
+// TestTightBoundDominates holds CostBoundTight to its contract against
+// CostBound: at every node of a random walk down the Fig. 4 tree the
+// prefix-chain bound is at least the two-endpoint bound, and both stay
+// admissible — never above the cost of an explicit completion of the node's
+// prefix, and never above the instance's certified optimum at the root.
+func TestTightBoundDominates(t *testing.T) {
+	for seed := int64(0); seed < 24; seed++ {
+		nfuncs := 2 + int(seed%4)
+		ncalls := 8 + int(seed%3)*6
+		tr, p := boundsInstance(nfuncs, ncalls, seed)
+		tab, err := ocsp.NewTables(tr, p)
+		if err != nil {
+			t.Fatalf("seed %d: NewTables: %v", seed, err)
+		}
+		opt, err := astar.BnBSearch(tr, p, astar.BnBOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: BnBSearch: %v", seed, err)
+		}
+		if !opt.Complete {
+			t.Fatalf("seed %d: BnB did not certify the optimum", seed)
+		}
+
+		pe := tab.NewEval()
+		next := make([]profile.Level, p.NumFuncs())
+		var prefix, completion sim.Schedule
+		var cur ocsp.Cursor
+		rng := rand.New(rand.NewSource(seed + 1000))
+		for step := 0; ; step++ {
+			pe.Load(prefix)
+			span := pe.Span()
+			base := tab.CostBound(cur, span, next)
+			tight := tab.CostBoundTight(cur, span, next)
+			if tight < base {
+				t.Fatalf("seed %d step %d: CostBoundTight %d < CostBound %d",
+					seed, step, tight, base)
+			}
+			if step == 0 && tight > opt.Cost {
+				t.Fatalf("seed %d: root CostBoundTight %d exceeds the optimum cost %d",
+					seed, tight, opt.Cost)
+			}
+			// Admissibility against a concrete completion: cover every
+			// version-less function at its cheapest-to-compile level and
+			// evaluate the resulting complete prefix from scratch.
+			completion = append(completion[:0], prefix...)
+			for _, f := range tab.Order {
+				if next[f] != 0 {
+					continue
+				}
+				cheapest := profile.Level(0)
+				for l := 1; l < p.Levels; l++ {
+					if p.CompileTime(f, profile.Level(l)) < p.CompileTime(f, cheapest) {
+						cheapest = profile.Level(l)
+					}
+				}
+				completion = append(completion, sim.CompileEvent{Func: f, Level: cheapest})
+			}
+			pe.Load(completion)
+			g, _ := pe.Finish(ocsp.Cursor{})
+			if tight > g {
+				t.Fatalf("seed %d step %d: CostBoundTight %d exceeds completion cost %d (inadmissible)",
+					seed, step, tight, g)
+			}
+
+			// Walk one random legal edge (strictly increasing levels per
+			// function, the tree's child rule).
+			type edge struct {
+				f trace.FuncID
+				l profile.Level
+			}
+			var edges []edge
+			for _, f := range tab.Order {
+				for l := next[f]; int(l) < p.Levels; l++ {
+					edges = append(edges, edge{f, l})
+				}
+			}
+			if len(edges) == 0 || step >= 2*nfuncs {
+				break
+			}
+			e := edges[rng.Intn(len(edges))]
+			pe.Load(prefix)
+			ev := sim.CompileEvent{Func: e.f, Level: e.l}
+			cur, _ = pe.Advance(cur, ev)
+			prefix = append(prefix, ev)
+			next[e.f] = e.l + 1
+		}
+	}
+}

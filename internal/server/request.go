@@ -14,6 +14,7 @@ import (
 	"repro/internal/astar"
 	"repro/internal/core"
 	"repro/internal/dacapo"
+	"repro/internal/exact"
 	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/policy"
@@ -44,7 +45,7 @@ const customSamplePeriod = 400000
 
 // Algorithms lists the schedulers a request may ask for, in the order the
 // /algorithms endpoint reports them.
-var Algorithms = []string{"iar", "astar", "beam", "bnb", "jikes", "v8", "online-iar"}
+var Algorithms = []string{"iar", "astar", "beam", "bnb", "exact", "jikes", "v8", "online-iar"}
 
 // TracePayload is an inline call sequence.
 type TracePayload struct {
@@ -74,8 +75,9 @@ type ProfilePayload struct {
 // ScheduleRequest is the POST /schedule payload. Exactly one of Bench or the
 // Trace+Profile pair selects the workload.
 type ScheduleRequest struct {
-	// Algo is the scheduler to run: iar, astar, beam, bnb, jikes, v8, or
-	// online-iar (the bounded-lookahead replanning variant).
+	// Algo is the scheduler to run: iar, astar, beam, bnb, exact (the
+	// threshold-escalation optimality oracle), jikes, v8, or online-iar (the
+	// bounded-lookahead replanning variant).
 	Algo string `json:"algo"`
 	// Bench names a built-in corpus entry (the synthetic DaCapo suite).
 	Bench string `json:"bench,omitempty"`
@@ -95,8 +97,8 @@ type ScheduleRequest struct {
 	// TimeoutMS, when positive, bounds the request's wall time; the server
 	// clamps it to its configured maximum and answers 504 when it expires.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// MaxNodes, when positive, overrides the search node budget (astar and
-	// bnb only).
+	// MaxNodes, when positive, overrides the search node budget (astar,
+	// bnb, and exact only).
 	MaxNodes int `json:"max_nodes,omitempty"`
 	// BeamWidth, when positive, overrides the beam width (beam only).
 	BeamWidth int `json:"beam_width,omitempty"`
@@ -116,13 +118,17 @@ type ScheduleEvent struct {
 	Name  string `json:"name,omitempty"`
 }
 
-// SearchStats reports the tree-search counters for astar/beam/bnb requests.
+// SearchStats reports the tree-search counters for astar/beam/bnb/exact
+// requests. Conflicts and LearnedClauses are the exact solver's CDCL totals,
+// zero (and omitted) for the classic searches.
 type SearchStats struct {
-	NodesExpanded  int  `json:"nodes_expanded"`
-	NodesAllocated int  `json:"nodes_allocated"`
-	TableHits      int  `json:"table_hits,omitempty"`
-	BoundPruned    int  `json:"bound_pruned,omitempty"`
-	Complete       bool `json:"complete"`
+	NodesExpanded  int   `json:"nodes_expanded"`
+	NodesAllocated int   `json:"nodes_allocated"`
+	TableHits      int   `json:"table_hits,omitempty"`
+	BoundPruned    int   `json:"bound_pruned,omitempty"`
+	Conflicts      int64 `json:"conflicts,omitempty"`
+	LearnedClauses int64 `json:"learned_clauses,omitempty"`
+	Complete       bool  `json:"complete"`
 }
 
 // ScheduleResponse is the POST /schedule result.
@@ -195,7 +201,7 @@ func (req *ScheduleRequest) validate() error {
 		}
 	}
 	if !algoOK {
-		return badRequest("unknown algorithm %q (want one of iar, astar, beam, bnb, jikes, v8, online-iar)", req.Algo)
+		return badRequest("unknown algorithm %q (want one of iar, astar, beam, bnb, exact, jikes, v8, online-iar)", req.Algo)
 	}
 	inline := req.Trace != nil || req.Profile != nil
 	if inline && req.Bench != "" {
@@ -464,6 +470,29 @@ func execute(ctx context.Context, req *ScheduleRequest, w *dacapo.Workload, aren
 			TableHits:      sr.TableHits,
 			BoundPruned:    sr.BoundPruned,
 			Complete:       sr.Complete,
+		}
+	case "exact":
+		var er *exact.Result
+		er, err = exact.SolveContext(ctx, tr, p, exact.Options{MaxNodes: req.MaxNodes})
+		if err != nil {
+			if errors.Is(err, exact.ErrCancelled) {
+				return nil, err
+			}
+			if errors.Is(err, exact.ErrBudgetExhausted) {
+				return nil, &requestError{status: 422,
+					msg: fmt.Sprintf("exact: %v (the instance is beyond the search budget; lower max_calls or raise max_nodes)", err)}
+			}
+			return nil, badRequest("exact: %v", err)
+		}
+		sched = er.Schedule
+		resp.Search = &SearchStats{
+			NodesExpanded:  er.NodesExpanded,
+			NodesAllocated: er.NodesAllocated,
+			TableHits:      er.TableHits,
+			BoundPruned:    er.BoundPruned,
+			Conflicts:      er.Conflicts,
+			LearnedClauses: er.LearnedClauses,
+			Complete:       er.Complete,
 		}
 	case "jikes":
 		pol, perr := policy.NewJikes(model, p.NumFuncs(), w.Bench.SamplePeriod)

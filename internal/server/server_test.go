@@ -91,7 +91,7 @@ func TestScheduleHappyPathAllAlgorithms(t *testing.T) {
 		t.Run(algo, func(t *testing.T) {
 			var body []byte
 			switch algo {
-			case "astar", "beam", "bnb":
+			case "astar", "beam", "bnb", "exact":
 				body = inlineRequest(t, algo, 6, 60, 3, nil)
 			default:
 				body, _ = json.Marshal(map[string]any{"algo": algo, "bench": "antlr", "max_calls": 300})
@@ -117,7 +117,7 @@ func TestScheduleHappyPathAllAlgorithms(t *testing.T) {
 				t.Error("empty schedule")
 			}
 			switch algo {
-			case "astar", "beam", "bnb":
+			case "astar", "beam", "bnb", "exact":
 				if resp.Search == nil {
 					t.Fatal("no search stats for a tree search")
 				}
@@ -421,6 +421,7 @@ func TestMetricsExposesArenaAndDispatchKeys(t *testing.T) {
 	for _, key := range []string{
 		"iar_arenas", "iar_runs", "iar_warm_runs",
 		"search_dispatch_serial", "search_dispatch_parallel", "search_speedup_milli",
+		"exact_solves", "exact_conflicts", "exact_learned_clauses",
 	} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("/metrics missing %q", key)

@@ -17,7 +17,7 @@ var updateGolden = flag.Bool("update", false, "rewrite the serve-smoke golden re
 func smokeRequests(t *testing.T) map[string][]byte {
 	t.Helper()
 	reqs := map[string][]byte{}
-	for _, algo := range []string{"astar", "beam", "bnb"} {
+	for _, algo := range []string{"astar", "beam", "bnb", "exact"} {
 		reqs[algo] = inlineRequest(t, algo, 6, 60, 3, nil)
 	}
 	for _, algo := range []string{"iar", "jikes", "v8"} {
